@@ -1,0 +1,98 @@
+"""Table 5 + Figure 4: mutator success rates and selection frequencies.
+
+This bench uses a dedicated longer run (1,500 iterations, close to the
+paper's 2,130) because the frequency/success-rate correlation — like the
+paper notes — needs enough iterations to emerge from the Metropolis
+chain's mixing.
+
+Preserved shape properties:
+
+* Figure 4a/4b (Finding 2) — under MCMC, selection frequency correlates
+  positively with success rate;
+* Figure 4c — under uniquefuzz's uniform selection it does not;
+* Table 5 — the top mutators achieve high success rates.
+"""
+
+import math
+
+import pytest
+
+from repro.core.fuzzing import classfuzz, uniquefuzz
+from repro.corpus import CorpusConfig, generate_corpus
+
+_FIG4_ITERATIONS = 1500
+
+
+def _pearson(xs, ys):
+    n = len(xs)
+    mean_x, mean_y = sum(xs) / n, sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = math.sqrt(sum((x - mean_x) ** 2 for x in xs))
+    var_y = math.sqrt(sum((y - mean_y) ** 2 for y in ys))
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y)
+
+
+@pytest.fixture(scope="module")
+def figure4_runs():
+    seeds = generate_corpus(CorpusConfig(count=400, seed=20160613))
+    mcmc_run = classfuzz(seeds, _FIG4_ITERATIONS, criterion="stbr",
+                         seed=20160613)
+    uniform_run = uniquefuzz(seeds, _FIG4_ITERATIONS, seed=20160613)
+    return mcmc_run, uniform_run
+
+
+def test_bench_figure4_mutator_selection(benchmark, figure4_runs):
+    mcmc_run, uniform_run = figure4_runs
+
+    print()
+    print("=== Table 5: top ten mutators (classfuzz[stbr], "
+          f"{_FIG4_ITERATIONS} iterations) ===")
+    total_selected = sum(row[1] for row in mcmc_run.mutator_report) or 1
+    print(f"{'mutator':42s} {'succ rate':>9s} {'frequency':>9s}")
+    for name, selected, successes, rate in mcmc_run.mutator_report[:10]:
+        print(f"{name:42s} {rate:9.3f} {selected / total_selected:9.3f}")
+
+    # Figure 4a/4b: positive success-rate <-> frequency correlation.
+    sampled = [(rate, selected) for name, selected, _, rate
+               in mcmc_run.mutator_report if selected > 0]
+    assert len(sampled) > 100
+    mcmc_r = _pearson([s[0] for s in sampled], [s[1] for s in sampled])
+    print(f"\nFigure 4a/4b: success-rate vs frequency correlation under "
+          f"MCMC: r = {mcmc_r:.2f}")
+    assert mcmc_r > 0.3
+
+    # Figure 4c: flat under uniform selection.
+    uniform = [(rate, selected) for name, selected, _, rate
+               in uniform_run.mutator_report if selected > 0]
+    uniform_r = _pearson([s[0] for s in uniform], [s[1] for s in uniform])
+    print(f"Figure 4c: correlation under uniform selection: "
+          f"r = {uniform_r:.2f}")
+    assert abs(uniform_r) < 0.3
+    assert mcmc_r > uniform_r + 0.3
+
+    # Uniform frequencies stay near the mean; MCMC's spread wider.
+    uniform_counts = [sel for _, sel, _, _ in uniform_run.mutator_report]
+    mean_uniform = sum(uniform_counts) / len(uniform_counts)
+    assert max(uniform_counts) < mean_uniform * 3
+    mcmc_counts = [sel for _, sel, _, _ in mcmc_run.mutator_report]
+    assert max(mcmc_counts) > max(uniform_counts)
+
+    # Table 5 shape: frequently-selected top mutators have high rates.
+    top_rates = [rate for _, selected, _, rate
+                 in mcmc_run.mutator_report[:10] if selected]
+    assert top_rates and max(top_rates) > 0.35
+
+    # Benchmark kernel: 1000 Metropolis draws over the full registry.
+    import random
+
+    from repro.core.mcmc import McmcMutatorSelector
+    from repro.core.mutators import MUTATORS
+
+    def thousand_draws():
+        selector = McmcMutatorSelector(MUTATORS, rng=random.Random(1))
+        for _ in range(1000):
+            selector.next_mutator()
+
+    benchmark(thousand_draws)

@@ -1,0 +1,29 @@
+"""Preliminary study (§1, Challenge 2): running library classfiles on the
+five JVMs exposes a small baseline discrepancy ratio.
+
+Paper: 1.7 % of the 21,736 JRE7 classes (and 3.0 % of the 1,216 sampled
+seeds) trigger discrepancies; almost all other classes behave identically
+on every JVM.
+"""
+
+from repro.core.metrics import evaluate_suite, format_table
+
+
+def test_bench_preliminary_study(benchmark, seed_suite, harness):
+    report = evaluate_suite("JRE-like seeds", seed_suite, harness)
+
+    print()
+    print("=== Preliminary study: seed corpus on five JVMs ===")
+    print(format_table([report]))
+    print(f"paper baseline: 1.7% (full JRE7) / 3.0% (sampled seeds); "
+          f"measured: {report.diff:.1%}")
+
+    # The baseline must be small but non-zero, as in the paper.
+    assert 0.005 <= report.diff <= 0.08
+    # The bulk of library classes behaves identically everywhere.
+    agreeing = report.all_invoked + report.all_rejected_same_stage
+    assert agreeing / report.size > 0.9
+
+    # Benchmark kernel: one full five-JVM differential run.
+    label, data = seed_suite[0]
+    benchmark(harness.run_one, data, label)

@@ -1,0 +1,196 @@
+"""§3.3 Problems 1–4: the concrete reported discrepancies, regenerated.
+
+Each case builds the paper's triggering classfile shape through the same
+mutation recipes the paper describes, runs it on the five JVMs, and checks
+the per-vendor verdicts match the published behaviour.
+"""
+
+import random
+
+from repro.core.difftest import DifferentialHarness
+from repro.core.mutators import mutator_by_name
+from repro.jimple import ClassBuilder, MethodBuilder
+from repro.jimple.statements import Constant, InvokeExpr, InvokeStmt, MethodRef, ReturnStmt
+from repro.jimple.to_classfile import compile_class_bytes
+from repro.jimple.types import INT, JType, VOID
+
+
+def run(harness, jclass):
+    return harness.run_one(compile_class_bytes(jclass), jclass.name)
+
+
+def outcome_map(harness, jclass):
+    result = run(harness, jclass)
+    return {o.jvm_name: o for o in result.outcomes}
+
+
+def test_bench_problem1_abstract_clinit(benchmark, harness):
+    """Figure 2 via the published recipe: add ACC_ABSTRACT to <clinit> and
+    delete its opcode.  HotSpot invokes; J9 throws ClassFormatError."""
+    builder = ClassBuilder("M1436188543")
+    builder.default_init()
+    builder.main_printing("Completed!")
+    clinit = MethodBuilder("<clinit>", modifiers=["static"])
+    clinit.ret()
+    builder.method(clinit.build())
+    jclass = builder.build()
+    # The mutation recipe: abstract + drop code, applied to <clinit>.
+    target = jclass.find_method("<clinit>")
+    target.modifiers = ["public", "abstract"]
+    target.body = None
+    target.locals = []
+
+    outcomes = outcome_map(harness, jclass)
+    print()
+    print("=== Problem 1: public abstract <clinit> without Code ===")
+    for name, outcome in outcomes.items():
+        print(f"  {outcome.brief()}")
+    assert outcomes["hotspot8"].ok
+    assert outcomes["j9"].error == "ClassFormatError"
+    assert "no Code attribute" in outcomes["j9"].message
+
+    benchmark(run, harness, jclass)
+
+
+def test_bench_problem2_verification_policies(benchmark, harness):
+    """J9 verifies lazily; GIJ tracks reference types; HotSpot does
+    neither."""
+    # (a) broken never-called method: HotSpot/GIJ reject, J9 runs.
+    builder = ClassBuilder("LazyVerify")
+    builder.default_init()
+    builder.main_printing()
+    broken = MethodBuilder("broken", INT, [], ["public"])
+    broken.ret()   # bare return in an int method
+    builder.method(broken.build())
+    outcomes = outcome_map(harness, builder.build())
+    print()
+    print("=== Problem 2a: lazy vs eager method verification ===")
+    for outcome in outcomes.values():
+        print(f"  {outcome.brief()}")
+    assert outcomes["j9"].ok
+    assert outcomes["hotspot8"].error == "VerifyError"
+
+    # (b) M1433982529: String passed where Map declared — GIJ only.
+    builder = ClassBuilder("M1433982529")
+    builder.default_init()
+    builder.main_printing()
+    method = MethodBuilder("internalTransform", VOID,
+                           [JType("java.lang.String")], ["protected"])
+    method.local("r0", JType("java.util.Map"))
+    method.identity("r0", "parameter0", JType("java.util.Map"))
+    method.stmt(InvokeStmt(InvokeExpr(
+        "static", MethodRef("java.lang.Boolean", "getBoolean",
+                            JType("boolean"), (JType("java.util.Map"),)),
+        None, ["r0"])))
+    method.ret()
+    builder.method(method.build())
+    outcomes = outcome_map(harness, builder.build())
+    print("=== Problem 2b: unsafe String->Map assignability ===")
+    for outcome in outcomes.values():
+        print(f"  {outcome.brief()}")
+    assert outcomes["gij"].error == "VerifyError"
+    for name in ("hotspot7", "hotspot8", "hotspot9", "j9"):
+        assert outcomes[name].ok, name
+
+    benchmark(run, harness, builder.build())
+
+
+def test_bench_problem3_restricted_exception(benchmark, harness):
+    """M1437121261: throws a synthetic sun.* class — only HotSpot 9's
+    module-style access checking objects."""
+    builder = ClassBuilder("M1437121261")
+    builder.default_init()
+    main = MethodBuilder("main", VOID, [JType("java.lang.String[]")],
+                         ["public", "static"])
+    main.throws("sun.java2d.pisces.PiscesRenderingEngine$2")
+    main.println("ok")
+    main.ret()
+    builder.method(main.build())
+    outcomes = outcome_map(harness, builder.build())
+    print()
+    print("=== Problem 3: throws PiscesRenderingEngine$2 ===")
+    for outcome in outcomes.values():
+        print(f"  {outcome.brief()}")
+    assert outcomes["hotspot9"].error == "IllegalAccessError"
+    assert outcomes["j9"].ok and outcomes["gij"].ok
+
+    benchmark(run, harness, builder.build())
+
+
+def test_bench_problem4_gij_divergences(benchmark, harness):
+    """The five GIJ leniency bullets of §3.3."""
+    print()
+    print("=== Problem 4: GIJ vs the rest ===")
+
+    # 1. interface extending java.lang.Exception.
+    iface = ClassBuilder("P4Iface", superclass="java.lang.Exception",
+                         modifiers=["public", "interface",
+                                    "abstract"]).build()
+    outcomes = outcome_map(harness, iface)
+    assert outcomes["hotspot8"].error == "ClassFormatError"
+    assert outcomes["j9"].error == "ClassFormatError"
+    assert outcomes["gij"].error != "ClassFormatError"
+    print("  interface-extends-class: GIJ misses the format check")
+
+    # 2. non-public interface method.
+    builder = ClassBuilder("P4Members", modifiers=["public", "interface",
+                                                   "abstract"])
+    method = MethodBuilder("m", modifiers=["protected"])
+    method.ret()
+    builder.method(method.build())
+    outcomes = outcome_map(harness, builder.build())
+    assert outcomes["hotspot8"].error == "ClassFormatError"
+    assert outcomes["gij"].error != "ClassFormatError"
+    print("  non-public interface member: GIJ accepts")
+
+    # 3. interface with a main method runs only on GIJ.
+    builder = ClassBuilder("P4Main", modifiers=["public", "interface",
+                                                "abstract"])
+    main = MethodBuilder("main", VOID, [JType("java.lang.String[]")],
+                         ["public", "static"])
+    main.println("interface main")
+    main.ret()
+    builder.method(main.build())
+    outcomes = outcome_map(harness, builder.build())
+    assert outcomes["gij"].ok
+    assert not outcomes["hotspot8"].ok
+    print("  interface main: GIJ executes it")
+
+    # 4. static <init> and Thread-returning <init>.
+    builder = ClassBuilder("P4Init")
+    builder.main_printing()
+    init = MethodBuilder("<init>", modifiers=["public", "static"])
+    init.ret()
+    builder.method(init.build())
+    outcomes = outcome_map(harness, builder.build())
+    assert outcomes["gij"].ok
+    assert outcomes["hotspot8"].error == "ClassFormatError"
+    assert outcomes["j9"].error == "ClassFormatError"
+    print("  static <init>: GIJ accepts, HotSpot and J9 reject")
+
+    builder = ClassBuilder("P4InitRet")
+    builder.main_printing()
+    init = MethodBuilder("<init>", JType("java.lang.Thread"),
+                         modifiers=["public"])
+    init.stmt(ReturnStmt(Constant(None, JType("java.lang.Thread"))))
+    builder.method(init.build())
+    outcomes = outcome_map(harness, builder.build())
+    assert outcomes["gij"].ok
+    assert not outcomes["hotspot8"].ok and not outcomes["j9"].ok
+    print("  Thread-returning <init>: GIJ accepts")
+
+    # 5. duplicate fields, via the published mutator recipe.
+    builder = ClassBuilder("P4Dup")
+    builder.default_init()
+    builder.main_printing()
+    builder.field("MAP", JType("java.util.Map"), ["protected"])
+    jclass = builder.build()
+    assert mutator_by_name("field.insert_duplicate")(jclass,
+                                                     random.Random(0))
+    outcomes = outcome_map(harness, jclass)
+    assert outcomes["gij"].ok
+    for name in ("hotspot7", "hotspot8", "hotspot9", "j9"):
+        assert outcomes[name].error == "ClassFormatError", name
+    print("  duplicate fields: GIJ accepts, the rest reject")
+
+    benchmark(run, harness, jclass)

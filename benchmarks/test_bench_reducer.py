@@ -1,0 +1,53 @@
+"""§2.3: hierarchical delta debugging of discrepancy-triggering classfiles.
+
+The paper reduces each reported classfile until a sufficiently simple one
+still triggers the discrepancy.  We regenerate that workflow: take the
+discrepancies classfuzz[stbr] found, reduce each, and report the size
+reduction while asserting outcome-vector preservation.
+"""
+
+from repro.core.reducer import reduce_discrepancy
+from repro.jimple.to_classfile import compile_class_bytes
+
+
+def _component_count(jclass):
+    statements = sum(len(m.body or []) for m in jclass.methods)
+    return (len(jclass.methods) + len(jclass.fields)
+            + len(jclass.interfaces) + statements
+            + sum(len(m.thrown) for m in jclass.methods))
+
+
+def test_bench_reduction(benchmark, campaign, harness):
+    stbr = campaign["classfuzz[stbr]"]
+    discrepant = [(result, generated)
+                  for result, generated in zip(stbr.test_report.results,
+                                               stbr.fuzz.test_classes)
+                  if result.is_discrepancy][:8]
+    assert discrepant, "the campaign found no discrepancies to reduce"
+
+    print()
+    print("=== Reduction of discrepancy-triggering mutants ===")
+    shrunk = 0
+    reducible = 0
+    for result, generated in discrepant:
+        before = _component_count(generated.jclass)
+        reduction = reduce_discrepancy(generated.jclass, harness)
+        after = _component_count(reduction.reduced)
+        assert reduction.codes == result.codes
+        rerun = harness.run_one(
+            compile_class_bytes(reduction.reduced), "reduced")
+        assert rerun.codes == result.codes
+        reducible += 1
+        if after < before:
+            shrunk += 1
+        print(f"  {generated.label}: {before} -> {after} components "
+              f"({len(reduction.steps)} deletions, "
+              f"{reduction.tests_run} retests, codes {result.codes})")
+
+    # Most discrepancy triggers carry removable noise.
+    assert shrunk >= reducible * 0.5
+
+    # Benchmark kernel: one full reduction session.
+    _, generated = discrepant[0]
+    benchmark.pedantic(reduce_discrepancy, args=(generated.jclass, harness),
+                       rounds=2, iterations=1)

@@ -1,0 +1,56 @@
+"""Extension experiment: version-aware fuzzing (the paper's future work).
+
+The paper pins mutants to version 51 and leaves cross-version fuzzing as
+future work.  This bench runs classfuzz over the extended registry
+(129 + version mutators) and shows it reveals discrepancy categories the
+baseline cannot: version-ceiling splits (HotSpot 7 and GIJ stop at major
+version 51, J9/HotSpot 8 at 52, HotSpot 9 at 53) and version-gated rule
+splits (static interface methods, the ``<clinit>`` clarification).
+"""
+
+from repro.core.extensions import versionfuzz
+from repro.core.extensions.versionfuzz import version_discrepancy_vectors
+from repro.core.fuzzing import classfuzz
+
+
+def test_bench_versionfuzz(benchmark, seed_corpus, harness):
+    seeds = seed_corpus[:300]
+    iterations = 400
+
+    baseline = classfuzz(seeds, iterations, criterion="stbr",
+                         seed=20160613)
+    extended = versionfuzz(seeds, iterations, criterion="stbr",
+                           seed=20160613)
+
+    baseline_versions = {g.jclass.major_version
+                         for g in baseline.gen_classes}
+    extended_versions = {g.jclass.major_version
+                         for g in extended.gen_classes}
+
+    print()
+    print("=== Version-aware fuzzing (extension) ===")
+    print(f"baseline classfuzz versions seen:  {sorted(baseline_versions)}")
+    print(f"versionfuzz versions seen:         {sorted(extended_versions)}")
+
+    # Baseline stays pinned at 51 (§3.1.1); the extension roams.
+    assert baseline_versions == {51}
+    assert len(extended_versions) > 1
+
+    vectors = version_discrepancy_vectors(extended, harness)
+    distinct = sorted(set(vectors))
+    print(f"off-version discrepancies: {len(vectors)}, "
+          f"{len(distinct)} distinct vectors")
+    for vector in distinct[:6]:
+        print(f"  {vector}")
+    assert vectors, "version mutation revealed no discrepancies"
+
+    # Version-ceiling splits reject during loading (code 1) on the JVMs
+    # whose ceiling is below the mutant's version — a category the
+    # baseline cannot produce for otherwise-valid classes.
+    assert any(vector.count(1) in (1, 2, 3, 4) and 0 in vector
+               for vector in distinct)
+
+    # Benchmark kernel: one five-JVM run of a version-53 classfile.
+    target = next(g for g in extended.gen_classes
+                  if g.jclass.major_version not in (51,))
+    benchmark(harness.run_one, target.data, target.label)

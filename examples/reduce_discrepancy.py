@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Hierarchical delta debugging of a discrepancy-triggering classfile (§2.3).
+
+Fuzzes until a discrepancy appears, then reduces the triggering class while
+preserving its encoded outcome vector, and prints the minimized Jimple —
+the workflow an engineer follows before filing a JVM bug report.
+
+Run:
+    python examples/reduce_discrepancy.py
+"""
+
+from repro import (
+    CorpusConfig,
+    classfuzz,
+    generate_corpus,
+    print_class,
+    reduce_discrepancy,
+)
+from repro.core.difftest import DifferentialHarness
+
+
+def find_discrepant_mutant(harness):
+    """Fuzz until some accepted test classfile triggers a discrepancy."""
+    seeds = generate_corpus(CorpusConfig(count=60, seed=23))
+    run = classfuzz(seeds, iterations=300, criterion="stbr", seed=23)
+    for generated in run.test_classes:
+        result = harness.run_one(generated.data, generated.label)
+        if result.is_discrepancy:
+            return generated, result
+    raise SystemExit("no discrepancy found; increase the iteration budget")
+
+
+def main():
+    harness = DifferentialHarness()
+    generated, result = find_discrepant_mutant(harness)
+
+    print("=== Discrepancy-triggering mutant (before reduction) ===")
+    print(f"produced by mutator: {generated.mutator}")
+    print(f"encoded outcome vector: {result.codes}")
+    print(print_class(generated.jclass))
+    print()
+
+    reduction = reduce_discrepancy(generated.jclass, harness)
+    print(f"=== Reduction: {reduction.tests_run} retests, "
+          f"{len(reduction.steps)} deletions survived ===")
+    for step in reduction.steps:
+        print(f"  - {step.description} "
+              f"({step.remaining_size} components left)")
+    print()
+
+    print("=== Minimized class (same outcome vector "
+          f"{reduction.codes}) ===")
+    print(print_class(reduction.reduced))
+    print()
+    print("=== Per-JVM behaviour of the minimized class ===")
+    from repro.jimple.to_classfile import compile_class_bytes
+
+    final = harness.run_one(compile_class_bytes(reduction.reduced), "final")
+    print(final.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""JVM bytecode instruction set: opcode table, codec, and assembler."""
+
+from repro.bytecode.opcodes import Op, OPCODES, OpcodeInfo
+from repro.bytecode.instructions import (
+    Instruction,
+    decode_code,
+    encode_code,
+    InstructionError,
+)
+from repro.bytecode.assembler import Assembler
+
+__all__ = [
+    "Assembler",
+    "Instruction",
+    "InstructionError",
+    "OPCODES",
+    "Op",
+    "OpcodeInfo",
+    "decode_code",
+    "encode_code",
+]

@@ -1,0 +1,445 @@
+"""The JVM opcode table (JVMS §6.5).
+
+Every standard opcode is described by an :class:`OpcodeInfo` carrying its
+mnemonic, operand layout, and net operand-stack effect.  Operand layouts are
+expressed as a tuple of operand kinds so one generic codec
+(:mod:`repro.bytecode.instructions`) can decode and encode every
+instruction, including the variable-length ``tableswitch``/``lookupswitch``
+and ``wide``-prefixed forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Optional, Tuple
+
+# Operand kinds -------------------------------------------------------------
+#: one signed byte
+S1 = "s1"
+#: one signed short
+S2 = "s2"
+#: one unsigned byte
+U1 = "u1"
+#: one unsigned short (constant-pool index or local slot)
+U2 = "u2"
+#: signed 16-bit branch offset
+BRANCH2 = "branch2"
+#: signed 32-bit branch offset (goto_w / jsr_w)
+BRANCH4 = "branch4"
+#: unsigned byte local-variable slot
+LOCAL1 = "local1"
+#: unsigned byte constant-pool index (ldc)
+CP1 = "cp1"
+#: unsigned short constant-pool index
+CP2 = "cp2"
+#: variable-length switch payload
+SWITCH = "switch"
+#: the iinc pair (local slot u1, const s1)
+IINC = "iinc"
+#: invokeinterface extras (count u1, zero u1)
+INVOKEINTERFACE = "invokeinterface"
+#: invokedynamic trailing zeros
+INVOKEDYNAMIC = "invokedynamic"
+#: multianewarray (cp u2, dims u1)
+MULTIANEWARRAY = "multianewarray"
+#: newarray primitive-type code u1
+ATYPE = "atype"
+#: the wide prefix (modifies the following instruction)
+WIDE = "wide"
+
+
+class Op(IntEnum):
+    """All standard JVM opcodes."""
+
+    NOP = 0x00
+    ACONST_NULL = 0x01
+    ICONST_M1 = 0x02
+    ICONST_0 = 0x03
+    ICONST_1 = 0x04
+    ICONST_2 = 0x05
+    ICONST_3 = 0x06
+    ICONST_4 = 0x07
+    ICONST_5 = 0x08
+    LCONST_0 = 0x09
+    LCONST_1 = 0x0A
+    FCONST_0 = 0x0B
+    FCONST_1 = 0x0C
+    FCONST_2 = 0x0D
+    DCONST_0 = 0x0E
+    DCONST_1 = 0x0F
+    BIPUSH = 0x10
+    SIPUSH = 0x11
+    LDC = 0x12
+    LDC_W = 0x13
+    LDC2_W = 0x14
+    ILOAD = 0x15
+    LLOAD = 0x16
+    FLOAD = 0x17
+    DLOAD = 0x18
+    ALOAD = 0x19
+    ILOAD_0 = 0x1A
+    ILOAD_1 = 0x1B
+    ILOAD_2 = 0x1C
+    ILOAD_3 = 0x1D
+    LLOAD_0 = 0x1E
+    LLOAD_1 = 0x1F
+    LLOAD_2 = 0x20
+    LLOAD_3 = 0x21
+    FLOAD_0 = 0x22
+    FLOAD_1 = 0x23
+    FLOAD_2 = 0x24
+    FLOAD_3 = 0x25
+    DLOAD_0 = 0x26
+    DLOAD_1 = 0x27
+    DLOAD_2 = 0x28
+    DLOAD_3 = 0x29
+    ALOAD_0 = 0x2A
+    ALOAD_1 = 0x2B
+    ALOAD_2 = 0x2C
+    ALOAD_3 = 0x2D
+    IALOAD = 0x2E
+    LALOAD = 0x2F
+    FALOAD = 0x30
+    DALOAD = 0x31
+    AALOAD = 0x32
+    BALOAD = 0x33
+    CALOAD = 0x34
+    SALOAD = 0x35
+    ISTORE = 0x36
+    LSTORE = 0x37
+    FSTORE = 0x38
+    DSTORE = 0x39
+    ASTORE = 0x3A
+    ISTORE_0 = 0x3B
+    ISTORE_1 = 0x3C
+    ISTORE_2 = 0x3D
+    ISTORE_3 = 0x3E
+    LSTORE_0 = 0x3F
+    LSTORE_1 = 0x40
+    LSTORE_2 = 0x41
+    LSTORE_3 = 0x42
+    FSTORE_0 = 0x43
+    FSTORE_1 = 0x44
+    FSTORE_2 = 0x45
+    FSTORE_3 = 0x46
+    DSTORE_0 = 0x47
+    DSTORE_1 = 0x48
+    DSTORE_2 = 0x49
+    DSTORE_3 = 0x4A
+    ASTORE_0 = 0x4B
+    ASTORE_1 = 0x4C
+    ASTORE_2 = 0x4D
+    ASTORE_3 = 0x4E
+    IASTORE = 0x4F
+    LASTORE = 0x50
+    FASTORE = 0x51
+    DASTORE = 0x52
+    AASTORE = 0x53
+    BASTORE = 0x54
+    CASTORE = 0x55
+    SASTORE = 0x56
+    POP = 0x57
+    POP2 = 0x58
+    DUP = 0x59
+    DUP_X1 = 0x5A
+    DUP_X2 = 0x5B
+    DUP2 = 0x5C
+    DUP2_X1 = 0x5D
+    DUP2_X2 = 0x5E
+    SWAP = 0x5F
+    IADD = 0x60
+    LADD = 0x61
+    FADD = 0x62
+    DADD = 0x63
+    ISUB = 0x64
+    LSUB = 0x65
+    FSUB = 0x66
+    DSUB = 0x67
+    IMUL = 0x68
+    LMUL = 0x69
+    FMUL = 0x6A
+    DMUL = 0x6B
+    IDIV = 0x6C
+    LDIV = 0x6D
+    FDIV = 0x6E
+    DDIV = 0x6F
+    IREM = 0x70
+    LREM = 0x71
+    FREM = 0x72
+    DREM = 0x73
+    INEG = 0x74
+    LNEG = 0x75
+    FNEG = 0x76
+    DNEG = 0x77
+    ISHL = 0x78
+    LSHL = 0x79
+    ISHR = 0x7A
+    LSHR = 0x7B
+    IUSHR = 0x7C
+    LUSHR = 0x7D
+    IAND = 0x7E
+    LAND = 0x7F
+    IOR = 0x80
+    LOR = 0x81
+    IXOR = 0x82
+    LXOR = 0x83
+    IINC = 0x84
+    I2L = 0x85
+    I2F = 0x86
+    I2D = 0x87
+    L2I = 0x88
+    L2F = 0x89
+    L2D = 0x8A
+    F2I = 0x8B
+    F2L = 0x8C
+    F2D = 0x8D
+    D2I = 0x8E
+    D2L = 0x8F
+    D2F = 0x90
+    I2B = 0x91
+    I2C = 0x92
+    I2S = 0x93
+    LCMP = 0x94
+    FCMPL = 0x95
+    FCMPG = 0x96
+    DCMPL = 0x97
+    DCMPG = 0x98
+    IFEQ = 0x99
+    IFNE = 0x9A
+    IFLT = 0x9B
+    IFGE = 0x9C
+    IFGT = 0x9D
+    IFLE = 0x9E
+    IF_ICMPEQ = 0x9F
+    IF_ICMPNE = 0xA0
+    IF_ICMPLT = 0xA1
+    IF_ICMPGE = 0xA2
+    IF_ICMPGT = 0xA3
+    IF_ICMPLE = 0xA4
+    IF_ACMPEQ = 0xA5
+    IF_ACMPNE = 0xA6
+    GOTO = 0xA7
+    JSR = 0xA8
+    RET = 0xA9
+    TABLESWITCH = 0xAA
+    LOOKUPSWITCH = 0xAB
+    IRETURN = 0xAC
+    LRETURN = 0xAD
+    FRETURN = 0xAE
+    DRETURN = 0xAF
+    ARETURN = 0xB0
+    RETURN = 0xB1
+    GETSTATIC = 0xB2
+    PUTSTATIC = 0xB3
+    GETFIELD = 0xB4
+    PUTFIELD = 0xB5
+    INVOKEVIRTUAL = 0xB6
+    INVOKESPECIAL = 0xB7
+    INVOKESTATIC = 0xB8
+    INVOKEINTERFACE = 0xB9
+    INVOKEDYNAMIC = 0xBA
+    NEW = 0xBB
+    NEWARRAY = 0xBC
+    ANEWARRAY = 0xBD
+    ARRAYLENGTH = 0xBE
+    ATHROW = 0xBF
+    CHECKCAST = 0xC0
+    INSTANCEOF = 0xC1
+    MONITORENTER = 0xC2
+    MONITOREXIT = 0xC3
+    WIDE_PREFIX = 0xC4
+    MULTIANEWARRAY = 0xC5
+    IFNULL = 0xC6
+    IFNONNULL = 0xC7
+    GOTO_W = 0xC8
+    JSR_W = 0xC9
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static description of one opcode.
+
+    Attributes:
+        op: the opcode.
+        mnemonic: the JVMS mnemonic.
+        operands: operand-kind layout (see module constants).
+        pops/pushes: net stack effect in *slots* for fixed-effect opcodes;
+            ``None`` where the effect depends on resolved symbols
+            (invokes, field access, multianewarray).
+        is_branch: transfers control conditionally or unconditionally.
+        is_terminal: ends a basic block with no fall-through
+            (returns, athrow, goto, switches, ret).
+    """
+
+    op: Op
+    mnemonic: str
+    operands: Tuple[str, ...] = ()
+    pops: Optional[int] = 0
+    pushes: Optional[int] = 0
+    is_branch: bool = False
+    is_terminal: bool = False
+
+
+def _info(op: Op, mnemonic: str, operands: Tuple[str, ...] = (),
+          pops: Optional[int] = 0, pushes: Optional[int] = 0,
+          branch: bool = False, terminal: bool = False) -> OpcodeInfo:
+    return OpcodeInfo(op, mnemonic, operands, pops, pushes, branch, terminal)
+
+
+def _build_table() -> Dict[int, OpcodeInfo]:
+    table: Dict[int, OpcodeInfo] = {}
+
+    def add(op: Op, operands: Tuple[str, ...] = (), pops: Optional[int] = 0,
+            pushes: Optional[int] = 0, branch: bool = False,
+            terminal: bool = False) -> None:
+        table[int(op)] = _info(op, op.name.lower().replace("_prefix", ""),
+                               operands, pops, pushes, branch, terminal)
+
+    add(Op.NOP)
+    add(Op.ACONST_NULL, pushes=1)
+    for op in (Op.ICONST_M1, Op.ICONST_0, Op.ICONST_1, Op.ICONST_2,
+               Op.ICONST_3, Op.ICONST_4, Op.ICONST_5, Op.FCONST_0,
+               Op.FCONST_1, Op.FCONST_2):
+        add(op, pushes=1)
+    for op in (Op.LCONST_0, Op.LCONST_1, Op.DCONST_0, Op.DCONST_1):
+        add(op, pushes=2)
+    add(Op.BIPUSH, (S1,), pushes=1)
+    add(Op.SIPUSH, (S2,), pushes=1)
+    add(Op.LDC, (CP1,), pushes=1)
+    add(Op.LDC_W, (CP2,), pushes=1)
+    add(Op.LDC2_W, (CP2,), pushes=2)
+    for op in (Op.ILOAD, Op.FLOAD, Op.ALOAD):
+        add(op, (LOCAL1,), pushes=1)
+    for op in (Op.LLOAD, Op.DLOAD):
+        add(op, (LOCAL1,), pushes=2)
+    for op in (Op.ILOAD_0, Op.ILOAD_1, Op.ILOAD_2, Op.ILOAD_3,
+               Op.FLOAD_0, Op.FLOAD_1, Op.FLOAD_2, Op.FLOAD_3,
+               Op.ALOAD_0, Op.ALOAD_1, Op.ALOAD_2, Op.ALOAD_3):
+        add(op, pushes=1)
+    for op in (Op.LLOAD_0, Op.LLOAD_1, Op.LLOAD_2, Op.LLOAD_3,
+               Op.DLOAD_0, Op.DLOAD_1, Op.DLOAD_2, Op.DLOAD_3):
+        add(op, pushes=2)
+    for op in (Op.IALOAD, Op.FALOAD, Op.AALOAD, Op.BALOAD, Op.CALOAD,
+               Op.SALOAD):
+        add(op, pops=2, pushes=1)
+    for op in (Op.LALOAD, Op.DALOAD):
+        add(op, pops=2, pushes=2)
+    for op in (Op.ISTORE, Op.FSTORE, Op.ASTORE):
+        add(op, (LOCAL1,), pops=1)
+    for op in (Op.LSTORE, Op.DSTORE):
+        add(op, (LOCAL1,), pops=2)
+    for op in (Op.ISTORE_0, Op.ISTORE_1, Op.ISTORE_2, Op.ISTORE_3,
+               Op.FSTORE_0, Op.FSTORE_1, Op.FSTORE_2, Op.FSTORE_3,
+               Op.ASTORE_0, Op.ASTORE_1, Op.ASTORE_2, Op.ASTORE_3):
+        add(op, pops=1)
+    for op in (Op.LSTORE_0, Op.LSTORE_1, Op.LSTORE_2, Op.LSTORE_3,
+               Op.DSTORE_0, Op.DSTORE_1, Op.DSTORE_2, Op.DSTORE_3):
+        add(op, pops=2)
+    for op in (Op.IASTORE, Op.FASTORE, Op.AASTORE, Op.BASTORE, Op.CASTORE,
+               Op.SASTORE):
+        add(op, pops=3)
+    for op in (Op.LASTORE, Op.DASTORE):
+        add(op, pops=4)
+    add(Op.POP, pops=1)
+    add(Op.POP2, pops=2)
+    add(Op.DUP, pops=1, pushes=2)
+    add(Op.DUP_X1, pops=2, pushes=3)
+    add(Op.DUP_X2, pops=3, pushes=4)
+    add(Op.DUP2, pops=2, pushes=4)
+    add(Op.DUP2_X1, pops=3, pushes=5)
+    add(Op.DUP2_X2, pops=4, pushes=6)
+    add(Op.SWAP, pops=2, pushes=2)
+    for op in (Op.IADD, Op.ISUB, Op.IMUL, Op.IDIV, Op.IREM, Op.ISHL,
+               Op.ISHR, Op.IUSHR, Op.IAND, Op.IOR, Op.IXOR,
+               Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FREM):
+        add(op, pops=2, pushes=1)
+    for op in (Op.LADD, Op.LSUB, Op.LMUL, Op.LDIV, Op.LREM, Op.LAND,
+               Op.LOR, Op.LXOR, Op.DADD, Op.DSUB, Op.DMUL, Op.DDIV,
+               Op.DREM):
+        add(op, pops=4, pushes=2)
+    for op in (Op.LSHL, Op.LSHR, Op.LUSHR):
+        add(op, pops=3, pushes=2)
+    for op in (Op.INEG, Op.FNEG):
+        add(op, pops=1, pushes=1)
+    for op in (Op.LNEG, Op.DNEG):
+        add(op, pops=2, pushes=2)
+    add(Op.IINC, (IINC,))
+    for op in (Op.I2F, Op.F2I, Op.I2B, Op.I2C, Op.I2S):
+        add(op, pops=1, pushes=1)
+    for op in (Op.I2L, Op.I2D, Op.F2L, Op.F2D):
+        add(op, pops=1, pushes=2)
+    for op in (Op.L2I, Op.L2F, Op.D2I, Op.D2F):
+        add(op, pops=2, pushes=1)
+    for op in (Op.L2D, Op.D2L):
+        add(op, pops=2, pushes=2)
+    add(Op.LCMP, pops=4, pushes=1)
+    for op in (Op.FCMPL, Op.FCMPG):
+        add(op, pops=2, pushes=1)
+    for op in (Op.DCMPL, Op.DCMPG):
+        add(op, pops=4, pushes=1)
+    for op in (Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFGE, Op.IFGT, Op.IFLE,
+               Op.IFNULL, Op.IFNONNULL):
+        add(op, (BRANCH2,), pops=1, branch=True)
+    for op in (Op.IF_ICMPEQ, Op.IF_ICMPNE, Op.IF_ICMPLT, Op.IF_ICMPGE,
+               Op.IF_ICMPGT, Op.IF_ICMPLE, Op.IF_ACMPEQ, Op.IF_ACMPNE):
+        add(op, (BRANCH2,), pops=2, branch=True)
+    add(Op.GOTO, (BRANCH2,), branch=True, terminal=True)
+    add(Op.JSR, (BRANCH2,), pushes=1, branch=True)
+    add(Op.RET, (LOCAL1,), terminal=True)
+    add(Op.TABLESWITCH, (SWITCH,), pops=1, branch=True, terminal=True)
+    add(Op.LOOKUPSWITCH, (SWITCH,), pops=1, branch=True, terminal=True)
+    add(Op.IRETURN, pops=1, terminal=True)
+    add(Op.LRETURN, pops=2, terminal=True)
+    add(Op.FRETURN, pops=1, terminal=True)
+    add(Op.DRETURN, pops=2, terminal=True)
+    add(Op.ARETURN, pops=1, terminal=True)
+    add(Op.RETURN, terminal=True)
+    add(Op.GETSTATIC, (CP2,), pops=0, pushes=None)
+    add(Op.PUTSTATIC, (CP2,), pops=None, pushes=0)
+    add(Op.GETFIELD, (CP2,), pops=1, pushes=None)
+    add(Op.PUTFIELD, (CP2,), pops=None, pushes=0)
+    for op in (Op.INVOKEVIRTUAL, Op.INVOKESPECIAL, Op.INVOKESTATIC):
+        add(op, (CP2,), pops=None, pushes=None)
+    add(Op.INVOKEINTERFACE, (CP2, INVOKEINTERFACE), pops=None, pushes=None)
+    add(Op.INVOKEDYNAMIC, (CP2, INVOKEDYNAMIC), pops=None, pushes=None)
+    add(Op.NEW, (CP2,), pushes=1)
+    add(Op.NEWARRAY, (ATYPE,), pops=1, pushes=1)
+    add(Op.ANEWARRAY, (CP2,), pops=1, pushes=1)
+    add(Op.ARRAYLENGTH, pops=1, pushes=1)
+    add(Op.ATHROW, pops=1, terminal=True)
+    add(Op.CHECKCAST, (CP2,), pops=1, pushes=1)
+    add(Op.INSTANCEOF, (CP2,), pops=1, pushes=1)
+    add(Op.MONITORENTER, pops=1)
+    add(Op.MONITOREXIT, pops=1)
+    add(Op.WIDE_PREFIX, (WIDE,))
+    add(Op.MULTIANEWARRAY, (MULTIANEWARRAY,), pops=None, pushes=1)
+    add(Op.GOTO_W, (BRANCH4,), branch=True, terminal=True)
+    add(Op.JSR_W, (BRANCH4,), pushes=1, branch=True)
+    return table
+
+
+#: Opcode byte → :class:`OpcodeInfo` for every standard opcode.
+OPCODES: Dict[int, OpcodeInfo] = _build_table()
+
+#: Mnemonic → :class:`OpcodeInfo`.
+BY_MNEMONIC: Dict[str, OpcodeInfo] = {
+    info.mnemonic: info for info in OPCODES.values()
+}
+
+#: ``newarray`` primitive type codes (JVMS Table 6.5.newarray-A).
+NEWARRAY_TYPES = {
+    4: "boolean", 5: "char", 6: "float", 7: "double",
+    8: "byte", 9: "short", 10: "int", 11: "long",
+}
+
+#: Return opcode appropriate for each descriptor type character.
+RETURN_OPS = {
+    "V": Op.RETURN,
+    "I": Op.IRETURN, "Z": Op.IRETURN, "B": Op.IRETURN,
+    "C": Op.IRETURN, "S": Op.IRETURN,
+    "J": Op.LRETURN,
+    "F": Op.FRETURN,
+    "D": Op.DRETURN,
+    "L": Op.ARETURN, "[": Op.ARETURN,
+}

@@ -1,0 +1,159 @@
+"""Binary classfile serializer — the inverse of :mod:`repro.classfile.reader`.
+
+The writer is deliberately permissive: mutators may have produced structures
+a strict JVM must reject (dangling indices, contradictory flags), and the
+writer's job is to emit exactly those bytes so the *JVMs under test* make
+the accept/reject decision, not the serializer.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.classfile.attributes import (
+    Attribute,
+    CodeAttribute,
+    ConstantValueAttribute,
+    ExceptionsAttribute,
+    RawAttribute,
+    SourceFileAttribute,
+)
+from repro.classfile.constant_pool import ConstantPool, CpInfo, CpTag
+from repro.classfile.fields import FieldInfo
+from repro.classfile.methods import MethodInfo
+from repro.classfile.model import MAGIC, ClassFile
+
+
+class ClassWriter:
+    """Serializes a :class:`ClassFile` to classfile bytes."""
+
+    def write(self, classfile: ClassFile) -> bytes:
+        """Serialize ``classfile``, returning the binary image."""
+        self._intern_attribute_names(classfile)
+        out = bytearray()
+        out += struct.pack(">IHH", MAGIC, classfile.minor_version,
+                           classfile.major_version)
+        out += self._constant_pool(classfile.constant_pool)
+        out += struct.pack(">HHH", int(classfile.access_flags) & 0xFFFF,
+                           classfile.this_class, classfile.super_class)
+        out += struct.pack(">H", len(classfile.interfaces))
+        for index in classfile.interfaces:
+            out += struct.pack(">H", index)
+        out += struct.pack(">H", len(classfile.fields))
+        for field_info in classfile.fields:
+            out += self._member(field_info, classfile.constant_pool)
+        out += struct.pack(">H", len(classfile.methods))
+        for method in classfile.methods:
+            out += self._member(method, classfile.constant_pool)
+        out += self._attributes(classfile.attributes, classfile.constant_pool)
+        return bytes(out)
+
+    # -- sections ---------------------------------------------------------------
+
+    def _intern_attribute_names(self, classfile: ClassFile) -> None:
+        """Intern every attribute name Utf8 before the pool is serialized.
+
+        Attribute headers reference their names by pool index, so the names
+        must exist in the pool when its length header is written.
+        """
+        pool = classfile.constant_pool
+
+        def visit(attributes: List[Attribute]) -> None:
+            for attr in attributes:
+                pool.utf8(attr.name)
+                if isinstance(attr, CodeAttribute):
+                    visit(attr.attributes)
+
+        visit(classfile.attributes)
+        for member in (*classfile.fields, *classfile.methods):
+            visit(member.attributes)
+
+    def _constant_pool(self, pool: ConstantPool) -> bytes:
+        out = bytearray(struct.pack(">H", len(pool) + 1))
+        for _, info in pool:
+            out += self._cp_entry(info)
+        return bytes(out)
+
+    def _cp_entry(self, info: CpInfo) -> bytes:
+        tag = info.tag
+        out = bytearray([int(tag)])
+        if tag is CpTag.UTF8:
+            raw = str(info.value).encode("utf-8")
+            out += struct.pack(">H", len(raw)) + raw
+        elif tag is CpTag.INTEGER:
+            out += struct.pack(">i", _clamp_s32(int(info.value)))
+        elif tag is CpTag.FLOAT:
+            out += struct.pack(">f", float(info.value))
+        elif tag is CpTag.LONG:
+            out += struct.pack(">q", _clamp_s64(int(info.value)))
+        elif tag is CpTag.DOUBLE:
+            out += struct.pack(">d", float(info.value))
+        elif tag in (CpTag.CLASS, CpTag.STRING, CpTag.METHOD_TYPE):
+            (index,) = info.value  # type: ignore[misc]
+            out += struct.pack(">H", index)
+        elif tag is CpTag.METHOD_HANDLE:
+            kind, index = info.value  # type: ignore[misc]
+            out += struct.pack(">BH", kind, index)
+        else:  # two-u2 payloads
+            first, second = info.value  # type: ignore[misc]
+            out += struct.pack(">HH", first, second)
+        return bytes(out)
+
+    def _member(self, member: FieldInfo | MethodInfo,
+                pool: ConstantPool) -> bytes:
+        out = bytearray(struct.pack(
+            ">HHH", int(member.access_flags) & 0xFFFF,
+            member.name_index, member.descriptor_index))
+        out += self._attributes(member.attributes, pool)
+        return bytes(out)
+
+    def _attributes(self, attributes: List[Attribute],
+                    pool: ConstantPool) -> bytes:
+        out = bytearray(struct.pack(">H", len(attributes)))
+        for attr in attributes:
+            body = self._attribute_body(attr, pool)
+            out += struct.pack(">HI", pool.utf8(attr.name), len(body))
+            out += body
+        return bytes(out)
+
+    def _attribute_body(self, attr: Attribute, pool: ConstantPool) -> bytes:
+        if isinstance(attr, CodeAttribute):
+            out = bytearray(struct.pack(
+                ">HHI", attr.max_stack, attr.max_locals, len(attr.code)))
+            out += attr.code
+            out += struct.pack(">H", len(attr.exception_table))
+            for handler in attr.exception_table:
+                out += struct.pack(">HHHH", handler.start_pc, handler.end_pc,
+                                   handler.handler_pc, handler.catch_type)
+            out += self._attributes(attr.attributes, pool)
+            return bytes(out)
+        if isinstance(attr, ExceptionsAttribute):
+            out = bytearray(struct.pack(">H", len(attr.exception_indices)))
+            for index in attr.exception_indices:
+                out += struct.pack(">H", index)
+            return bytes(out)
+        if isinstance(attr, ConstantValueAttribute):
+            return struct.pack(">H", attr.constant_index)
+        if isinstance(attr, SourceFileAttribute):
+            return struct.pack(">H", attr.sourcefile_index)
+        if isinstance(attr, RawAttribute):
+            return attr.data
+        raise TypeError(f"unserializable attribute {type(attr).__name__}")
+
+
+def _clamp_s32(value: int) -> int:
+    """Wrap ``value`` into signed 32-bit range, like Java int arithmetic."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def _clamp_s64(value: int) -> int:
+    """Wrap ``value`` into signed 64-bit range, like Java long arithmetic."""
+    value &= 0xFFFFFFFFFFFFFFFF
+    return value - 0x10000000000000000 if value >= 0x8000000000000000 else value
+
+
+def write_class(classfile: ClassFile) -> bytes:
+    """Serialize ``classfile`` with a fresh :class:`ClassWriter`."""
+    return ClassWriter().write(classfile)

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's workflow:
+
+* ``corpus``   — generate the seed corpus as ``.class`` files;
+* ``inspect``  — javap-style disassembly of a classfile;
+* ``run``      — execute one classfile on one or all simulated JVMs;
+* ``fuzz``     — run a fuzzing algorithm and save the accepted suite;
+* ``difftest`` — differentially test a directory of classfiles;
+* ``reduce``   — minimise a discrepancy-triggering classfile and render
+  the bug-report text;
+* ``campaign`` — the full Table 4 / Table 6 experiment at a scaled budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.classfile.disassembler import disassemble
+from repro.classfile.reader import read_class
+from repro.classfile.writer import write_class
+from repro.core.campaign import (
+    ALL_ALGORITHMS,
+    PAPER_BUDGET_SECONDS,
+    format_table4,
+    run_campaign,
+)
+from repro.core.difftest import DifferentialHarness
+from repro.core.fuzzing import classfuzz, greedyfuzz, randfuzz, uniquefuzz
+from repro.core.metrics import evaluate_suite, format_table
+from repro.core.reporting import report_discrepancy
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.jimple.from_classfile import lift_class
+from repro.jimple.printer import print_class
+from repro.jimple.to_classfile import compile_class_bytes
+from repro.jvm.vendors import all_jvms, jvms_by_name
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="classfuzz: coverage-directed differential JVM testing")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    corpus = sub.add_parser("corpus", help="generate the seed corpus")
+    corpus.add_argument("--count", type=int, default=1216)
+    corpus.add_argument("--seed", type=int, default=20160613)
+    corpus.add_argument("--out", type=Path, default=Path("seeds"))
+
+    inspect = sub.add_parser("inspect", help="javap-style disassembly")
+    inspect.add_argument("classfile", type=Path)
+    inspect.add_argument("--no-pool", action="store_true",
+                         help="omit the constant pool")
+
+    run = sub.add_parser("run", help="run a classfile on the JVMs")
+    run.add_argument("classfile", type=Path)
+    run.add_argument("--jvm", choices=[j.name for j in all_jvms()],
+                     help="a single JVM (default: all five)")
+
+    fuzz = sub.add_parser("fuzz", help="run a fuzzing algorithm")
+    fuzz.add_argument("--algorithm",
+                      choices=("classfuzz", "uniquefuzz", "greedyfuzz",
+                               "randfuzz"), default="classfuzz")
+    fuzz.add_argument("--criterion", choices=("st", "stbr", "tr"),
+                      default="stbr")
+    fuzz.add_argument("--iterations", type=int, default=500)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--seed-count", type=int, default=200,
+                      help="synthetic seed corpus size")
+    fuzz.add_argument("--out", type=Path, default=None,
+                      help="directory for accepted classfiles")
+
+    difftest = sub.add_parser("difftest",
+                              help="differentially test classfiles")
+    difftest.add_argument("paths", nargs="+", type=Path,
+                          help=".class files or directories")
+    difftest.add_argument("--show", type=int, default=5,
+                          help="discrepancies to print in full")
+
+    reduce = sub.add_parser("reduce",
+                            help="minimise a discrepancy trigger")
+    reduce.add_argument("classfile", type=Path)
+
+    campaign = sub.add_parser("campaign",
+                              help="the Table 4/6 experiment")
+    campaign.add_argument("--budget-scale", type=float, default=0.1,
+                          help="fraction of the paper's 3-day budget")
+    campaign.add_argument("--seed-count", type=int, default=1216)
+    campaign.add_argument("--seed", type=int, default=20160613)
+    campaign.add_argument("--algorithms", nargs="*",
+                          default=list(ALL_ALGORITHMS))
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_corpus(args) -> int:
+    seeds = generate_corpus(CorpusConfig(count=args.count, seed=args.seed))
+    args.out.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for jclass in seeds:
+        data = compile_class_bytes(jclass)
+        (args.out / f"{jclass.name}.class").write_bytes(data)
+        written += 1
+    print(f"wrote {written} seed classfiles to {args.out}/")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    data = args.classfile.read_bytes()
+    classfile = read_class(data)
+    print(disassemble(classfile, data,
+                      show_constant_pool=not args.no_pool))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    data = args.classfile.read_bytes()
+    jvms = [jvms_by_name()[args.jvm]] if args.jvm else all_jvms()
+    worst = 0
+    for jvm in jvms:
+        outcome = jvm.run(data)
+        worst = max(worst, outcome.code)
+        print(outcome.brief())
+        if outcome.message:
+            print(f"    {outcome.message}")
+        for line in outcome.output:
+            print(f"    > {line}")
+    return 0 if worst == 0 else 1
+
+
+def _cmd_fuzz(args) -> int:
+    seeds = generate_corpus(CorpusConfig(count=args.seed_count,
+                                         seed=args.seed))
+    runners = {
+        "classfuzz": lambda: classfuzz(seeds, args.iterations,
+                                       criterion=args.criterion,
+                                       seed=args.seed),
+        "uniquefuzz": lambda: uniquefuzz(seeds, args.iterations,
+                                         seed=args.seed),
+        "greedyfuzz": lambda: greedyfuzz(seeds, args.iterations,
+                                         seed=args.seed),
+        "randfuzz": lambda: randfuzz(seeds, args.iterations,
+                                     seed=args.seed),
+    }
+    result = runners[args.algorithm]()
+    print(f"{result.algorithm}"
+          + (f"[{result.criterion}]" if result.criterion else "")
+          + f": {result.iterations} iterations, "
+          f"{len(result.gen_classes)} generated, "
+          f"{len(result.test_classes)} accepted "
+          f"(succ {result.succ:.1%}) in {result.elapsed_seconds:.1f}s")
+    if args.out:
+        from repro.core.storage import save_suite
+
+        manifest_path = save_suite(result, args.out)
+        print(f"wrote {len(result.test_classes)} classfiles + traces + "
+              f"{manifest_path.name} to {args.out}/")
+    return 0
+
+
+def _collect_classfiles(paths: List[Path]) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.class")))
+        else:
+            files.append(path)
+    return files
+
+
+def _cmd_difftest(args) -> int:
+    files = _collect_classfiles(args.paths)
+    if not files:
+        print("no classfiles found", file=sys.stderr)
+        return 2
+    harness = DifferentialHarness()
+    suite = [(path.stem, path.read_bytes()) for path in files]
+    report = evaluate_suite("suite", suite, harness)
+    print(format_table([report]))
+    shown = 0
+    for result in report.results:
+        if result.is_discrepancy and shown < args.show:
+            shown += 1
+            print()
+            print(result.summary())
+    return 0 if report.discrepancies == 0 else 1
+
+
+def _cmd_reduce(args) -> int:
+    data = args.classfile.read_bytes()
+    jclass = lift_class(read_class(data))
+    try:
+        report = report_discrepancy(jclass)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.text)
+    print()
+    print(f"classification: {report.classification}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    seeds = generate_corpus(CorpusConfig(count=args.seed_count,
+                                         seed=args.seed))
+    budget = PAPER_BUDGET_SECONDS * args.budget_scale
+    runs = run_campaign(seeds, budget, algorithms=tuple(args.algorithms),
+                        rng_seed=args.seed, evaluate=True)
+    print(f"=== Table 4 (budget = {budget:.0f} modeled seconds) ===")
+    print(format_table4(runs))
+    print()
+    print("=== Table 6 ===")
+    reports = []
+    for run in runs:
+        reports.append(run.gen_report)
+        reports.append(run.test_report)
+    print(format_table([r for r in reports if r is not None]))
+    return 0
+
+
+_COMMANDS = {
+    "corpus": _cmd_corpus,
+    "inspect": _cmd_inspect,
+    "run": _cmd_run,
+    "fuzz": _cmd_fuzz,
+    "difftest": _cmd_difftest,
+    "reduce": _cmd_reduce,
+    "campaign": _cmd_campaign,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

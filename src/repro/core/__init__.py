@@ -1,0 +1,33 @@
+"""classfuzz core: mutators, MCMC mutator selection, fuzzing algorithms,
+differential testing, discrepancy metrics, and test-case reduction."""
+
+from repro.core.mutators import MUTATORS, Mutator, mutator_by_name
+from repro.core.mcmc import McmcMutatorSelector, estimate_p_range, DEFAULT_P
+from repro.core.fuzzing import (
+    FuzzResult,
+    classfuzz,
+    greedyfuzz,
+    randfuzz,
+    uniquefuzz,
+)
+from repro.core.difftest import DifferentialHarness
+from repro.core.metrics import SuiteReport, evaluate_suite
+from repro.core.reducer import reduce_discrepancy
+
+__all__ = [
+    "DEFAULT_P",
+    "DifferentialHarness",
+    "FuzzResult",
+    "MUTATORS",
+    "McmcMutatorSelector",
+    "Mutator",
+    "SuiteReport",
+    "classfuzz",
+    "estimate_p_range",
+    "evaluate_suite",
+    "greedyfuzz",
+    "mutator_by_name",
+    "randfuzz",
+    "reduce_discrepancy",
+    "uniquefuzz",
+]

@@ -1,0 +1,146 @@
+"""Root-cause attribution of discrepancies to vendor policy axes.
+
+The paper's authors manually analysed each discrepancy to determine
+"which class component(s) and/or attribute(s) lead to that discrepancy"
+(§2.3).  Because our vendors differ *only* through
+:class:`~repro.jvm.policy.JvmPolicy` fields and their JRE environments,
+attribution can be automated: given a classfile on which vendor A and
+vendor B disagree, transplant policy fields from B into A one at a time
+(then greedily, delta-debugging style) until A's outcome flips — the
+transplanted fields are the behavioural axes responsible.
+
+If no policy subset flips the outcome, the cause lies in the JRE
+*environment* (class availability/finality/resources), which the paper
+files under compatibility issues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import List, Optional, Tuple
+
+from repro.jvm.machine import Jvm
+from repro.jvm.outcome import Outcome
+from repro.jvm.policy import JvmPolicy
+
+
+@dataclass
+class Attribution:
+    """The outcome of one attribution session.
+
+    Attributes:
+        from_jvm/to_jvm: the disagreeing vendor pair (A rejects-or-differs,
+            B is the reference behaviour A was steered towards).
+        responsible_fields: minimal policy fields whose transplant flips
+            ``from_jvm``'s outcome to match ``to_jvm``'s — empty when the
+            difference is environmental.
+        environmental: True when no policy transplant explains the split.
+        baseline/flipped: the outcomes before and after the transplant.
+    """
+
+    from_jvm: str
+    to_jvm: str
+    responsible_fields: List[str]
+    environmental: bool
+    baseline: Outcome
+    flipped: Optional[Outcome] = None
+
+    def summary(self) -> str:
+        if self.environmental:
+            return (f"{self.from_jvm} vs {self.to_jvm}: environmental "
+                    "(JRE library/resource difference)")
+        axes = ", ".join(self.responsible_fields)
+        return f"{self.from_jvm} vs {self.to_jvm}: policy axes [{axes}]"
+
+
+def _same_behaviour(first: Outcome, second: Outcome) -> bool:
+    """Outcome equivalence for attribution: phase and error class."""
+    return first.code == second.code and first.error == second.error
+
+
+def _with_fields(jvm: Jvm, donor: JvmPolicy, names: List[str]) -> Jvm:
+    """A copy of ``jvm`` with ``names`` transplanted from ``donor``."""
+    changes = {name: getattr(donor, name) for name in names}
+    return Jvm(jvm.name, replace(jvm.policy, **changes), jvm.environment)
+
+
+def _differing_fields(a: JvmPolicy, b: JvmPolicy) -> List[str]:
+    return [f.name for f in fields(JvmPolicy)
+            if getattr(a, f.name) != getattr(b, f.name)]
+
+
+def attribute_discrepancy(data: bytes, from_jvm: Jvm, to_jvm: Jvm,
+                          max_probes: int = 256) -> Attribution:
+    """Explain why ``from_jvm`` and ``to_jvm`` disagree on ``data``.
+
+    Args:
+        data: a classfile both vendors were run on.
+        from_jvm: the vendor whose behaviour is being explained.
+        to_jvm: the vendor it diverges from.
+        max_probes: re-execution budget.
+
+    Raises:
+        ValueError: when the two vendors actually agree on ``data``.
+    """
+    baseline = from_jvm.run(data)
+    target = to_jvm.run(data)
+    if _same_behaviour(baseline, target):
+        raise ValueError(
+            f"{from_jvm.name} and {to_jvm.name} agree on this classfile")
+    candidates = _differing_fields(from_jvm.policy, to_jvm.policy)
+    probes = 0
+
+    # Phase 1: single-field transplants.
+    for name in candidates:
+        if probes >= max_probes:
+            break
+        probes += 1
+        outcome = _with_fields(from_jvm, to_jvm.policy, [name]).run(data)
+        if _same_behaviour(outcome, target):
+            return Attribution(from_jvm.name, to_jvm.name, [name],
+                               environmental=False, baseline=baseline,
+                               flipped=outcome)
+
+    # Phase 2: transplant everything, then minimise (ddmin-style halving).
+    all_outcome = _with_fields(from_jvm, to_jvm.policy, candidates).run(data)
+    probes += 1
+    if not _same_behaviour(all_outcome, target):
+        return Attribution(from_jvm.name, to_jvm.name, [],
+                           environmental=True, baseline=baseline,
+                           flipped=all_outcome)
+    needed = list(candidates)
+    changed = True
+    while changed and probes < max_probes:
+        changed = False
+        for name in list(needed):
+            if len(needed) == 1:
+                break
+            trial = [n for n in needed if n != name]
+            probes += 1
+            outcome = _with_fields(from_jvm, to_jvm.policy, trial).run(data)
+            if _same_behaviour(outcome, target):
+                needed = trial
+                changed = True
+            if probes >= max_probes:
+                break
+    final = _with_fields(from_jvm, to_jvm.policy, needed).run(data)
+    return Attribution(from_jvm.name, to_jvm.name, needed,
+                       environmental=False, baseline=baseline,
+                       flipped=final)
+
+
+def attribute_all_pairs(data: bytes, jvms: List[Jvm]
+                        ) -> List[Attribution]:
+    """Attribute every disagreeing vendor pair on one classfile.
+
+    For each pair (A, B) with differing behaviour, explains A's divergence
+    from B.  Pairs that agree are skipped.
+    """
+    attributions = []
+    outcomes = [(jvm, jvm.run(data)) for jvm in jvms]
+    for i, (jvm_a, outcome_a) in enumerate(outcomes):
+        for jvm_b, outcome_b in outcomes[i + 1:]:
+            if _same_behaviour(outcome_a, outcome_b):
+                continue
+            attributions.append(attribute_discrepancy(data, jvm_a, jvm_b))
+    return attributions

@@ -1,0 +1,74 @@
+"""Differential testing harness (§2.3).
+
+Runs each classfile on the five JVM implementations of Table 3, encodes
+the per-JVM outcomes into the 0–4 phase-code vector, and reports
+discrepancies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.jvm.machine import Jvm
+from repro.jvm.outcome import DifferentialResult, Outcome
+from repro.jvm.vendors import all_jvms
+
+
+class DifferentialHarness:
+    """Runs classfiles across a fixed set of JVMs.
+
+    Attributes:
+        jvms: the implementations under test, in report column order.
+    """
+
+    def __init__(self, jvms: Optional[Sequence[Jvm]] = None):
+        self.jvms: List[Jvm] = list(jvms) if jvms is not None else all_jvms()
+
+    @property
+    def jvm_names(self) -> List[str]:
+        return [jvm.name for jvm in self.jvms]
+
+    def run_one(self, data: bytes, label: str = "") -> DifferentialResult:
+        """Execute one classfile on every JVM."""
+        outcomes = [jvm.run(data) for jvm in self.jvms]
+        return DifferentialResult(outcomes=outcomes, label=label)
+
+    def run_many(self, classfiles: Iterable[Tuple[str, bytes]]
+                 ) -> List[DifferentialResult]:
+        """Execute ``(label, bytes)`` pairs on every JVM."""
+        return [self.run_one(data, label) for label, data in classfiles]
+
+    # -- analysis helpers ---------------------------------------------------------
+
+    @staticmethod
+    def discrepancies(results: Sequence[DifferentialResult]
+                      ) -> List[DifferentialResult]:
+        """The results whose code vectors are non-constant."""
+        return [result for result in results if result.is_discrepancy]
+
+    @staticmethod
+    def distinct_discrepancies(results: Sequence[DifferentialResult]
+                               ) -> Dict[Tuple[int, ...], int]:
+        """Discrepancy categories: encoded vector → occurrence count.
+
+        Two discrepancies are in one category when their encoded outputs
+        match (§3.1.3).
+        """
+        categories: Dict[Tuple[int, ...], int] = {}
+        for result in results:
+            if result.is_discrepancy:
+                categories[result.codes] = categories.get(result.codes, 0) + 1
+        return categories
+
+    def phase_table(self, results: Sequence[DifferentialResult]
+                    ) -> Dict[str, List[int]]:
+        """Per-JVM phase counts (the paper's Table 7).
+
+        Returns:
+            JVM name → ``[invoked, loading, linking, init, runtime]`` counts.
+        """
+        table = {name: [0, 0, 0, 0, 0] for name in self.jvm_names}
+        for result in results:
+            for outcome in result.outcomes:
+                table[outcome.jvm_name][outcome.code] += 1
+        return table

@@ -1,0 +1,14 @@
+"""Extensions beyond the paper's evaluated scope.
+
+The paper fixes every mutant at classfile version 51 and notes that
+"how to create classfiles with different versions for revealing JVM
+defects is beyond the scope of this paper".  :mod:`versionfuzz`
+implements exactly that extension.
+"""
+
+from repro.core.extensions.versionfuzz import (
+    VERSION_MUTATORS,
+    versionfuzz,
+)
+
+__all__ = ["VERSION_MUTATORS", "versionfuzz"]

@@ -1,0 +1,108 @@
+"""Version-aware fuzzing — the paper's stated future work (§3.1.1).
+
+The paper pins every mutant to major version 51 because "a JVM may use
+different algorithms for verifying classfiles of different versions...
+it is possible that HotSpot accepts some dubious/illegal constructs in a
+version 46 class but rejects them if they appear in a version 51 class".
+This extension adds version mutators *on top of* the 129-operator registry
+(which stays untouched) and reuses the full classfuzz machinery, exposing
+two new discrepancy families:
+
+* version-ceiling splits — a version 52/53 class is rejected with
+  ``UnsupportedClassVersionError`` by the JVMs whose ceiling is lower
+  (HotSpot 7 and GIJ stop at 51, J9/HotSpot 8 at 52, HotSpot 9 at 53);
+* version-gated rule splits — rules keyed on the classfile version, such
+  as static interface methods (legal from 52) and the SE 8 ``<clinit>``
+  clarification (version ≥ 51).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.fuzzing import FuzzResult, classfuzz
+from repro.core.mcmc import DEFAULT_P
+from repro.core.mutators import MUTATORS
+from repro.core.mutators.base import Mutator
+from repro.jimple.model import JClass
+
+#: Versions worth sampling: the ceilings and gates of the five vendors.
+INTERESTING_VERSIONS = (46, 49, 50, 51, 52, 53)
+
+
+def _set_version(version: int):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        if jclass.major_version == version:
+            return False
+        jclass.major_version = version
+        return True
+    return apply
+
+
+def _bump_version(jclass: JClass, rng: random.Random) -> bool:
+    jclass.major_version += 1
+    return True
+
+
+def _drop_version(jclass: JClass, rng: random.Random) -> bool:
+    if jclass.major_version <= 45:
+        return False
+    jclass.major_version -= 1
+    return True
+
+
+#: The extension's additional mutators (kept out of the 129 registry).
+VERSION_MUTATORS: List[Mutator] = [
+    Mutator(f"version.set_{version}", "version",
+            f"Set the classfile major version to {version}",
+            _set_version(version))
+    for version in INTERESTING_VERSIONS
+] + [
+    Mutator("version.bump", "version",
+            "Increment the classfile major version", _bump_version),
+    Mutator("version.drop", "version",
+            "Decrement the classfile major version", _drop_version),
+]
+
+
+def versionfuzz(seeds: Sequence[JClass], iterations: int,
+                criterion: str = "stbr", seed: int = 0,
+                p: Optional[float] = None) -> FuzzResult:
+    """classfuzz over the extended registry (129 + version mutators).
+
+    The geometric parameter is re-estimated for the larger registry: the
+    paper's ``p = 3/n`` recipe scales with the mutator count.
+    """
+    mutators = list(MUTATORS) + list(VERSION_MUTATORS)
+    chosen_p = p if p is not None else 3 / len(mutators)
+    result = classfuzz(seeds, iterations, criterion=criterion, seed=seed,
+                       p=chosen_p, mutators=mutators)
+    return FuzzResult(
+        algorithm="versionfuzz",
+        criterion=result.criterion,
+        iterations=result.iterations,
+        gen_classes=result.gen_classes,
+        test_classes=result.test_classes,
+        mutator_report=result.mutator_report,
+        elapsed_seconds=result.elapsed_seconds,
+    )
+
+
+def version_discrepancy_vectors(result: FuzzResult, harness) -> List[tuple]:
+    """The encoded vectors of discrepancies whose mutants left version 51.
+
+    Useful for measuring what the extension finds that baseline classfuzz
+    cannot: baseline mutants all stay at version 51, so any discrepancy on
+    a class with ``major_version != 51`` is extension-only.  Scans every
+    *generated* classfile, not just the accepted suite — acceptance is a
+    coverage decision, orthogonal to whether a mutant is discrepant.
+    """
+    vectors = []
+    for generated in result.gen_classes:
+        if generated.jclass.major_version == 51:
+            continue
+        differential = harness.run_one(generated.data, generated.label)
+        if differential.is_discrepancy:
+            vectors.append(differential.codes)
+    return vectors

@@ -1,0 +1,307 @@
+"""The fuzzing algorithms of §3.1.2: classfuzz and its three baselines.
+
+All four share the same mutation loop (pick a seed, pick a mutator, apply,
+dump to bytes) and differ only in mutator *selection* and mutant
+*acceptance*:
+
+================  ====================  =====================================
+algorithm         mutator selection     acceptance
+================  ====================  =====================================
+``classfuzz``     MCMC (§2.2.2)         coverage uniqueness ([st]/[stbr]/[tr])
+``uniquefuzz``    uniform               coverage uniqueness ([stbr])
+``greedyfuzz``    uniform               accumulated-coverage growth
+``randfuzz``      uniform               everything (no coverage run)
+================  ====================  =====================================
+
+Accepted representative classfiles are fed back into the seed pool
+(Algorithm 1, lines 5 and 14).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.classfile.writer import write_class
+from repro.core.mcmc import DEFAULT_P, McmcMutatorSelector, UniformMutatorSelector
+from repro.core.mutators import MUTATORS, Mutator
+from repro.coverage.probes import CoverageCollector
+from repro.coverage.tracefile import Tracefile
+from repro.coverage.uniqueness import make_criterion
+from repro.jimple.builder import add_printing_main
+from repro.jimple.model import JClass
+from repro.jimple.to_classfile import JimpleCompileError, compile_class
+from repro.jvm.machine import Jvm
+from repro.jvm.vendors import reference_jvm
+
+
+@dataclass
+class GeneratedClass:
+    """One classfile produced by a fuzzing run.
+
+    Attributes:
+        label: the mutant's class name.
+        jclass: the Jimple form (source of truth for further mutation).
+        data: the classfile bytes as run on the JVMs.
+        mutator: name of the mutator that produced it (``None`` for seeds).
+        tracefile: reference-JVM coverage, when collected.
+    """
+
+    label: str
+    jclass: JClass
+    data: bytes
+    mutator: Optional[str] = None
+    tracefile: Optional[Tracefile] = None
+
+
+@dataclass
+class FuzzResult:
+    """The artefacts and statistics of one fuzzing run (Table 4 row).
+
+    Attributes:
+        algorithm: ``classfuzz``/``uniquefuzz``/``greedyfuzz``/``randfuzz``.
+        criterion: uniqueness criterion name, when applicable.
+        iterations: mutation iterations executed.
+        gen_classes: every classfile generated (``GenClasses``).
+        test_classes: the accepted representative suite (``TestClasses``,
+            seeds excluded per Algorithm 1 line 19).
+        mutator_report: ``(name, selected, successes, rate)`` rows.
+        elapsed_seconds: wall-clock duration of the run.
+    """
+
+    algorithm: str
+    criterion: Optional[str]
+    iterations: int
+    gen_classes: List[GeneratedClass] = field(default_factory=list)
+    test_classes: List[GeneratedClass] = field(default_factory=list)
+    mutator_report: List[Tuple[str, int, int, float]] = field(
+        default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def succ(self) -> float:
+        """``succ(X) = |TestClasses| / #iterations`` (§3.1.3)."""
+        if self.iterations == 0:
+            return 0.0
+        return len(self.test_classes) / self.iterations
+
+    @property
+    def seconds_per_generated(self) -> float:
+        """Average wall-clock seconds per generated classfile."""
+        if not self.gen_classes:
+            return 0.0
+        return self.elapsed_seconds / len(self.gen_classes)
+
+    @property
+    def seconds_per_test(self) -> float:
+        """Average wall-clock seconds per accepted test classfile."""
+        if not self.test_classes:
+            return 0.0
+        return self.elapsed_seconds / len(self.test_classes)
+
+
+def supplement_main(jclass: JClass) -> None:
+    """Add the §2.2.1 supplemented ``main`` when the mutant lacks one.
+
+    The added method prints a message proving the class was loaded and its
+    main method invoked.
+    """
+    for method in jclass.methods:
+        if method.name == "main":
+            return
+    add_printing_main(jclass, f"{jclass.name} mutant executed")
+
+
+class _FuzzEngine:
+    """Shared mutation loop for all four algorithms."""
+
+    def __init__(self, seeds: Sequence[JClass], rng: random.Random,
+                 mutators: Sequence[Mutator],
+                 reference: Optional[Jvm] = None):
+        self.rng = rng
+        self.pool: List[JClass] = [seed.clone() for seed in seeds]
+        if not self.pool:
+            raise ValueError("need at least one seed class")
+        self.mutators = list(mutators)
+        self.reference = reference or reference_jvm()
+        self._name_counter = 0
+
+    def mutate_once(self, mutator: Mutator) -> Optional[GeneratedClass]:
+        """One iteration body: mutate a random pool member and dump it.
+
+        Returns ``None`` when the mutation was inapplicable or the mutant
+        could not be dumped to a classfile.
+        """
+        seed = self.rng.choice(self.pool)
+        mutant = seed.clone()
+        self._name_counter += 1
+        mutant.name = f"M{1433900000 + self._name_counter}"
+        try:
+            applied = mutator(mutant, self.rng)
+        except Exception:
+            return None  # a crashing rewrite is a failed iteration
+        if not applied:
+            return None
+        supplement_main(mutant)
+        try:
+            data = write_class(compile_class(mutant))
+        except (JimpleCompileError, Exception):
+            return None
+        return GeneratedClass(mutant.name, mutant, data, mutator.name)
+
+    def run_on_reference(self, generated: GeneratedClass) -> Tracefile:
+        """Execute on the reference JVM, collecting coverage."""
+        collector = CoverageCollector()
+        with collector:
+            self.reference.run(generated.data)
+        trace = collector.tracefile()
+        generated.tracefile = trace
+        return trace
+
+
+def classfuzz(seeds: Sequence[JClass], iterations: int,
+              criterion: str = "stbr", seed: int = 0,
+              p: float = DEFAULT_P,
+              mutators: Sequence[Mutator] = MUTATORS,
+              reference: Optional[Jvm] = None,
+              seed_feedback: bool = True) -> FuzzResult:
+    """Algorithm 1: coverage-directed generation with MCMC mutator selection.
+
+    Args:
+        seeds: the seeding classfiles (as Jimple classes).
+        iterations: the iteration budget (stands in for the time budget).
+        criterion: ``st``, ``stbr``, or ``tr``.
+        seed: RNG seed.
+        p: the geometric parameter (default 3/129).
+        seed_feedback: whether accepted representative classfiles join the
+            mutation pool (Algorithm 1, lines 5/14).  Disabling this is
+            the §3.2 ablation of the "representative seeds breed
+            representative mutants" assumption.
+    """
+    rng = random.Random(seed)
+    engine = _FuzzEngine(seeds, rng, mutators, reference)
+    selector = McmcMutatorSelector(mutators, p=p, rng=rng)
+    uniqueness = make_criterion(criterion)
+    # Seed the uniqueness index with the seeds' own coverage so accepted
+    # mutants are unique w.r.t. the whole suite (TestClasses starts = Seeds).
+    for pooled in engine.pool:
+        try:
+            data = write_class(compile_class(pooled))
+        except Exception:
+            continue
+        placeholder = GeneratedClass(pooled.name, pooled, data)
+        uniqueness.accept(engine.run_on_reference(placeholder))
+    result = FuzzResult("classfuzz", criterion, iterations)
+    started = time.perf_counter()
+    for _ in range(iterations):
+        mutator = selector.next_mutator()
+        generated = engine.mutate_once(mutator)
+        if generated is None:
+            continue
+        result.gen_classes.append(generated)
+        trace = engine.run_on_reference(generated)
+        if uniqueness.check_and_accept(trace):
+            result.test_classes.append(generated)
+            if seed_feedback:
+                engine.pool.append(generated.jclass)
+            selector.record_success(mutator)
+    result.elapsed_seconds = time.perf_counter() - started
+    result.mutator_report = selector.report()
+    return result
+
+
+def uniquefuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
+               mutators: Sequence[Mutator] = MUTATORS,
+               reference: Optional[Jvm] = None) -> FuzzResult:
+    """classfuzz minus MCMC: uniform mutator selection, [stbr] uniqueness."""
+    rng = random.Random(seed)
+    engine = _FuzzEngine(seeds, rng, mutators, reference)
+    selector = UniformMutatorSelector(mutators, rng=rng)
+    uniqueness = make_criterion("stbr")
+    for pooled in engine.pool:
+        try:
+            data = write_class(compile_class(pooled))
+        except Exception:
+            continue
+        placeholder = GeneratedClass(pooled.name, pooled, data)
+        uniqueness.accept(engine.run_on_reference(placeholder))
+    result = FuzzResult("uniquefuzz", "stbr", iterations)
+    started = time.perf_counter()
+    for _ in range(iterations):
+        mutator = selector.next_mutator()
+        generated = engine.mutate_once(mutator)
+        if generated is None:
+            continue
+        result.gen_classes.append(generated)
+        trace = engine.run_on_reference(generated)
+        if uniqueness.check_and_accept(trace):
+            result.test_classes.append(generated)
+            engine.pool.append(generated.jclass)
+            selector.record_success(mutator)
+    result.elapsed_seconds = time.perf_counter() - started
+    result.mutator_report = selector.report()
+    return result
+
+
+def greedyfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
+               mutators: Sequence[Mutator] = MUTATORS,
+               reference: Optional[Jvm] = None) -> FuzzResult:
+    """Greedy baseline: accept only mutants growing accumulated coverage."""
+    rng = random.Random(seed)
+    engine = _FuzzEngine(seeds, rng, mutators, reference)
+    selector = UniformMutatorSelector(mutators, rng=rng)
+    covered_statements: Set[str] = set()
+    covered_branches: Set[Tuple[str, bool]] = set()
+    for pooled in engine.pool:
+        try:
+            data = write_class(compile_class(pooled))
+        except Exception:
+            continue
+        placeholder = GeneratedClass(pooled.name, pooled, data)
+        trace = engine.run_on_reference(placeholder)
+        covered_statements |= trace.stmt_set
+        covered_branches |= trace.br_set
+    result = FuzzResult("greedyfuzz", None, iterations)
+    started = time.perf_counter()
+    for _ in range(iterations):
+        mutator = selector.next_mutator()
+        generated = engine.mutate_once(mutator)
+        if generated is None:
+            continue
+        result.gen_classes.append(generated)
+        trace = engine.run_on_reference(generated)
+        new_statements = trace.stmt_set - covered_statements
+        new_branches = trace.br_set - covered_branches
+        if new_statements or new_branches:
+            covered_statements |= trace.stmt_set
+            covered_branches |= trace.br_set
+            result.test_classes.append(generated)
+            engine.pool.append(generated.jclass)
+            selector.record_success(mutator)
+    result.elapsed_seconds = time.perf_counter() - started
+    result.mutator_report = selector.report()
+    return result
+
+
+def randfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
+             mutators: Sequence[Mutator] = MUTATORS) -> FuzzResult:
+    """Blind baseline: every dumped mutant is a test; no coverage runs."""
+    rng = random.Random(seed)
+    engine = _FuzzEngine(seeds, rng, mutators)
+    selector = UniformMutatorSelector(mutators, rng=rng)
+    result = FuzzResult("randfuzz", None, iterations)
+    started = time.perf_counter()
+    for _ in range(iterations):
+        mutator = selector.next_mutator()
+        generated = engine.mutate_once(mutator)
+        if generated is None:
+            continue
+        result.gen_classes.append(generated)
+        result.test_classes.append(generated)
+        engine.pool.append(generated.jclass)
+        selector.record_success(mutator)
+    result.elapsed_seconds = time.perf_counter() - started
+    result.mutator_report = selector.report()
+    return result

@@ -1,0 +1,200 @@
+"""MCMC mutator selection (§2.2.2): Metropolis–Hastings over mutators.
+
+The target distribution is geometric over the success-rate ranking:
+``Pr(X = k) = (1 - p)^(k-1) · p`` for the mutator ranked ``k``.  Because
+proposals are uniform (symmetric), the Metropolis choice reduces to
+
+    A(mu1 → mu2) = min(1, (1 - p)^(k2 - k1))
+
+so a proposal ranked better than the current mutator is always accepted,
+and worse proposals are accepted with geometrically decaying probability.
+Success rates are re-estimated and the ranking re-sorted after every
+accepted representative classfile (Algorithm 1, lines 15–16).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mutators.base import Mutator
+
+#: The paper's choice: p = 3/129 ≈ 0.023, inside the valid (0.022, 0.025).
+DEFAULT_P = 3 / 129
+
+
+def estimate_p_range(mutator_count: int = 129,
+                     mass_floor: float = 0.95,
+                     epsilon: float = 0.001) -> Tuple[float, float]:
+    """The valid range for the geometric parameter ``p`` (§2.2.2).
+
+    The three conditions:
+
+    1. the distribution places at least ``mass_floor`` of its mass on the
+       first ``mutator_count`` ranks: ``1 - (1-p)^n ≥ mass_floor``;
+    2. the top-ranked mutator is favoured over uniform: ``p ≥ 1/n``;
+    3. the bottom-ranked mutator keeps a chance above ``epsilon``:
+       ``(1-p)^(n-1) · p > epsilon``.
+
+    Returns:
+        ``(low, high)`` with ``low`` from conditions 1–2 and ``high`` from
+        condition 3 (found numerically).
+    """
+    n = mutator_count
+    low_mass = 1.0 - (1.0 - mass_floor) ** (1.0 / n)
+    low = max(low_mass, 1.0 / n)
+    # Condition 3: find the largest p with (1-p)^(n-1) * p > epsilon.
+    high = 1.0
+    lo, hi = low, 1.0
+    for _ in range(80):
+        mid = (lo + hi) / 2
+        if (1.0 - mid) ** (n - 1) * mid > epsilon:
+            lo = mid
+        else:
+            hi = mid
+    high = lo
+    return low, high
+
+
+def geometric_pmf(rank: int, p: float = DEFAULT_P) -> float:
+    """``Pr(X = rank)`` for a 1-based rank."""
+    if rank < 1:
+        raise ValueError("rank is 1-based")
+    return (1.0 - p) ** (rank - 1) * p
+
+
+@dataclass
+class MutatorStats:
+    """Per-mutator bookkeeping.
+
+    Attributes:
+        selected: how many times the mutator was chosen for a mutation.
+        successes: how many representative classfiles it created.
+    """
+
+    selected: int = 0
+    successes: int = 0
+
+    @property
+    def success_rate(self) -> float:
+        """``succ(mu)`` of §2.2.2 (0 when never selected)."""
+        if self.selected == 0:
+            return 0.0
+        return self.successes / self.selected
+
+
+class McmcMutatorSelector:
+    """Metropolis–Hastings mutator sampler (Algorithm 1, lines 3–10)."""
+
+    def __init__(self, mutators: Sequence[Mutator],
+                 p: float = DEFAULT_P,
+                 rng: Optional[random.Random] = None):
+        if not mutators:
+            raise ValueError("need at least one mutator")
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"p must be in (0, 1), got {p}")
+        self.p = p
+        self.rng = rng or random.Random()
+        #: Mutators sorted by descending success rate.  Ties are ordered
+        #: randomly at every resort so the all-zero cold start (and any
+        #: later tie group) carries no registry-order bias in the
+        #: Metropolis choice, while the between-group index gaps keep the
+        #: full geometric selection pressure.
+        self.ranked: List[Mutator] = list(mutators)
+        self.stats: Dict[str, MutatorStats] = {
+            mutator.name: MutatorStats() for mutator in mutators}
+        self._index: Dict[str, int] = {}
+        self._resort()
+        #: The chain's current sample (line 3: a random initial mutator).
+        self.current: Mutator = self.rng.choice(self.ranked)
+
+    # -- the chain ------------------------------------------------------------
+
+    def next_mutator(self) -> Mutator:
+        """Draw the next sample via the Metropolis choice.
+
+        Proposes uniformly until a proposal is accepted with probability
+        ``A(mu1 → mu2) = min(1, (1-p)^(k2-k1))``, then advances the chain
+        (line 17): a proposal ranked at least as well as the current
+        mutator is always accepted; a worse one with geometrically
+        decaying probability.
+        """
+        k1 = self._index[self.current.name]
+        while True:
+            proposal = self.rng.choice(self.ranked)
+            k2 = self._index[proposal.name]
+            if k2 <= k1:
+                break  # A = 1: better (or equal) rank always accepted
+            if self.rng.random() < (1.0 - self.p) ** (k2 - k1):
+                break
+        self.current = proposal
+        self.stats[proposal.name].selected += 1
+        return proposal
+
+    def acceptance_probability(self, current: Mutator,
+                               proposal: Mutator) -> float:
+        """``A(mu1 → mu2)`` for inspection and tests."""
+        k1 = self._index[current.name]
+        k2 = self._index[proposal.name]
+        return min(1.0, (1.0 - self.p) ** (k2 - k1))
+
+    # -- feedback -------------------------------------------------------------------
+
+    def record_success(self, mutator: Mutator) -> None:
+        """Credit ``mutator`` with a representative classfile and re-sort
+        (Algorithm 1, lines 15–16)."""
+        self.stats[mutator.name].successes += 1
+        self._resort()
+
+    def _resort(self) -> None:
+        tiebreak = {mutator.name: self.rng.random()
+                    for mutator in self.ranked}
+        self.ranked.sort(
+            key=lambda mutator: (-self.stats[mutator.name].success_rate,
+                                 tiebreak[mutator.name]))
+        self._index = {mutator.name: i
+                       for i, mutator in enumerate(self.ranked)}
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def report(self) -> List[Tuple[str, int, int, float]]:
+        """``(name, selected, successes, success_rate)`` rows, rank order."""
+        return [(mutator.name,
+                 self.stats[mutator.name].selected,
+                 self.stats[mutator.name].successes,
+                 self.stats[mutator.name].success_rate)
+                for mutator in self.ranked]
+
+
+class UniformMutatorSelector:
+    """The guidance-free selector used by uniquefuzz/randfuzz/greedyfuzz."""
+
+    def __init__(self, mutators: Sequence[Mutator],
+                 rng: Optional[random.Random] = None):
+        if not mutators:
+            raise ValueError("need at least one mutator")
+        self.mutators = list(mutators)
+        self.rng = rng or random.Random()
+        self.stats: Dict[str, MutatorStats] = {
+            mutator.name: MutatorStats() for mutator in mutators}
+
+    def next_mutator(self) -> Mutator:
+        """Uniformly random choice."""
+        mutator = self.rng.choice(self.mutators)
+        self.stats[mutator.name].selected += 1
+        return mutator
+
+    def record_success(self, mutator: Mutator) -> None:
+        self.stats[mutator.name].successes += 1
+
+    def report(self) -> List[Tuple[str, int, int, float]]:
+        """Same shape as :meth:`McmcMutatorSelector.report`."""
+        rows = [(mutator.name,
+                 self.stats[mutator.name].selected,
+                 self.stats[mutator.name].successes,
+                 self.stats[mutator.name].success_rate)
+                for mutator in self.mutators]
+        rows.sort(key=lambda row: -row[3])
+        return rows

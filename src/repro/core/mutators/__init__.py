@@ -1,0 +1,67 @@
+"""The registry of 129 mutation operators (§2.2.1).
+
+123 mutators rewrite classes at the syntactic level (class, interface,
+field, method, exception, parameter, local variable); six rewrite Jimple
+statements.  Mutators are listed in a fixed order so experiments are
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.mutators.base import Mutator
+from repro.core.mutators import (
+    class_mutators,
+    exception_mutators,
+    field_mutators,
+    interface_mutators,
+    jimple_mutators,
+    localvar_mutators,
+    method_mutators,
+    parameter_mutators,
+)
+
+#: All 129 mutators in registry order.
+MUTATORS: List[Mutator] = (
+    class_mutators.MUTATORS
+    + interface_mutators.MUTATORS
+    + field_mutators.MUTATORS
+    + method_mutators.MUTATORS
+    + exception_mutators.MUTATORS
+    + parameter_mutators.MUTATORS
+    + localvar_mutators.MUTATORS
+    + jimple_mutators.MUTATORS
+)
+
+#: Expected registry size, as in the paper.
+MUTATOR_COUNT = 129
+
+#: Syntactic-level mutator count (all but the Jimple-file family).
+SYNTACTIC_COUNT = 123
+
+_BY_NAME: Dict[str, Mutator] = {mutator.name: mutator for mutator in MUTATORS}
+
+if len(MUTATORS) != MUTATOR_COUNT:  # pragma: no cover - build-time guard
+    raise AssertionError(
+        f"mutator registry has {len(MUTATORS)} entries, expected "
+        f"{MUTATOR_COUNT}")
+if len(_BY_NAME) != len(MUTATORS):  # pragma: no cover - build-time guard
+    raise AssertionError("duplicate mutator names in registry")
+
+
+def mutator_by_name(name: str) -> Mutator:
+    """Look a mutator up by its registry name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown mutator {name!r}") from None
+
+
+def mutators_in_category(category: str) -> List[Mutator]:
+    """All mutators of one Table 2 family."""
+    return [mutator for mutator in MUTATORS if mutator.category == category]
+
+
+__all__ = ["MUTATORS", "MUTATOR_COUNT", "Mutator", "SYNTACTIC_COUNT",
+           "mutator_by_name", "mutators_in_category"]

@@ -1,0 +1,121 @@
+"""Mutator infrastructure: the :class:`Mutator` record and shared helpers.
+
+A mutator rewrites a :class:`~repro.jimple.model.JClass` in place and
+reports whether it was applicable.  Inapplicable or dump-failing mutations
+count as iterations that produced no classfile, as in §3.2 of the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.jimple.model import JClass, JField, JMethod
+
+#: Mutation callback: rewrite ``jclass`` using ``rng``; return False when
+#: the mutator does not apply to this class (e.g. no fields to delete).
+ApplyFn = Callable[[JClass, random.Random], bool]
+
+
+@dataclass(frozen=True)
+class Mutator:
+    """One mutation operator.
+
+    Attributes:
+        name: unique identifier (e.g. ``method.rename``).
+        category: Table 2 family — ``class``, ``interface``, ``field``,
+            ``method``, ``exception``, ``parameter``, ``localvar``,
+            or ``jimple``.
+        description: what the operator rewrites.
+        apply: the mutation callback.
+    """
+
+    name: str
+    category: str
+    description: str
+    apply: ApplyFn
+
+    def __call__(self, jclass: JClass, rng: random.Random) -> bool:
+        return self.apply(jclass, rng)
+
+
+# ---------------------------------------------------------------------------
+# Shared pick-and-name helpers
+# ---------------------------------------------------------------------------
+
+#: Library classes usable as superclasses / references.
+LIBRARY_CLASSES = [
+    "java.lang.Object", "java.lang.Thread", "java.lang.String",
+    "java.lang.Exception", "java.lang.RuntimeException",
+    "java.util.HashMap", "java.util.ArrayList", "java.io.PrintStream",
+    "java.lang.Integer", "java.lang.Number", "java.io.OutputStream",
+]
+
+#: Library interfaces.
+LIBRARY_INTERFACES = [
+    "java.lang.Runnable", "java.io.Serializable", "java.lang.Cloneable",
+    "java.lang.Comparable", "java.security.PrivilegedAction",
+    "java.util.Map", "java.util.List", "java.util.Enumeration",
+]
+
+#: Final library classes (illegal to extend).
+FINAL_CLASSES = ["java.lang.String", "java.lang.Integer", "java.lang.System"]
+
+#: Names that resolve in no simulated JRE.
+MISSING_CLASSES = ["com.example.Missing", "org.nonexistent.Gone",
+                   "java.lang.NoSuchClass"]
+
+#: Version-sensitive names (exist only in some JREs, or restricted).
+SENSITIVE_CLASSES = [
+    "sun.misc.JavaUtilJarAccess",                # JRE7-only
+    "com.sun.beans.editors.EnumEditor",          # final from JRE8
+    "sun.java2d.pisces.PiscesRenderingEngine$2",  # restricted synthetic
+]
+
+#: Throwable library classes for exception mutators.
+THROWABLE_CLASSES = [
+    "java.lang.Exception", "java.io.IOException",
+    "java.lang.RuntimeException", "java.lang.IllegalArgumentException",
+    "java.lang.Error", "java.lang.Throwable",
+]
+
+
+def pick_method(jclass: JClass, rng: random.Random,
+                concrete_only: bool = False,
+                exclude_special: bool = False) -> Optional[JMethod]:
+    """A random method, or ``None`` when none qualifies."""
+    candidates: List[JMethod] = []
+    for method in jclass.methods:
+        if concrete_only and method.body is None and method.raw_code is None:
+            continue
+        if exclude_special and method.name in ("<init>", "<clinit>"):
+            continue
+        candidates.append(method)
+    return rng.choice(candidates) if candidates else None
+
+
+def pick_field(jclass: JClass, rng: random.Random) -> Optional[JField]:
+    """A random field, or ``None`` when the class has none."""
+    return rng.choice(jclass.fields) if jclass.fields else None
+
+
+def add_modifier(modifiers: List[str], modifier: str) -> bool:
+    """Add ``modifier`` if absent; returns whether anything changed."""
+    if modifier in modifiers:
+        return False
+    modifiers.append(modifier)
+    return True
+
+
+def remove_modifier(modifiers: List[str], modifier: str) -> bool:
+    """Remove ``modifier`` if present; returns whether anything changed."""
+    if modifier not in modifiers:
+        return False
+    modifiers.remove(modifier)
+    return True
+
+
+def fresh_name(rng: random.Random, prefix: str = "mut") -> str:
+    """A short random identifier."""
+    return f"{prefix}{rng.randrange(10_000)}"

@@ -1,0 +1,85 @@
+"""Class-level mutators (Table 2 row "Class"): reset attributes such as
+modifiers, name, and superclass."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.mutators.base import (
+    FINAL_CLASSES,
+    LIBRARY_CLASSES,
+    LIBRARY_INTERFACES,
+    MISSING_CLASSES,
+    Mutator,
+    add_modifier,
+    fresh_name,
+    remove_modifier,
+)
+from repro.jimple.model import JClass
+
+
+def _set_modifier(modifier: str):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        return add_modifier(jclass.modifiers, modifier)
+    return apply
+
+
+def _clear_modifier(modifier: str):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        return remove_modifier(jclass.modifiers, modifier)
+    return apply
+
+
+def _rename(jclass: JClass, rng: random.Random) -> bool:
+    # Note: this_class changes but internal self-references (e.g. the
+    # <init> identity type) keep the old name — exactly the inconsistency
+    # Soot-level renaming introduces.
+    jclass.name = f"M{rng.randrange(1_000_000_000, 2_000_000_000)}"
+    return True
+
+
+def _set_superclass(name_source):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        new_super = name_source(jclass, rng)
+        if jclass.superclass == new_super:
+            return False
+        jclass.superclass = new_super
+        return True
+    return apply
+
+
+MUTATORS: List[Mutator] = [
+    Mutator(f"class.set_modifier_{modifier}", "class",
+            f"Add the {modifier} modifier to the class",
+            _set_modifier(modifier))
+    for modifier in ("public", "private", "protected", "final", "abstract",
+                     "interface", "enum", "annotation", "synthetic")
+] + [
+    Mutator(f"class.clear_modifier_{modifier}", "class",
+            f"Remove the {modifier} modifier from the class",
+            _clear_modifier(modifier))
+    for modifier in ("public", "final", "abstract", "super")
+] + [
+    Mutator("class.rename", "class", "Rename the class", _rename),
+    Mutator("class.set_superclass_thread", "class",
+            "Set java.lang.Thread as the superclass",
+            _set_superclass(lambda c, r: "java.lang.Thread")),
+    Mutator("class.set_superclass_random", "class",
+            "Set the superclass to a class from a class list",
+            _set_superclass(lambda c, r: r.choice(LIBRARY_CLASSES))),
+    Mutator("class.set_superclass_self", "class",
+            "Make the class its own superclass (circularity)",
+            _set_superclass(lambda c, r: c.name)),
+    Mutator("class.set_superclass_final", "class",
+            "Set a final class as the superclass",
+            _set_superclass(lambda c, r: r.choice(FINAL_CLASSES))),
+    Mutator("class.set_superclass_interface", "class",
+            "Set an interface as the superclass",
+            _set_superclass(lambda c, r: r.choice(LIBRARY_INTERFACES))),
+    Mutator("class.set_superclass_missing", "class",
+            "Set a nonexistent class as the superclass",
+            _set_superclass(lambda c, r: r.choice(MISSING_CLASSES))),
+]
+
+assert len(MUTATORS) == 20

@@ -1,0 +1,75 @@
+"""Donor classes for "replace members with those of another class" mutators.
+
+The paper's two most successful mutators replace all of a class's methods
+or fields with another class's (Table 5).  In Soot the "other class" comes
+from the loaded Scene; here a small deterministic pool of donor classes
+plays that role.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.jimple.builder import ClassBuilder, MethodBuilder
+from repro.jimple.model import JClass
+from repro.jimple.statements import AssignBinopStmt, Constant, ReturnStmt
+from repro.jimple.types import INT, JType, STRING, VOID
+
+
+def _make_donors() -> List[JClass]:
+    donors: List[JClass] = []
+
+    worker = ClassBuilder("DonorWorker")
+    worker.field("count", INT, ["private"])
+    worker.field("label", STRING, ["protected", "final"])
+    worker.default_init()
+    step = MethodBuilder("step", INT, [INT], ["public"])
+    step.local("p0", INT)
+    step.identity("p0", "parameter0", INT)
+    step.stmt(AssignBinopStmt("p0", "p0", "+", Constant(1, INT)))
+    step.stmt(ReturnStmt("p0"))
+    worker.method(step.build())
+    tick = MethodBuilder("tick", VOID, [], ["public"])
+    tick.ret()
+    worker.method(tick.build())
+    donors.append(worker.build())
+
+    holder = ClassBuilder("DonorHolder", superclass="java.lang.Thread")
+    holder.field("MAP", JType("java.util.Map"), ["protected", "final"])
+    holder.field("flag", JType("boolean"), ["public", "static"])
+    holder.default_init()
+    run = MethodBuilder("run", VOID, [], ["public"])
+    run.println("donor running")
+    run.ret()
+    holder.method(run.build())
+    donors.append(holder.build())
+
+    mainful = ClassBuilder("DonorMain")
+    mainful.default_init()
+    mainful.main_printing("Donor main executed")
+    helper = MethodBuilder("helper", STRING, [STRING], ["public", "static"])
+    helper.local("p0", STRING)
+    helper.identity("p0", "parameter0", STRING)
+    helper.stmt(ReturnStmt("p0"))
+    mainful.method(helper.build())
+    donors.append(mainful.build())
+
+    thrower = ClassBuilder("DonorThrower")
+    thrower.default_init()
+    risky = MethodBuilder("risky", VOID, [], ["public"])
+    risky.throws("java.io.IOException", "java.lang.RuntimeException")
+    risky.ret()
+    thrower.method(risky.build())
+    donors.append(thrower.build())
+
+    return donors
+
+
+#: The deterministic donor pool.
+DONORS: List[JClass] = _make_donors()
+
+
+def random_donor(rng: random.Random) -> JClass:
+    """A random donor (callers must deep-copy what they take)."""
+    return rng.choice(DONORS)

@@ -1,0 +1,118 @@
+"""Exception mutators (Table 2 row "Exception"): insert or delete declared
+thrown exceptions on methods.
+
+Includes the Problem 3 recipe — declaring a restricted synthetic class
+(``sun.java2d.pisces.PiscesRenderingEngine$2``) as thrown — and
+add-a-list-of-exceptions, the paper's #2 mutator (Table 5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.mutators.base import (
+    MISSING_CLASSES,
+    Mutator,
+    THROWABLE_CLASSES,
+    pick_method,
+)
+from repro.jimple.model import JClass
+
+
+def _add_thrown(name_source):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        method = pick_method(jclass, rng)
+        if method is None:
+            return False
+        name = name_source(jclass, rng)
+        method.thrown.append(name)
+        return True
+    return apply
+
+
+def _add_list(jclass: JClass, rng: random.Random) -> bool:
+    """Add a list of exceptions thrown (the paper's #2 mutator)."""
+    method = pick_method(jclass, rng)
+    if method is None:
+        return False
+    method.thrown.extend(rng.sample(THROWABLE_CLASSES, 3))
+    return True
+
+
+def _delete_one(jclass: JClass, rng: random.Random) -> bool:
+    candidates = [m for m in jclass.methods if m.thrown]
+    if not candidates:
+        return False
+    method = rng.choice(candidates)
+    method.thrown.pop(rng.randrange(len(method.thrown)))
+    return True
+
+
+def _delete_all(jclass: JClass, rng: random.Random) -> bool:
+    changed = False
+    for method in jclass.methods:
+        if method.thrown:
+            method.thrown.clear()
+            changed = True
+    return changed
+
+
+def _duplicate(jclass: JClass, rng: random.Random) -> bool:
+    candidates = [m for m in jclass.methods if m.thrown]
+    if not candidates:
+        return False
+    method = rng.choice(candidates)
+    method.thrown.append(rng.choice(method.thrown))
+    return True
+
+
+def _replace(jclass: JClass, rng: random.Random) -> bool:
+    candidates = [m for m in jclass.methods if m.thrown]
+    if not candidates:
+        return False
+    method = rng.choice(candidates)
+    index = rng.randrange(len(method.thrown))
+    method.thrown[index] = rng.choice(THROWABLE_CLASSES)
+    return True
+
+
+MUTATORS: List[Mutator] = [
+    Mutator("exception.add_exception", "exception",
+            "Declare java.lang.Exception thrown",
+            _add_thrown(lambda c, r: "java.lang.Exception")),
+    Mutator("exception.add_ioexception", "exception",
+            "Declare java.io.IOException thrown",
+            _add_thrown(lambda c, r: "java.io.IOException")),
+    Mutator("exception.add_runtime", "exception",
+            "Declare java.lang.RuntimeException thrown",
+            _add_thrown(lambda c, r: "java.lang.RuntimeException")),
+    Mutator("exception.add_restricted_synthetic", "exception",
+            "Declare a restricted synthetic class thrown (Problem 3)",
+            _add_thrown(
+                lambda c, r: "sun.java2d.pisces.PiscesRenderingEngine$2")),
+    Mutator("exception.add_jre7_only", "exception",
+            "Declare a JRE7-only class thrown",
+            _add_thrown(lambda c, r: "sun.misc.JavaUtilJarAccess")),
+    Mutator("exception.add_non_throwable", "exception",
+            "Declare a non-Throwable class thrown",
+            _add_thrown(lambda c, r: "java.util.HashMap")),
+    Mutator("exception.add_missing", "exception",
+            "Declare a nonexistent class thrown",
+            _add_thrown(lambda c, r: r.choice(MISSING_CLASSES))),
+    Mutator("exception.add_list", "exception",
+            "Add a list of exceptions thrown", _add_list),
+    Mutator("exception.add_self", "exception",
+            "Declare the class itself thrown",
+            _add_thrown(lambda c, r: c.name)),
+    Mutator("exception.delete_one", "exception",
+            "Delete one declared exception", _delete_one),
+    Mutator("exception.delete_all", "exception",
+            "Delete every declared exception", _delete_all),
+    Mutator("exception.duplicate", "exception",
+            "Duplicate a declared exception", _duplicate),
+    Mutator("exception.replace", "exception",
+            "Replace a declared exception with another", _replace),
+]
+
+assert len(MUTATORS) == 13

@@ -1,0 +1,167 @@
+"""Field mutators (Table 2 row "Field"): insert, delete, rename fields and
+reset their attributes."""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import List
+
+from repro.core.mutators.base import (
+    Mutator,
+    add_modifier,
+    fresh_name,
+    pick_field,
+)
+from repro.core.mutators.donors import random_donor
+from repro.jimple.model import JClass, JField
+from repro.jimple.types import INT, JType, STRING
+
+
+def _insert(jtype: JType, modifiers):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        jclass.fields.append(
+            JField(fresh_name(rng, "f"), jtype, list(modifiers)))
+        return True
+    return apply
+
+
+def _insert_shadow(jclass: JClass, rng: random.Random) -> bool:
+    """Insert a field with an existing name but a different type
+    (Table 2's MAP example)."""
+    field = pick_field(jclass, rng)
+    if field is None:
+        return False
+    jclass.fields.append(
+        JField(field.name, JType("java.lang.Object"), ["public"]))
+    return True
+
+
+def _insert_exact_duplicate(jclass: JClass, rng: random.Random) -> bool:
+    field = pick_field(jclass, rng)
+    if field is None:
+        return False
+    jclass.fields.append(copy.deepcopy(field))
+    return True
+
+
+def _insert_several(jclass: JClass, rng: random.Random) -> bool:
+    for _ in range(3):
+        jclass.fields.append(JField(fresh_name(rng, "multi"),
+                                    rng.choice((INT, STRING)), ["public"]))
+    return True
+
+
+def _delete_one(jclass: JClass, rng: random.Random) -> bool:
+    if not jclass.fields:
+        return False
+    jclass.fields.pop(rng.randrange(len(jclass.fields)))
+    return True
+
+
+def _delete_all(jclass: JClass, rng: random.Random) -> bool:
+    if not jclass.fields:
+        return False
+    jclass.fields.clear()
+    return True
+
+
+def _rename(jclass: JClass, rng: random.Random) -> bool:
+    field = pick_field(jclass, rng)
+    if field is None:
+        return False
+    field.name = fresh_name(rng, "renamed")
+    return True
+
+
+def _change_type(jclass: JClass, rng: random.Random) -> bool:
+    field = pick_field(jclass, rng)
+    if field is None:
+        return False
+    field.jtype = rng.choice((INT, STRING, JType("java.util.Map"),
+                              JType("java.lang.Thread"), JType("double")))
+    return True
+
+
+def _set_modifier(modifier: str):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        field = pick_field(jclass, rng)
+        if field is None:
+            return False
+        return add_modifier(field.modifiers, modifier)
+    return apply
+
+
+def _clear_modifiers(jclass: JClass, rng: random.Random) -> bool:
+    field = pick_field(jclass, rng)
+    if field is None or not field.modifiers:
+        return False
+    field.modifiers.clear()
+    return True
+
+
+def _conflicting_visibility(jclass: JClass, rng: random.Random) -> bool:
+    field = pick_field(jclass, rng)
+    if field is None:
+        return False
+    changed = add_modifier(field.modifiers, "public")
+    changed |= add_modifier(field.modifiers, "private")
+    return changed
+
+
+def _final_volatile(jclass: JClass, rng: random.Random) -> bool:
+    field = pick_field(jclass, rng)
+    if field is None:
+        return False
+    changed = add_modifier(field.modifiers, "final")
+    changed |= add_modifier(field.modifiers, "volatile")
+    return changed
+
+
+def _replace_all_from_donor(jclass: JClass, rng: random.Random) -> bool:
+    """Replace all fields with those of another class (a top-10 mutator)."""
+    donor = random_donor(rng)
+    jclass.fields = [copy.deepcopy(field) for field in donor.fields]
+    return True
+
+
+MUTATORS: List[Mutator] = [
+    Mutator("field.insert_int", "field", "Insert a public int field",
+            _insert(INT, ["public"])),
+    Mutator("field.insert_string", "field", "Insert a public String field",
+            _insert(STRING, ["public"])),
+    Mutator("field.insert_static_final", "field",
+            "Insert a static final int field",
+            _insert(INT, ["public", "static", "final"])),
+    Mutator("field.insert_shadow", "field",
+            "Insert a field shadowing an existing field's name",
+            _insert_shadow),
+    Mutator("field.insert_duplicate", "field",
+            "Insert an exact duplicate of an existing field",
+            _insert_exact_duplicate),
+    Mutator("field.insert_several", "field", "Insert three fields",
+            _insert_several),
+    Mutator("field.delete_one", "field", "Delete one field", _delete_one),
+    Mutator("field.delete_all", "field", "Delete every field", _delete_all),
+    Mutator("field.rename", "field", "Rename a field", _rename),
+    Mutator("field.change_type", "field", "Change a field's type",
+            _change_type),
+] + [
+    Mutator(f"field.set_modifier_{modifier}", "field",
+            f"Add the {modifier} modifier to a field",
+            _set_modifier(modifier))
+    for modifier in ("static", "final", "private", "protected", "volatile",
+                     "transient")
+] + [
+    Mutator("field.clear_modifiers", "field",
+            "Remove every modifier from a field", _clear_modifiers),
+    Mutator("field.conflicting_visibility", "field",
+            "Make a field both public and private", _conflicting_visibility),
+    Mutator("field.final_volatile", "field",
+            "Make a field both final and volatile", _final_volatile),
+    Mutator("field.replace_all", "field",
+            "Replace all fields with those of another class",
+            _replace_all_from_donor),
+]
+
+assert len(MUTATORS) == 20

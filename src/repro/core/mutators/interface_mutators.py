@@ -1,0 +1,97 @@
+"""Interface-list mutators (Table 2 row "Interface"): insert or delete
+class-implementing interfaces."""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.mutators.base import (
+    LIBRARY_INTERFACES,
+    MISSING_CLASSES,
+    Mutator,
+)
+from repro.jimple.model import JClass
+
+
+def _add_interface(name_source):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        name = name_source(jclass, rng)
+        if name in jclass.interfaces:
+            return False
+        jclass.interfaces.append(name)
+        return True
+    return apply
+
+
+def _add_several(jclass: JClass, rng: random.Random) -> bool:
+    added = False
+    for name in rng.sample(LIBRARY_INTERFACES, 3):
+        if name not in jclass.interfaces:
+            jclass.interfaces.append(name)
+            added = True
+    return added
+
+
+def _delete_one(jclass: JClass, rng: random.Random) -> bool:
+    if not jclass.interfaces:
+        return False
+    jclass.interfaces.pop(rng.randrange(len(jclass.interfaces)))
+    return True
+
+
+def _delete_all(jclass: JClass, rng: random.Random) -> bool:
+    if not jclass.interfaces:
+        return False
+    jclass.interfaces.clear()
+    return True
+
+
+def _duplicate(jclass: JClass, rng: random.Random) -> bool:
+    if not jclass.interfaces:
+        return False
+    jclass.interfaces.append(rng.choice(jclass.interfaces))
+    return True
+
+
+def _replace_all(jclass: JClass, rng: random.Random) -> bool:
+    jclass.interfaces = rng.sample(LIBRARY_INTERFACES, 2)
+    return True
+
+
+MUTATORS: List[Mutator] = [
+    Mutator("interface.add_runnable", "interface",
+            "Implement java.lang.Runnable",
+            _add_interface(lambda c, r: "java.lang.Runnable")),
+    Mutator("interface.add_serializable", "interface",
+            "Implement java.io.Serializable",
+            _add_interface(lambda c, r: "java.io.Serializable")),
+    Mutator("interface.add_privileged_action", "interface",
+            "Implement java.security.PrivilegedAction",
+            _add_interface(lambda c, r: "java.security.PrivilegedAction")),
+    Mutator("interface.add_random", "interface",
+            "Implement a random library interface",
+            _add_interface(lambda c, r: r.choice(LIBRARY_INTERFACES))),
+    Mutator("interface.add_class_as_interface", "interface",
+            "Implement a non-interface class (java.lang.String)",
+            _add_interface(lambda c, r: "java.lang.String")),
+    Mutator("interface.add_missing", "interface",
+            "Implement a nonexistent interface",
+            _add_interface(lambda c, r: r.choice(MISSING_CLASSES))),
+    Mutator("interface.add_self", "interface",
+            "Implement the class itself (circularity)",
+            _add_interface(lambda c, r: c.name)),
+    Mutator("interface.add_several", "interface",
+            "Implement three library interfaces at once", _add_several),
+    Mutator("interface.delete_one", "interface",
+            "Delete one implemented interface", _delete_one),
+    Mutator("interface.delete_all", "interface",
+            "Delete every implemented interface", _delete_all),
+    Mutator("interface.duplicate_entry", "interface",
+            "Duplicate an interface entry", _duplicate),
+    Mutator("interface.replace_all", "interface",
+            "Replace the interface list with two library interfaces",
+            _replace_all),
+]
+
+assert len(MUTATORS) == 12

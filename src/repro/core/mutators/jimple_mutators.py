@@ -1,0 +1,130 @@
+"""The six Jimple-file mutators (Table 2 row "Jimple file").
+
+These rewrite the *statements* of a method body — inserting, deleting,
+duplicating, replacing, or reordering program statements — which may
+stochastically change the control flow and/or the syntactic structure of
+the class (§2.2.1: exactly six of the 129 mutators operate at this level).
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import List, Optional, Tuple
+
+from repro.core.mutators.base import Mutator, fresh_name
+from repro.jimple.model import JClass, JLocal, JMethod
+from repro.jimple.statements import (
+    AssignBinopStmt,
+    AssignConstStmt,
+    Constant,
+    LabelStmt,
+    NopStmt,
+    ReturnStmt,
+)
+from repro.jimple.types import INT
+
+
+def _pick_body(jclass: JClass, rng: random.Random,
+               min_statements: int = 1) -> Optional[JMethod]:
+    candidates = [m for m in jclass.methods
+                  if m.body is not None and len(m.body) >= min_statements]
+    return rng.choice(candidates) if candidates else None
+
+
+def _random_new_statement(method: JMethod, rng: random.Random):
+    """A statement to insert; may reference fresh or existing locals."""
+    roll = rng.randrange(4)
+    if roll == 0:
+        name = fresh_name(rng, "$ins")
+        method.locals.append(JLocal(name, INT))
+        return AssignConstStmt(name, Constant(rng.randint(0, 99), INT))
+    if roll == 1 and method.locals:
+        local = rng.choice(method.locals)
+        return AssignBinopStmt(local.name, local.name, "+",
+                               Constant(1, INT))
+    if roll == 2:
+        return ReturnStmt()   # an early (possibly ill-typed) return
+    return NopStmt()
+
+
+def _insert_statement(jclass: JClass, rng: random.Random) -> bool:
+    method = _pick_body(jclass, rng)
+    if method is None:
+        return False
+    stmt = _random_new_statement(method, rng)
+    method.body.insert(rng.randrange(len(method.body) + 1), stmt)
+    return True
+
+
+def _delete_statement(jclass: JClass, rng: random.Random) -> bool:
+    method = _pick_body(jclass, rng)
+    if method is None:
+        return False
+    method.body.pop(rng.randrange(len(method.body)))
+    return True
+
+
+def _duplicate_statement(jclass: JClass, rng: random.Random) -> bool:
+    method = _pick_body(jclass, rng)
+    if method is None:
+        return False
+    index = rng.randrange(len(method.body))
+    stmt = method.body[index]
+    if isinstance(stmt, LabelStmt):
+        return False  # duplicate labels never dump
+    method.body.insert(index, copy.deepcopy(stmt))
+    return True
+
+
+def _swap_statements(jclass: JClass, rng: random.Random) -> bool:
+    """Swap two adjacent statements (Table 2's Jimple-file example)."""
+    method = _pick_body(jclass, rng, min_statements=2)
+    if method is None:
+        return False
+    index = rng.randrange(len(method.body) - 1)
+    body = method.body
+    body[index], body[index + 1] = body[index + 1], body[index]
+    return True
+
+
+def _replace_statement(jclass: JClass, rng: random.Random) -> bool:
+    method = _pick_body(jclass, rng)
+    if method is None:
+        return False
+    index = rng.randrange(len(method.body))
+    if isinstance(method.body[index], LabelStmt):
+        return False
+    method.body[index] = _random_new_statement(method, rng)
+    return True
+
+
+def _move_statement(jclass: JClass, rng: random.Random) -> bool:
+    method = _pick_body(jclass, rng, min_statements=2)
+    if method is None:
+        return False
+    source = rng.randrange(len(method.body))
+    stmt = method.body.pop(source)
+    target = rng.randrange(len(method.body) + 1)
+    method.body.insert(target, stmt)
+    return source != target
+
+
+MUTATORS: List[Mutator] = [
+    Mutator("jimple.insert_statement", "jimple",
+            "Insert one program statement", _insert_statement),
+    Mutator("jimple.delete_statement", "jimple",
+            "Delete one program statement", _delete_statement),
+    Mutator("jimple.duplicate_statement", "jimple",
+            "Duplicate one program statement", _duplicate_statement),
+    Mutator("jimple.swap_statements", "jimple",
+            "Swap two adjacent program statements", _swap_statements),
+    Mutator("jimple.replace_statement", "jimple",
+            "Replace one program statement with a new one",
+            _replace_statement),
+    Mutator("jimple.move_statement", "jimple",
+            "Move one program statement to another position",
+            _move_statement),
+]
+
+assert len(MUTATORS) == 6

@@ -1,0 +1,284 @@
+"""Method mutators (Table 2 row "Method"): insert, delete, rename methods
+and reset their attributes.
+
+This family contains the paper's three most successful mutators
+(Table 5): replace-all-methods, set-superclass is under class mutators,
+and rename-method.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import List
+
+from repro.core.mutators.base import (
+    Mutator,
+    add_modifier,
+    fresh_name,
+    pick_method,
+    remove_modifier,
+)
+from repro.core.mutators.donors import random_donor
+from repro.jimple.builder import MethodBuilder
+from repro.jimple.model import JClass, JMethod
+from repro.jimple.statements import Constant, ReturnStmt
+from repro.jimple.types import INT, JType, STRING, VOID
+
+
+def _simple_method(rng: random.Random, name: str, return_type=VOID,
+                   modifiers=("public",)) -> JMethod:
+    builder = MethodBuilder(name, return_type, [], list(modifiers))
+    if return_type is VOID:
+        builder.ret()
+    elif return_type == INT:
+        builder.local("$v", INT)
+        builder.const("$v", rng.randint(0, 9))
+        builder.stmt(ReturnStmt("$v"))
+    else:
+        builder.stmt(ReturnStmt(Constant("x", STRING)))
+    return builder.build()
+
+
+def _insert_void(jclass: JClass, rng: random.Random) -> bool:
+    jclass.methods.append(_simple_method(rng, fresh_name(rng, "m")))
+    return True
+
+
+def _insert_int(jclass: JClass, rng: random.Random) -> bool:
+    jclass.methods.append(_simple_method(rng, fresh_name(rng, "m"), INT))
+    return True
+
+
+def _insert_throwing(jclass: JClass, rng: random.Random) -> bool:
+    method = _simple_method(rng, fresh_name(rng, "m"))
+    method.thrown.append("java.io.IOException")
+    jclass.methods.append(method)
+    return True
+
+
+def _insert_abstract(jclass: JClass, rng: random.Random) -> bool:
+    method = JMethod(fresh_name(rng, "abs"), VOID,
+                     modifiers=["public", "abstract"])
+    jclass.methods.append(method)
+    return True
+
+
+def _insert_native(jclass: JClass, rng: random.Random) -> bool:
+    method = JMethod(fresh_name(rng, "nat"), VOID,
+                     modifiers=["public", "native"])
+    jclass.methods.append(method)
+    return True
+
+
+def _delete_one(jclass: JClass, rng: random.Random) -> bool:
+    if not jclass.methods:
+        return False
+    jclass.methods.pop(rng.randrange(len(jclass.methods)))
+    return True
+
+
+def _delete_all(jclass: JClass, rng: random.Random) -> bool:
+    if not jclass.methods:
+        return False
+    jclass.methods.clear()
+    return True
+
+
+def _rename(jclass: JClass, rng: random.Random) -> bool:
+    method = pick_method(jclass, rng)
+    if method is None:
+        return False
+    method.name = fresh_name(rng, "renamed")
+    return True
+
+
+def _rename_to(target: str):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        method = pick_method(jclass, rng, exclude_special=True)
+        if method is None:
+            return False
+        method.name = target
+        return True
+    return apply
+
+
+def _change_return_type(jclass: JClass, rng: random.Random) -> bool:
+    """Change the declared return type, leaving the body's return
+    instructions untouched (a classic VerifyError generator)."""
+    method = pick_method(jclass, rng)
+    if method is None:
+        return False
+    method.return_type = rng.choice(
+        (INT, STRING, VOID, JType("java.lang.Thread"), JType("double")))
+    return True
+
+
+def _set_modifier(modifier: str):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        method = pick_method(jclass, rng)
+        if method is None:
+            return False
+        return add_modifier(method.modifiers, modifier)
+    return apply
+
+
+def _clear_modifier(modifier: str):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        method = pick_method(jclass, rng)
+        if method is None:
+            return False
+        return remove_modifier(method.modifiers, modifier)
+    return apply
+
+
+def _make_init_static(jclass: JClass, rng: random.Random) -> bool:
+    """``public static void <init>()`` — rejected by HotSpot and J9 but
+    accepted by GIJ (Problem 4)."""
+    method = jclass.find_method("<init>")
+    if method is None:
+        return False
+    return add_modifier(method.modifiers, "static")
+
+
+def _give_init_return_type(jclass: JClass, rng: random.Random) -> bool:
+    """``public java.lang.Thread <init>()`` (Problem 4)."""
+    method = jclass.find_method("<init>")
+    if method is None or not method.return_type.is_void:
+        return False
+    method.return_type = JType("java.lang.Thread")
+    if method.body is not None:
+        # Keep the body's bare return: the descriptor now disagrees.
+        pass
+    return True
+
+
+def _drop_body(jclass: JClass, rng: random.Random) -> bool:
+    """Remove the Code attribute of a concrete method."""
+    method = pick_method(jclass, rng, concrete_only=True)
+    if method is None:
+        return False
+    method.body = None
+    method.raw_code = None
+    method.locals = []
+    return True
+
+
+def _abstract_and_drop_code(jclass: JClass, rng: random.Random) -> bool:
+    """Add ACC_ABSTRACT and delete the opcode — the Figure 2 recipe that
+    builds ``public abstract <clinit> {}``."""
+    method = pick_method(jclass, rng, concrete_only=True)
+    if method is None:
+        return False
+    add_modifier(method.modifiers, "abstract")
+    remove_modifier(method.modifiers, "static")
+    method.body = None
+    method.raw_code = None
+    method.locals = []
+    return True
+
+
+def _duplicate(jclass: JClass, rng: random.Random) -> bool:
+    method = pick_method(jclass, rng)
+    if method is None:
+        return False
+    jclass.methods.append(copy.deepcopy(method))
+    return True
+
+
+def _replace_all_from_donor(jclass: JClass, rng: random.Random) -> bool:
+    """Replace all methods with another class's (the paper's #1 mutator)."""
+    donor = random_donor(rng)
+    jclass.methods = [copy.deepcopy(method) for method in donor.methods]
+    return True
+
+
+def _copy_one_from_donor(jclass: JClass, rng: random.Random) -> bool:
+    donor = random_donor(rng)
+    if not donor.methods:
+        return False
+    jclass.methods.append(copy.deepcopy(rng.choice(donor.methods)))
+    return True
+
+
+def _make_abstract_concrete(jclass: JClass, rng: random.Random) -> bool:
+    """Give an abstract method an empty body but keep ACC_ABSTRACT."""
+    candidates = [m for m in jclass.methods
+                  if m.is_abstract and m.body is None and m.raw_code is None]
+    if not candidates:
+        return False
+    method = rng.choice(candidates)
+    method.body = []
+    from repro.jimple.statements import ReturnStmt as _Ret
+
+    method.body.append(_Ret())
+    return True
+
+
+def _conflicting_visibility(jclass: JClass, rng: random.Random) -> bool:
+    method = pick_method(jclass, rng)
+    if method is None:
+        return False
+    changed = add_modifier(method.modifiers, "public")
+    changed |= add_modifier(method.modifiers, "private")
+    return changed
+
+
+MUTATORS: List[Mutator] = [
+    Mutator("method.insert_void", "method", "Insert a void method",
+            _insert_void),
+    Mutator("method.insert_int", "method", "Insert an int-returning method",
+            _insert_int),
+    Mutator("method.insert_throwing", "method",
+            "Insert a method declaring a thrown exception", _insert_throwing),
+    Mutator("method.insert_abstract", "method", "Insert an abstract method",
+            _insert_abstract),
+    Mutator("method.insert_native", "method", "Insert a native method",
+            _insert_native),
+    Mutator("method.delete_one", "method", "Delete one method", _delete_one),
+    Mutator("method.delete_all", "method", "Delete every method",
+            _delete_all),
+    Mutator("method.rename", "method", "Rename a method", _rename),
+    Mutator("method.rename_to_clinit", "method",
+            "Rename a method to <clinit>", _rename_to("<clinit>")),
+    Mutator("method.rename_to_init", "method",
+            "Rename a method to <init>", _rename_to("<init>")),
+    Mutator("method.rename_to_main", "method",
+            "Rename a method to main", _rename_to("main")),
+    Mutator("method.change_return_type", "method",
+            "Change a method's return type", _change_return_type),
+] + [
+    Mutator(f"method.set_modifier_{modifier}", "method",
+            f"Add the {modifier} modifier to a method",
+            _set_modifier(modifier))
+    for modifier in ("static", "abstract", "final", "native",
+                     "synchronized", "private")
+] + [
+    Mutator(f"method.clear_modifier_{modifier}", "method",
+            f"Remove the {modifier} modifier from a method",
+            _clear_modifier(modifier))
+    for modifier in ("public", "static", "abstract")
+] + [
+    Mutator("method.make_init_static", "method",
+            "Make <init> static", _make_init_static),
+    Mutator("method.give_init_return_type", "method",
+            "Give <init> a non-void return type", _give_init_return_type),
+    Mutator("method.drop_body", "method",
+            "Delete a concrete method's Code attribute", _drop_body),
+    Mutator("method.abstract_and_drop_code", "method",
+            "Add ACC_ABSTRACT and delete the opcode (Figure 2 recipe)",
+            _abstract_and_drop_code),
+    Mutator("method.duplicate", "method", "Duplicate a method", _duplicate),
+    Mutator("method.replace_all", "method",
+            "Replace all methods with those of another class",
+            _replace_all_from_donor),
+    Mutator("method.copy_one_from_donor", "method",
+            "Copy one method from another class", _copy_one_from_donor),
+    Mutator("method.make_abstract_concrete", "method",
+            "Give an abstract method a body while keeping ACC_ABSTRACT",
+            _make_abstract_concrete),
+    Mutator("method.conflicting_visibility", "method",
+            "Make a method both public and private", _conflicting_visibility),
+]
+
+assert len(MUTATORS) == 30

@@ -1,0 +1,120 @@
+"""Parameter mutators (Table 2 row "Parameter"): insert, delete, or retype
+method parameters.
+
+The parameter list is part of the method descriptor, so these mutations
+silently break callers and identity statements — the paper notes they are
+*less* effective because many resulting classes cannot be dumped or cover
+the same checking code (§3.2, Finding 2 discussion).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.core.mutators.base import Mutator, pick_method
+from repro.jimple.model import JClass
+from repro.jimple.types import INT, JType, STRING
+
+
+def _insert_front(jtype: JType):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        method = pick_method(jclass, rng)
+        if method is None:
+            return False
+        method.parameter_types.insert(0, jtype)
+        return True
+    return apply
+
+
+def _append(jtype: JType):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        method = pick_method(jclass, rng)
+        if method is None:
+            return False
+        method.parameter_types.append(jtype)
+        return True
+    return apply
+
+
+def _delete_first(jclass: JClass, rng: random.Random) -> bool:
+    candidates = [m for m in jclass.methods if m.parameter_types]
+    if not candidates:
+        return False
+    rng.choice(candidates).parameter_types.pop(0)
+    return True
+
+
+def _delete_all(jclass: JClass, rng: random.Random) -> bool:
+    candidates = [m for m in jclass.methods if m.parameter_types]
+    if not candidates:
+        return False
+    rng.choice(candidates).parameter_types.clear()
+    return True
+
+
+def _retype(jtype: JType):
+    def apply(jclass: JClass, rng: random.Random) -> bool:
+        candidates = [m for m in jclass.methods if m.parameter_types]
+        if not candidates:
+            return False
+        method = rng.choice(candidates)
+        index = rng.randrange(len(method.parameter_types))
+        if method.parameter_types[index] == jtype:
+            return False
+        method.parameter_types[index] = jtype
+        return True
+    return apply
+
+
+def _reverse(jclass: JClass, rng: random.Random) -> bool:
+    candidates = [m for m in jclass.methods if len(m.parameter_types) >= 2]
+    if not candidates:
+        return False
+    rng.choice(candidates).parameter_types.reverse()
+    return True
+
+
+def _duplicate(jclass: JClass, rng: random.Random) -> bool:
+    candidates = [m for m in jclass.methods if m.parameter_types]
+    if not candidates:
+        return False
+    method = rng.choice(candidates)
+    index = rng.randrange(len(method.parameter_types))
+    method.parameter_types.insert(index, method.parameter_types[index])
+    return True
+
+
+MUTATORS: List[Mutator] = [
+    Mutator("parameter.insert_object_front", "parameter",
+            "Insert a java.lang.Object parameter at the front "
+            "(Table 2's main example)",
+            _insert_front(JType("java.lang.Object"))),
+    Mutator("parameter.insert_int_front", "parameter",
+            "Insert an int parameter at the front", _insert_front(INT)),
+    Mutator("parameter.insert_string_front", "parameter",
+            "Insert a String parameter at the front", _insert_front(STRING)),
+    Mutator("parameter.append_object", "parameter",
+            "Append a java.lang.Object parameter",
+            _append(JType("java.lang.Object"))),
+    Mutator("parameter.append_int", "parameter",
+            "Append an int parameter", _append(INT)),
+    Mutator("parameter.delete_first", "parameter",
+            "Delete a method's first parameter", _delete_first),
+    Mutator("parameter.delete_all", "parameter",
+            "Delete all of a method's parameters", _delete_all),
+    Mutator("parameter.retype_object", "parameter",
+            "Change a parameter's type to java.lang.Object",
+            _retype(JType("java.lang.Object"))),
+    Mutator("parameter.retype_int", "parameter",
+            "Change a parameter's type to int", _retype(INT)),
+    Mutator("parameter.retype_map", "parameter",
+            "Change a parameter's type to java.util.Map",
+            _retype(JType("java.util.Map"))),
+    Mutator("parameter.reverse", "parameter",
+            "Reverse a method's parameter order", _reverse),
+    Mutator("parameter.duplicate", "parameter",
+            "Duplicate one parameter", _duplicate),
+]
+
+assert len(MUTATORS) == 12

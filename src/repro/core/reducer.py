@@ -1,0 +1,149 @@
+"""Hierarchical delta debugging of discrepancy-triggering classfiles (§2.3).
+
+Adapting Misherghi & Su's HDD to Jimple classes: repeatedly delete one
+component (method, field, statement, interface, thrown exception) from the
+class's Jimple form, re-dump, and re-test on the five JVMs; keep the
+smaller class whenever the original discrepancy vector is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.classfile.writer import write_class
+from repro.core.difftest import DifferentialHarness
+from repro.jimple.model import JClass
+from repro.jimple.to_classfile import JimpleCompileError, compile_class
+
+
+@dataclass
+class ReductionStep:
+    """One successful deletion.
+
+    Attributes:
+        description: what was removed.
+        remaining_size: component count after the deletion.
+    """
+
+    description: str
+    remaining_size: int
+
+
+@dataclass
+class ReductionResult:
+    """The outcome of a reduction session.
+
+    Attributes:
+        reduced: the minimised class.
+        codes: the preserved discrepancy vector.
+        steps: the deletions that survived retesting.
+        tests_run: how many candidate retests were executed.
+    """
+
+    reduced: JClass
+    codes: Tuple[int, ...]
+    steps: List[ReductionStep]
+    tests_run: int
+
+
+def _component_count(jclass: JClass) -> int:
+    statements = sum(len(m.body or []) for m in jclass.methods)
+    return (len(jclass.methods) + len(jclass.fields)
+            + len(jclass.interfaces) + statements
+            + sum(len(m.thrown) for m in jclass.methods))
+
+
+def _deletions(jclass: JClass) -> List[Tuple[str, Callable[[JClass], None]]]:
+    """Candidate single-component deletions, coarsest first (HDD order)."""
+    candidates: List[Tuple[str, Callable[[JClass], None]]] = []
+    for index in range(len(jclass.methods)):
+        name = jclass.methods[index].name
+
+        def delete_method(target: JClass, i=index) -> None:
+            del target.methods[i]
+
+        candidates.append((f"delete method {name}", delete_method))
+    for index in range(len(jclass.fields)):
+        name = jclass.fields[index].name
+
+        def delete_field(target: JClass, i=index) -> None:
+            del target.fields[i]
+
+        candidates.append((f"delete field {name}", delete_field))
+    for index in range(len(jclass.interfaces)):
+        name = jclass.interfaces[index]
+
+        def delete_interface(target: JClass, i=index) -> None:
+            del target.interfaces[i]
+
+        candidates.append((f"delete interface {name}", delete_interface))
+    for m_index, method in enumerate(jclass.methods):
+        for t_index in range(len(method.thrown)):
+            def delete_thrown(target: JClass, mi=m_index,
+                              ti=t_index) -> None:
+                del target.methods[mi].thrown[ti]
+
+            candidates.append(
+                (f"delete thrown {method.thrown[t_index]} from "
+                 f"{method.name}", delete_thrown))
+        if method.body is not None:
+            for s_index in range(len(method.body)):
+                def delete_stmt(target: JClass, mi=m_index,
+                                si=s_index) -> None:
+                    del target.methods[mi].body[si]
+
+                candidates.append(
+                    (f"delete statement {s_index} of {method.name}",
+                     delete_stmt))
+    return candidates
+
+
+def reduce_discrepancy(jclass: JClass,
+                       harness: Optional[DifferentialHarness] = None,
+                       max_rounds: int = 12) -> ReductionResult:
+    """Minimise ``jclass`` while preserving its discrepancy vector.
+
+    Args:
+        jclass: a class whose dump triggers a discrepancy.
+        harness: the differential harness (5 JVMs by default).
+        max_rounds: fixed-point iteration bound.
+
+    Raises:
+        ValueError: when the input does not trigger a discrepancy, or
+            cannot be dumped at all.
+    """
+    harness = harness or DifferentialHarness()
+    try:
+        baseline = harness.run_one(write_class(compile_class(jclass)),
+                                   jclass.name)
+    except JimpleCompileError as exc:
+        raise ValueError(f"input class cannot be dumped: {exc}") from exc
+    if not baseline.is_discrepancy:
+        raise ValueError("input class does not trigger a discrepancy")
+    target_codes = baseline.codes
+
+    current = jclass.clone()
+    steps: List[ReductionStep] = []
+    tests_run = 0
+    for _ in range(max_rounds):
+        improved = False
+        for description, delete in _deletions(current):
+            candidate = current.clone()
+            try:
+                delete(candidate)
+                data = write_class(compile_class(candidate))
+            except Exception:
+                continue  # deletion made the class undumpable
+            tests_run += 1
+            result = harness.run_one(data, candidate.name)
+            if result.codes == target_codes:
+                current = candidate
+                steps.append(ReductionStep(description,
+                                           _component_count(current)))
+                improved = True
+                break  # restart candidate enumeration on the smaller class
+        if not improved:
+            break
+    return ReductionResult(reduced=current, codes=target_codes,
+                           steps=steps, tests_run=tests_run)

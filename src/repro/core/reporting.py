@@ -1,0 +1,158 @@
+"""Bug-report generation for discrepancies.
+
+The paper reported 62 discrepancies "along with the test classfiles" to
+JVM developers.  This module renders one discrepancy the way those reports
+look: the reduced classfile's Jimple and javap views, per-JVM behaviour,
+the encoded outcome vector, and a classification guess (defect-indicative,
+verification-policy difference, or compatibility issue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.classfile.disassembler import disassemble
+from repro.classfile.reader import read_class
+from repro.classfile.writer import write_class
+from repro.core.difftest import DifferentialHarness
+from repro.core.reducer import ReductionResult, reduce_discrepancy
+from repro.jimple.model import JClass
+from repro.jimple.printer import print_class
+from repro.jimple.to_classfile import compile_class
+from repro.jvm.outcome import DifferentialResult, Phase
+
+#: Error names that indicate environment/compatibility problems rather
+#: than implementation defects (§1, Challenge 2).
+_COMPATIBILITY_ERRORS = {"NoClassDefFoundError", "MissingResourceException",
+                         "UnsupportedClassVersionError"}
+
+#: Error names tied to verification/checking-policy choices (§3.3 P2).
+_POLICY_ERRORS = {"VerifyError"}
+
+
+@dataclass
+class DiscrepancyReport:
+    """One rendered discrepancy report.
+
+    Attributes:
+        label: the triggering class's name.
+        codes: the encoded outcome vector.
+        classification: ``defect-indicative``, ``verification-policy``,
+            or ``compatibility``.
+        text: the full report body.
+        reduction: the reduction session, when performed.
+    """
+
+    label: str
+    codes: tuple
+    classification: str
+    text: str
+    reduction: Optional[ReductionResult] = None
+
+
+def classify_discrepancy(result: DifferentialResult) -> str:
+    """Heuristic §3.3-style triage of a discrepancy.
+
+    Mirrors the paper's buckets: 28/62 defect-indicative, 30/62 caused by
+    different verification/checking strategies or resource accessibility,
+    4/62 compatibility issues.
+    """
+    errors = {outcome.error for outcome in result.outcomes if outcome.error}
+    if errors and errors <= _COMPATIBILITY_ERRORS:
+        return "compatibility"
+    if errors & _POLICY_ERRORS or errors & {"ClassFormatError"}:
+        # One vendor enforcing a check the others skip.
+        rejecting = [o for o in result.outcomes if not o.ok]
+        accepting = [o for o in result.outcomes if o.ok]
+        if rejecting and accepting:
+            return "defect-indicative"
+        return "verification-policy"
+    return "defect-indicative"
+
+
+def render_report(jclass: JClass, result: DifferentialResult,
+                  reduction: Optional[ReductionResult] = None,
+                  attributions: Optional[list] = None) -> str:
+    """Render the report body for one discrepancy."""
+    reduced = reduction.reduced if reduction else jclass
+    data = write_class(compile_class(reduced))
+    lines: List[str] = []
+    lines.append(f"JVM discrepancy report: {jclass.name}")
+    lines.append("=" * 60)
+    lines.append(f"encoded outcome sequence: {result.codes}")
+    lines.append("")
+    lines.append("Per-JVM behaviour:")
+    for outcome in result.outcomes:
+        detail = f" — {outcome.message}" if outcome.message else ""
+        lines.append(f"  {outcome.jvm_name:10s} "
+                     f"[{Phase(outcome.code).label}]{detail}")
+    if attributions:
+        lines.append("")
+        lines.append("Root-cause attribution (policy-axis bisection):")
+        for attribution in attributions:
+            lines.append(f"  {attribution.summary()}")
+    if reduction is not None:
+        lines.append("")
+        lines.append(f"Reduced via hierarchical delta debugging "
+                     f"({reduction.tests_run} retests, "
+                     f"{len(reduction.steps)} deletions).")
+    lines.append("")
+    lines.append("Test class (Jimple):")
+    lines.append(print_class(reduced))
+    lines.append("")
+    lines.append("Test class (javap -v):")
+    lines.append(disassemble(read_class(data), data,
+                             show_constant_pool=False))
+    return "\n".join(lines)
+
+
+def report_discrepancy(jclass: JClass,
+                       harness: Optional[DifferentialHarness] = None,
+                       reduce: bool = True,
+                       attribute: bool = True) -> DiscrepancyReport:
+    """Produce a full report for a discrepancy-triggering class.
+
+    Args:
+        jclass: the triggering class (Jimple form).
+        harness: the differential harness (five JVMs by default).
+        reduce: whether to minimise the class first.
+        attribute: whether to bisect vendor policies for the root cause
+            (:mod:`repro.core.attribution`).
+
+    Raises:
+        ValueError: when the class does not trigger a discrepancy.
+    """
+    harness = harness or DifferentialHarness()
+    data = write_class(compile_class(jclass))
+    result = harness.run_one(data, jclass.name)
+    if not result.is_discrepancy:
+        raise ValueError(f"{jclass.name} does not trigger a discrepancy")
+    reduction = reduce_discrepancy(jclass, harness) if reduce else None
+    attributions = None
+    if attribute:
+        from repro.core.attribution import attribute_all_pairs
+
+        attributions = attribute_all_pairs(data, harness.jvms)
+    text = render_report(jclass, result, reduction, attributions)
+    return DiscrepancyReport(
+        label=jclass.name,
+        codes=result.codes,
+        classification=classify_discrepancy(result),
+        text=text,
+        reduction=reduction,
+    )
+
+
+def summarize_reports(reports: List[DiscrepancyReport]) -> str:
+    """The §3.3-style triage summary over a batch of reports."""
+    buckets = {"defect-indicative": 0, "verification-policy": 0,
+               "compatibility": 0}
+    for report in reports:
+        buckets[report.classification] += 1
+    total = len(reports)
+    lines = [f"{total} discrepancies triaged "
+             "(paper: 62 = 28 defect-indicative + 30 policy + 4 compat):"]
+    for name, count in buckets.items():
+        lines.append(f"  {name}: {count}")
+    return "\n".join(lines)

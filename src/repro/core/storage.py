@@ -1,0 +1,120 @@
+"""Persisting fuzzing artefacts to disk.
+
+A saved suite is a directory holding each accepted classfile, its LCOV
+tracefile (when coverage was collected), and a ``manifest.json`` recording
+the run's configuration and statistics — enough to re-run differential
+testing later or to share a suite the way the paper shared its test
+classfiles with JVM developers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.fuzzing import FuzzResult, GeneratedClass
+from repro.coverage.lcov import read_lcov, write_lcov
+
+#: Manifest schema version.
+MANIFEST_VERSION = 1
+
+
+def save_suite(result: FuzzResult, directory: Path,
+               include_gen: bool = False) -> Path:
+    """Write ``result`` under ``directory``; returns the manifest path.
+
+    Args:
+        result: a fuzzing run.
+        directory: target directory (created if missing).
+        include_gen: also save rejected/generated classfiles under
+            ``gen/`` (the accepted suite always goes under ``tests/``).
+    """
+    directory = Path(directory)
+    tests_dir = directory / "tests"
+    tests_dir.mkdir(parents=True, exist_ok=True)
+    entries: List[Dict[str, object]] = []
+    for generated in result.test_classes:
+        _save_one(generated, tests_dir)
+        entries.append(_manifest_entry(generated, "tests"))
+    if include_gen:
+        gen_dir = directory / "gen"
+        gen_dir.mkdir(exist_ok=True)
+        accepted = {g.label for g in result.test_classes}
+        for generated in result.gen_classes:
+            if generated.label in accepted:
+                continue
+            _save_one(generated, gen_dir)
+            entries.append(_manifest_entry(generated, "gen"))
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "algorithm": result.algorithm,
+        "criterion": result.criterion,
+        "iterations": result.iterations,
+        "succ": result.succ,
+        "gen_count": len(result.gen_classes),
+        "test_count": len(result.test_classes),
+        "classes": entries,
+    }
+    manifest_path = directory / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    return manifest_path
+
+
+def _save_one(generated: GeneratedClass, directory: Path) -> None:
+    (directory / f"{generated.label}.class").write_bytes(generated.data)
+    if generated.tracefile is not None:
+        (directory / f"{generated.label}.info").write_text(
+            write_lcov(generated.tracefile, generated.label))
+
+
+def _manifest_entry(generated: GeneratedClass, bucket: str
+                    ) -> Dict[str, object]:
+    return {
+        "label": generated.label,
+        "bucket": bucket,
+        "mutator": generated.mutator,
+        "size": len(generated.data),
+        "coverage": generated.tracefile.signature
+        if generated.tracefile else None,
+    }
+
+
+def load_manifest(directory: Path) -> Dict[str, object]:
+    """Read and validate a suite manifest.
+
+    Raises:
+        ValueError: when the manifest is missing or has a wrong version.
+    """
+    path = Path(directory) / "manifest.json"
+    if not path.exists():
+        raise ValueError(f"no manifest.json in {directory}")
+    manifest = json.loads(path.read_text())
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise ValueError(
+            f"unsupported manifest version {manifest.get('version')}")
+    return manifest
+
+
+def load_suite(directory: Path,
+               bucket: str = "tests") -> List[Tuple[str, bytes]]:
+    """Load a saved suite's classfiles as ``(label, bytes)`` pairs."""
+    manifest = load_manifest(directory)
+    directory = Path(directory)
+    suite = []
+    for entry in manifest["classes"]:
+        if entry["bucket"] != bucket:
+            continue
+        label = entry["label"]
+        suite.append((label, (directory / bucket / f"{label}.class")
+                      .read_bytes()))
+    return suite
+
+
+def load_tracefile(directory: Path, label: str,
+                   bucket: str = "tests"):
+    """Load one saved LCOV tracefile, or ``None`` when absent."""
+    path = Path(directory) / bucket / f"{label}.info"
+    if not path.exists():
+        return None
+    return read_lcov(path.read_text())

@@ -1,0 +1,5 @@
+"""Synthetic seed corpus: the JRE7-library stand-in (§3.1.1)."""
+
+from repro.corpus.generator import CorpusConfig, generate_corpus, generate_seed
+
+__all__ = ["CorpusConfig", "generate_corpus", "generate_seed"]

@@ -1,0 +1,268 @@
+"""Deterministic generator of JRE-library-like seed classes.
+
+The paper seeds classfuzz with 1,216 classfiles sampled from the JRE7
+libraries.  We have no JRE, so this module synthesises a corpus with the
+properties that matter for the experiments:
+
+* classes are structurally varied (fields, methods with real bodies,
+  declared exceptions, initializers, interfaces) so the 129 mutators have
+  material to rewrite;
+* most classes are *valid* and behave identically on all five JVMs;
+* a small, configurable fraction references version-sensitive platform
+  classes (JRE7-only classes, the final-in-JRE8 ``EnumEditor``, restricted
+  ``sun.*`` internals), reproducing the preliminary study's baseline
+  discrepancy rate (1.7 % for the full corpus, 3.0 % for sampled seeds);
+* like real library classes, most have *no* ``main`` method — the fuzzer
+  supplements mutants with one (§2.2.1).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.jimple.builder import ClassBuilder, MethodBuilder
+from repro.jimple.model import JClass
+from repro.jimple.statements import (
+    AssignBinopStmt,
+    AssignCastStmt,
+    AssignFieldGetStmt,
+    AssignInstanceOfStmt,
+    AssignInvokeStmt,
+    AssignNewStmt,
+    Constant,
+    FieldRef,
+    InvokeExpr,
+    InvokeStmt,
+    MethodRef,
+    ReturnStmt,
+)
+from repro.jimple.types import INT, JType, STRING, VOID
+from repro.corpus.templates import (
+    FIELD_TYPES,
+    SAFE_EXCEPTIONS,
+    SAFE_INTERFACES,
+    SAFE_SUPERCLASSES,
+    SENSITIVE_RESOURCES,
+    SENSITIVE_SUPERCLASSES,
+    SENSITIVE_THROWN,
+    clinit_template,
+    resource_clinit_template,
+    switch_shape,
+    trap_shape,
+)
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs for corpus generation.
+
+    Attributes:
+        count: number of seed classes (the paper samples 1,216).
+        seed: RNG seed for determinism.
+        main_fraction: fraction of classes given a runnable ``main``.
+        sensitive_fraction: fraction referencing version-sensitive
+            platform classes (drives the baseline discrepancy rate).
+        interface_fraction: fraction generated as interfaces.
+        clinit_fraction: fraction given a static initializer.
+    """
+
+    count: int = 1216
+    seed: int = 20160613            # PLDI'16 opening day
+    main_fraction: float = 0.015
+    sensitive_fraction: float = 0.030
+    interface_fraction: float = 0.12
+    clinit_fraction: float = 0.10
+
+
+def generate_corpus(config: Optional[CorpusConfig] = None) -> List[JClass]:
+    """Generate the full seed corpus deterministically."""
+    config = config or CorpusConfig()
+    rng = random.Random(config.seed)
+    return [generate_seed(rng, index, config) for index in range(config.count)]
+
+
+def generate_seed(rng: random.Random, index: int,
+                  config: Optional[CorpusConfig] = None) -> JClass:
+    """Generate one seed class."""
+    config = config or CorpusConfig()
+    name = f"L{1436000000 + index}"
+    if rng.random() < config.interface_fraction:
+        return _generate_interface(rng, name)
+    return _generate_class(rng, name, config)
+
+
+# ---------------------------------------------------------------------------
+# Interfaces
+# ---------------------------------------------------------------------------
+
+def _generate_interface(rng: random.Random, name: str) -> JClass:
+    builder = ClassBuilder(name, modifiers=["public", "interface", "abstract"])
+    for extended in rng.sample(SAFE_INTERFACES, rng.randint(0, 2)):
+        builder.implements(extended)
+    for i in range(rng.randint(0, 3)):
+        builder.field(f"CONST_{i}", rng.choice((INT, STRING)),
+                      ["public", "static", "final"],
+                      constant_value=rng.randint(0, 100))
+    for i in range(rng.randint(1, 4)):
+        method = MethodBuilder(
+            f"op{i}", rng.choice((VOID, INT, STRING)),
+            [rng.choice(FIELD_TYPES) for _ in range(rng.randint(0, 2))],
+            modifiers=["public", "abstract"])
+        method.abstract_body()
+        builder.method(method.build())
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Classes
+# ---------------------------------------------------------------------------
+
+def _generate_class(rng: random.Random, name: str,
+                    config: CorpusConfig) -> JClass:
+    sensitive = rng.random() < config.sensitive_fraction
+    superclass = rng.choice(SAFE_SUPERCLASSES)
+    sensitive_throw = False
+    sensitive_resource = None
+    if sensitive:
+        roll = rng.random()
+        if roll < 0.6:
+            superclass = rng.choice(SENSITIVE_SUPERCLASSES)
+        elif roll < 0.85:
+            sensitive_throw = True
+        else:
+            sensitive_resource = rng.choice(SENSITIVE_RESOURCES)
+
+    builder = ClassBuilder(name, superclass=superclass)
+    if rng.random() < 0.25:
+        builder.implements(rng.choice(SAFE_INTERFACES))
+    for i in range(rng.randint(0, 4)):
+        modifiers = [rng.choice(("public", "private", "protected"))]
+        if rng.random() < 0.4:
+            modifiers.append("static")
+        if rng.random() < 0.2:
+            modifiers.append("final")
+        builder.field(f"f{i}", rng.choice(FIELD_TYPES), modifiers)
+    builder.default_init()
+    if sensitive_resource is not None:
+        builder.method(resource_clinit_template(sensitive_resource))
+    elif rng.random() < config.clinit_fraction:
+        builder.method(clinit_template(rng))
+    method_count = rng.randint(1, 3)
+    for i in range(method_count):
+        thrown = None
+        if sensitive_throw and i == 0:
+            thrown = rng.choice(SENSITIVE_THROWN)
+        elif rng.random() < 0.3:
+            thrown = rng.choice(SAFE_EXCEPTIONS)
+        builder.method(_generate_method(rng, name, f"m{i}", thrown))
+    if rng.random() < config.main_fraction:
+        builder.main_printing(f"{name} executed")
+    return builder.build()
+
+
+def _generate_method(rng: random.Random, class_name: str, method_name: str,
+                     thrown: Optional[str]):
+    return_type = rng.choice((VOID, VOID, INT, STRING))
+    parameter_types = [rng.choice((INT, STRING, JType("java.util.Map")))
+                       for _ in range(rng.randint(0, 2))]
+    modifiers = [rng.choice(("public", "protected", "public"))]
+    static = rng.random() < 0.4
+    if static:
+        modifiers.append("static")
+    method = MethodBuilder(method_name, return_type, parameter_types,
+                           modifiers)
+    if thrown:
+        method.throws(thrown)
+    if not static:
+        method.local("r_this", JType(class_name))
+        method.identity("r_this", "this", JType(class_name))
+    for position, ptype in enumerate(parameter_types):
+        local = f"p{position}"
+        method.local(local, ptype)
+        method.identity(local, f"parameter{position}", ptype)
+    _generate_body(rng, method, class_name)
+    if return_type.is_void:
+        method.ret()
+    elif return_type == INT:
+        method.local("$ret", INT)
+        method.const("$ret", rng.randint(0, 99))
+        method.stmt(ReturnStmt("$ret"))
+    else:
+        method.stmt(ReturnStmt(Constant("done", STRING)))
+    return method.build()
+
+
+def _generate_body(rng: random.Random, method: MethodBuilder,
+                   class_name: str) -> None:
+    """Emit a few valid statements of varied shapes."""
+    choices = rng.randint(1, 4)
+    counter = 0
+    for _ in range(choices):
+        counter += 1
+        shape = rng.randrange(9)
+        if shape == 0:
+            local = f"$i{counter}"
+            method.local(local, INT)
+            method.const(local, rng.randint(-5, 127))
+            method.stmt(AssignBinopStmt(
+                local, local, rng.choice("+-*&|"),
+                Constant(rng.randint(1, 9), INT)))
+        elif shape == 1:
+            local = f"$r{counter}"
+            method.local(local, JType("java.util.HashMap"))
+            method.stmt(AssignNewStmt(local, "java.util.HashMap"))
+            method.stmt(InvokeStmt(InvokeExpr(
+                "special",
+                MethodRef("java.util.HashMap", "<init>", VOID, ()),
+                local, [])))
+        elif shape == 2:
+            local = f"$s{counter}"
+            method.local(local, STRING)
+            method.stmt(AssignInvokeStmt(local, InvokeExpr(
+                "static",
+                MethodRef("java.lang.String", "valueOf", STRING, (INT,)),
+                None, [Constant(rng.randint(0, 9), INT)])))
+        elif shape == 3:
+            cond_local = f"$c{counter}"
+            label = f"skip{counter}"
+            method.local(cond_local, INT)
+            method.const(cond_local, rng.randint(0, 1))
+            method.if_zero(cond_local, "==", label)
+            method.stmt(AssignBinopStmt(cond_local, cond_local, "+",
+                                        Constant(1, INT)))
+            method.label(label)
+        elif shape == 4:
+            local = f"$o{counter}"
+            cast = f"$cast{counter}"
+            method.local(local, JType("java.lang.Object"))
+            method.stmt(AssignInvokeStmt(local, InvokeExpr(
+                "static",
+                MethodRef("java.lang.Integer", "valueOf",
+                          JType("java.lang.Integer"), (INT,)),
+                None, [Constant(1, INT)])))
+            method.local(cast, JType("java.lang.Number"))
+            method.stmt(AssignCastStmt(cast, JType("java.lang.Number"),
+                                       local))
+        elif shape == 5:
+            local = f"$n{counter}"
+            flag = f"$inst{counter}"
+            method.local(local, JType("java.lang.Object"))
+            method.stmt(AssignInvokeStmt(local, InvokeExpr(
+                "static",
+                MethodRef("java.lang.Integer", "valueOf",
+                          JType("java.lang.Integer"), (INT,)),
+                None, [Constant(2, INT)])))
+            method.local(flag, INT)
+            method.stmt(AssignInstanceOfStmt(flag, local,
+                                             JType("java.lang.Number")))
+        elif shape == 6:
+            local = f"$ps{counter}"
+            method.local(local, JType("java.io.PrintStream"))
+            method.stmt(AssignFieldGetStmt(local, FieldRef(
+                "java.lang.System", "err", JType("java.io.PrintStream"))))
+        elif shape == 7:
+            switch_shape(rng, method, counter)
+        else:
+            trap_shape(rng, method, counter)

@@ -1,0 +1,160 @@
+"""Reusable class/method shape templates for the seed corpus.
+
+The generator composes seeds from these building blocks: safe platform
+references (available in every simulated JRE), version-sensitive
+references (the preliminary study's discrepancy sources), and method-body
+shapes (arithmetic, allocation, branching, switches, traps, resource
+loading).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.jimple.builder import MethodBuilder
+from repro.jimple.statements import (
+    AssignBinopStmt,
+    AssignInvokeStmt,
+    AssignNewStmt,
+    Constant,
+    IdentityStmt,
+    InvokeExpr,
+    InvokeStmt,
+    MethodRef,
+    SwitchStmt,
+    ThrowStmt,
+    Trap,
+)
+from repro.jimple.types import INT, JType, STRING, VOID
+
+# ---------------------------------------------------------------------------
+# Reference pools
+# ---------------------------------------------------------------------------
+
+#: Library classes safe to extend on every simulated JVM.
+SAFE_SUPERCLASSES = [
+    "java.lang.Object", "java.lang.Object", "java.lang.Object",
+    "java.lang.Thread", "java.lang.Exception", "java.lang.RuntimeException",
+    "java.util.HashMap", "java.util.ArrayList", "java.io.OutputStream",
+]
+
+#: Interfaces safe to implement everywhere.
+SAFE_INTERFACES = [
+    "java.lang.Runnable", "java.io.Serializable", "java.lang.Cloneable",
+    "java.lang.Comparable", "java.security.PrivilegedAction",
+    "java.util.Map", "java.util.Iterator",
+]
+
+#: Exception types safe to declare everywhere.
+SAFE_EXCEPTIONS = [
+    "java.lang.Exception", "java.io.IOException",
+    "java.lang.RuntimeException", "java.lang.IllegalArgumentException",
+]
+
+#: Field/local types used by the generator.
+FIELD_TYPES = [
+    INT, STRING, JType("boolean"), JType("java.lang.Object"),
+    JType("java.util.Map"), JType("java.util.HashMap"),
+    JType("java.lang.Thread"), JType("int[]"), JType("java.lang.String[]"),
+]
+
+#: Version-sensitive superclasses (baseline discrepancy sources).
+SENSITIVE_SUPERCLASSES = [
+    "com.sun.beans.editors.EnumEditor",   # final from JRE 8 on
+    "sun.beans.editors.EnumEditor",       # exists only in JRE 7
+    "sun.misc.JavaUtilJarAccess",         # exists only in JRE 7
+    "com.sun.image.codec.jpeg.JPEGCodec",  # exists only in JRE 7
+]
+
+#: Version-sensitive thrown-exception references.
+SENSITIVE_THROWN = [
+    "sun.java2d.pisces.PiscesRenderingEngine$2",  # restricted synthetic
+    "sun.misc.JavaLangAccess",                    # JRE7-only interface
+]
+
+#: Resource bundles that ship only with JRE 7 (MissingResourceException
+#: elsewhere — the preliminary study's resource discrepancies).
+SENSITIVE_RESOURCES = [
+    "sun.text.resources.FormatData",
+    "sun.util.resources.CalendarData",
+    "com.sun.swing.internal.plaf.basic.resources.basic",
+]
+
+
+# ---------------------------------------------------------------------------
+# Method shapes
+# ---------------------------------------------------------------------------
+
+def clinit_template(rng: random.Random):
+    """A benign static initializer doing local arithmetic."""
+    method = MethodBuilder("<clinit>", modifiers=["static"])
+    method.local("$i0", INT)
+    method.const("$i0", rng.randint(0, 9))
+    if rng.random() < 0.5:
+        method.stmt(AssignBinopStmt("$i0", "$i0", "+",
+                                    Constant(rng.randint(1, 5), INT)))
+    method.ret()
+    return method.build()
+
+
+def resource_clinit_template(bundle: str):
+    """A static initializer loading a (possibly version-specific) resource
+    bundle — the preliminary study's MissingResourceException source."""
+    method = MethodBuilder("<clinit>", modifiers=["static"])
+    method.local("$bundle", JType("java.util.ResourceBundle"))
+    method.stmt(AssignInvokeStmt("$bundle", InvokeExpr(
+        "static",
+        MethodRef("java.util.ResourceBundle", "getBundle",
+                  JType("java.util.ResourceBundle"), (STRING,)),
+        None, [Constant(bundle, STRING)])))
+    method.ret()
+    return method.build()
+
+
+def switch_shape(rng: random.Random, method: MethodBuilder,
+                 counter: int) -> None:
+    """A small switch with fall-through-free arms."""
+    key = f"$sw{counter}"
+    method.local(key, INT)
+    method.const(key, rng.randint(0, 3))
+    arms = rng.randint(2, 3)
+    labels = [f"case{counter}_{i}" for i in range(arms)]
+    done = f"swdone{counter}"
+    contiguous = rng.random() < 0.5
+    if contiguous:
+        cases = [(i, labels[i]) for i in range(arms)]
+    else:
+        cases = [(i * 3 + 1, labels[i]) for i in range(arms)]
+    method.stmt(SwitchStmt(key, cases, done))
+    for i, label in enumerate(labels):
+        method.label(label)
+        method.stmt(AssignBinopStmt(key, key, "+", Constant(i, INT)))
+        method.goto(done)
+    method.label(done)
+
+
+def trap_shape(rng: random.Random, method: MethodBuilder,
+               counter: int) -> None:
+    """A try/catch over a throwing region."""
+    begin, end = f"try{counter}", f"endtry{counter}"
+    handler, done = f"catch{counter}", f"aftertry{counter}"
+    exc_local = f"$exc{counter}"
+    caught = f"$caught{counter}"
+    method.local(exc_local, JType("java.lang.RuntimeException"))
+    method.local(caught, JType("java.lang.Exception"))
+    method.label(begin)
+    method.stmt(AssignNewStmt(exc_local, "java.lang.RuntimeException"))
+    method.stmt(InvokeStmt(InvokeExpr(
+        "special",
+        MethodRef("java.lang.RuntimeException", "<init>", VOID, ()),
+        exc_local, [])))
+    method.stmt(ThrowStmt(exc_local))
+    method.label(end)
+    method.goto(done)
+    method.label(handler)
+    method.stmt(IdentityStmt(caught, "caughtexception",
+                             JType("java.lang.Exception")))
+    method.label(done)
+    method.method.traps.append(
+        Trap(begin, end, handler, "java.lang.Exception", caught))

@@ -1,0 +1,115 @@
+"""LCOV-format tracefile serialization.
+
+The paper collects coverage with GCOV and aggregates it with LCOV; the
+tracefiles it compares are LCOV ``.info`` records.  This module writes and
+reads our tracefiles in that format so campaigns can persist coverage to
+disk and merge it with standard tooling conventions.
+
+Probe sites map to LCOV's line records: a site ``verifier.op.iload`` is
+recorded under source file ``verifier`` at a stable synthetic line number
+derived from the site name, matching how GCOV attributes hits to
+file:line pairs.  Branch outcomes map to ``BRDA`` records.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterable, List, Tuple
+
+from repro.coverage.tracefile import Tracefile
+
+
+def _site_location(site: str) -> Tuple[str, int]:
+    """Map a probe site to a synthetic (source file, line) pair.
+
+    The line number is a stable hash of the site name, so identical sites
+    always map to identical locations and distinct sites collide with
+    negligible probability within a file.
+    """
+    source = site.split(".", 1)[0]
+    line = zlib.crc32(site.encode("utf-8")) % 1_000_000 + 1
+    return source, line
+
+
+def write_lcov(trace: Tracefile, test_name: str = "") -> str:
+    """Serialize ``trace`` as an LCOV ``.info`` document."""
+    by_source: Dict[str, Dict[int, int]] = {}
+    site_of: Dict[Tuple[str, int], str] = {}
+    for site, count in sorted(trace.statements.items()):
+        source, line = _site_location(site)
+        by_source.setdefault(source, {})[line] = count
+        site_of[(source, line)] = site
+    branches_by_source: Dict[str, List[Tuple[int, str, int, int]]] = {}
+    for (site, taken), count in sorted(trace.branches.items(),
+                                       key=lambda kv: kv[0]):
+        source, line = _site_location(site)
+        branches_by_source.setdefault(source, []).append(
+            (line, site, 1 if taken else 0, count))
+
+    lines: List[str] = [f"TN:{test_name}"]
+    for source in sorted(set(by_source) | set(branches_by_source)):
+        lines.append(f"SF:{source}")
+        hits = by_source.get(source, {})
+        for line, count in sorted(hits.items()):
+            # Carry the original site name as an LCOV comment so parsing
+            # can reconstruct the tracefile exactly.
+            lines.append(f"#SITE:{line},{site_of[(source, line)]}")
+            lines.append(f"DA:{line},{count}")
+        for line, site, block, count in branches_by_source.get(source, []):
+            lines.append(f"#BSITE:{line},{site}")
+            lines.append(f"BRDA:{line},0,{block},{count}")
+        lines.append(f"LH:{len(hits)}")
+        lines.append(f"LF:{len(hits)}")
+        lines.append("end_of_record")
+    return "\n".join(lines) + "\n"
+
+
+def read_lcov(text: str) -> Tracefile:
+    """Parse an LCOV document produced by :func:`write_lcov`.
+
+    Raises:
+        ValueError: on malformed records.
+    """
+    statements: Dict[str, int] = {}
+    branches: Dict[Tuple[str, bool], int] = {}
+    current_source = ""
+    line_to_site: Dict[Tuple[str, int], str] = {}
+    branch_site: Dict[Tuple[str, int], str] = {}
+    for raw in text.splitlines():
+        record = raw.strip()
+        if not record or record.startswith("TN:"):
+            continue
+        if record.startswith("SF:"):
+            current_source = record[3:]
+        elif record.startswith("#SITE:"):
+            body = record[len("#SITE:"):]
+            line_text, _, site = body.partition(",")
+            line_to_site[(current_source, int(line_text))] = site
+        elif record.startswith("#BSITE:"):
+            body = record[len("#BSITE:"):]
+            line_text, _, site = body.partition(",")
+            branch_site[(current_source, int(line_text))] = site
+        elif record.startswith("DA:"):
+            line_text, _, count_text = record[3:].partition(",")
+            key = (current_source, int(line_text))
+            site = line_to_site.get(key)
+            if site is None:
+                raise ValueError(f"DA record without #SITE: {record}")
+            statements[site] = statements.get(site, 0) + int(count_text)
+        elif record.startswith("BRDA:"):
+            parts = record[5:].split(",")
+            if len(parts) != 4:
+                raise ValueError(f"malformed BRDA record: {record}")
+            line, _block_zero, block, count = parts
+            key = (current_source, int(line))
+            site = branch_site.get(key) or line_to_site.get(key)
+            if site is None:
+                raise ValueError(f"BRDA record without #BSITE: {record}")
+            branches[(site, block == "1")] = \
+                branches.get((site, block == "1"), 0) + int(count)
+        elif record in ("end_of_record",) or record.startswith(
+                ("LH:", "LF:", "FN:", "FNDA:", "BRF:", "BRH:")):
+            continue
+        else:
+            raise ValueError(f"unrecognized LCOV record: {record}")
+    return Tracefile(statements=statements, branches=branches)

@@ -1,0 +1,93 @@
+"""Execution tracefiles: the coverage record of one run (§2.2.3).
+
+A tracefile records which statement sites and branch outcomes of the
+reference JVM a classfile hit, with frequencies.  The paper compares
+tracefiles either by their summary *coverage statistics* (``tr.stmt`` and
+``tr.br`` counts) or by their hit *sets* (criterion [tr], which uses the
+merge operator ⊕).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+
+@dataclass(frozen=True)
+class Tracefile:
+    """One execution's coverage record.
+
+    Attributes:
+        statements: statement site → hit count.
+        branches: (branch site, outcome) → hit count.
+    """
+
+    statements: Dict[str, int] = field(default_factory=dict)
+    branches: Dict[Tuple[str, bool], int] = field(default_factory=dict)
+
+    @property
+    def stmt(self) -> int:
+        """The statement coverage statistic: distinct statements hit
+        (the paper's ``tr.stmt``)."""
+        return len(self.statements)
+
+    @property
+    def br(self) -> int:
+        """The branch coverage statistic: distinct branch outcomes hit
+        (the paper's ``tr.br``)."""
+        return len(self.branches)
+
+    @property
+    def stmt_set(self) -> FrozenSet[str]:
+        """The set of statement sites hit."""
+        return frozenset(self.statements)
+
+    @property
+    def br_set(self) -> FrozenSet[Tuple[str, bool]]:
+        """The set of branch outcomes hit."""
+        return frozenset(self.branches)
+
+    @property
+    def signature(self) -> Tuple[int, int]:
+        """The ``(stmt, br)`` coverage-statistics pair."""
+        return self.stmt, self.br
+
+    def total_hits(self) -> int:
+        """Total statement executions (frequency-weighted)."""
+        return sum(self.statements.values())
+
+    def __or__(self, other: "Tracefile") -> "Tracefile":
+        """The ⊕ merge operator: union coverage of two runs."""
+        return merge(self, other)
+
+
+def merge(first: Tracefile, second: Tracefile) -> Tracefile:
+    """Merge two tracefiles (the paper's ⊕ operator).
+
+    The merged tracefile covers the union of both runs' statements and
+    branches, with summed frequencies — exactly how ``lcov -a`` combines
+    ``.info`` files.
+    """
+    statements = dict(first.statements)
+    for site, count in second.statements.items():
+        statements[site] = statements.get(site, 0) + count
+    branches = dict(first.branches)
+    for key, count in second.branches.items():
+        branches[key] = branches.get(key, 0) + count
+    return Tracefile(statements=statements, branches=branches)
+
+
+def same_statement_sets(first: Tracefile, second: Tracefile) -> bool:
+    """Whether the two runs hit exactly the same statement sites.
+
+    Implements the paper's ``tr_cl.stmt = tr_t.stmt = (tr_cl ⊕ tr_t).stmt``
+    — equal statistics that survive merging means equal sets.
+    """
+    merged = merge(first, second)
+    return first.stmt == second.stmt == merged.stmt
+
+
+def same_branch_sets(first: Tracefile, second: Tracefile) -> bool:
+    """Branch-set analogue of :func:`same_statement_sets`."""
+    merged = merge(first, second)
+    return first.br == second.br == merged.br

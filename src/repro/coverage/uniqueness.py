@@ -1,0 +1,109 @@
+"""The three coverage-uniqueness criteria of §2.2.3: [st], [stbr], [tr].
+
+A candidate classfile is *representative* w.r.t. the current test suite
+when its tracefile is distinguishable from every accepted classfile's
+tracefile under the chosen criterion.  Each criterion maintains the index
+it needs so acceptance checks stay O(1)/O(set-size) rather than O(suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.coverage.tracefile import Tracefile
+
+
+class UniquenessCriterion:
+    """Interface: decide whether a tracefile is unique w.r.t. the suite."""
+
+    #: Short name used in tables ("st", "stbr", "tr").
+    name = "abstract"
+
+    def is_unique(self, trace: Tracefile) -> bool:
+        """Whether ``trace`` is distinguishable from every accepted trace."""
+        raise NotImplementedError
+
+    def accept(self, trace: Tracefile) -> None:
+        """Record ``trace`` as accepted into the suite."""
+        raise NotImplementedError
+
+    def check_and_accept(self, trace: Tracefile) -> bool:
+        """Accept ``trace`` if unique; returns whether it was accepted."""
+        if self.is_unique(trace):
+            self.accept(trace)
+            return True
+        return False
+
+
+class StUniqueness(UniquenessCriterion):
+    """[st]: no accepted classfile has the same statement statistic."""
+
+    name = "st"
+
+    def __init__(self) -> None:
+        self._seen: Set[int] = set()
+
+    def is_unique(self, trace: Tracefile) -> bool:
+        return trace.stmt not in self._seen
+
+    def accept(self, trace: Tracefile) -> None:
+        self._seen.add(trace.stmt)
+
+
+class StBrUniqueness(UniquenessCriterion):
+    """[stbr]: no accepted classfile has the same (stmt, br) pair."""
+
+    name = "stbr"
+
+    def __init__(self) -> None:
+        self._seen: Set[Tuple[int, int]] = set()
+
+    def is_unique(self, trace: Tracefile) -> bool:
+        return trace.signature not in self._seen
+
+    def accept(self, trace: Tracefile) -> None:
+        self._seen.add(trace.signature)
+
+
+class TrUniqueness(UniquenessCriterion):
+    """[tr]: no accepted classfile has the same statement *and* branch sets.
+
+    Per the paper, two tracefiles are indistinguishable when merging them
+    (⊕) changes neither the statement nor the branch statistic — i.e. the
+    hit sets coincide (execution order and frequencies are ignored).
+    """
+
+    name = "tr"
+
+    def __init__(self) -> None:
+        self._seen: Set[Tuple[FrozenSet[str], FrozenSet[Tuple[str, bool]]]] = set()
+        #: Index by statistics pair so only same-signature candidates incur
+        #: the set comparison (the "extra cost of merging tracefiles").
+        self._by_signature: Dict[Tuple[int, int], List[
+            Tuple[FrozenSet[str], FrozenSet[Tuple[str, bool]]]]] = {}
+
+    def is_unique(self, trace: Tracefile) -> bool:
+        key = (trace.stmt_set, trace.br_set)
+        candidates = self._by_signature.get(trace.signature, [])
+        return key not in candidates
+
+    def accept(self, trace: Tracefile) -> None:
+        key = (trace.stmt_set, trace.br_set)
+        self._seen.add(key)
+        self._by_signature.setdefault(trace.signature, []).append(key)
+
+
+#: Criterion name → factory.
+UNIQUENESS_CRITERIA = {
+    "st": StUniqueness,
+    "stbr": StBrUniqueness,
+    "tr": TrUniqueness,
+}
+
+
+def make_criterion(name: str) -> UniquenessCriterion:
+    """Instantiate a criterion by table name (``st``/``stbr``/``tr``)."""
+    try:
+        return UNIQUENESS_CRITERIA[name]()
+    except KeyError:
+        raise ValueError(f"unknown uniqueness criterion {name!r}") from None

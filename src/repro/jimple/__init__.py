@@ -1,0 +1,38 @@
+"""A Soot-like intermediate representation ("Jimple") for classfile mutation.
+
+Mutators operate on :class:`JClass` objects — a typed, symbol-level view of
+a class analogous to Soot's ``SootClass`` — and the fuzzer *dumps* mutants
+to real classfile bytes through :mod:`repro.jimple.to_classfile`.  A lifter
+(:mod:`repro.jimple.from_classfile`) recovers the IR from classfile bytes
+for the patterns our compiler emits.
+"""
+
+from repro.jimple.types import JType, VOID, INT, descriptor_to_java, java_to_descriptor
+from repro.jimple.model import JClass, JField, JLocal, JMethod, MethodSignature, FieldSignature
+from repro.jimple import statements as stmts
+from repro.jimple.printer import print_class, print_method
+from repro.jimple.builder import ClassBuilder, MethodBuilder
+from repro.jimple.to_classfile import JimpleCompileError, compile_class
+from repro.jimple.from_classfile import lift_class
+
+__all__ = [
+    "ClassBuilder",
+    "FieldSignature",
+    "INT",
+    "JClass",
+    "JField",
+    "JLocal",
+    "JMethod",
+    "JType",
+    "JimpleCompileError",
+    "MethodBuilder",
+    "MethodSignature",
+    "VOID",
+    "compile_class",
+    "descriptor_to_java",
+    "java_to_descriptor",
+    "lift_class",
+    "print_class",
+    "print_method",
+    "stmts",
+]

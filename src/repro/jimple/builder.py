@@ -1,0 +1,173 @@
+"""Fluent builders for constructing Jimple classes in tests and the corpus."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.jimple.model import JClass, JField, JLocal, JMethod
+from repro.jimple.statements import (
+    AssignConstStmt,
+    AssignFieldGetStmt,
+    Constant,
+    FieldRef,
+    GotoStmt,
+    IfStmt,
+    InvokeExpr,
+    InvokeStmt,
+    IdentityStmt,
+    LabelStmt,
+    MethodRef,
+    ReturnStmt,
+    Stmt,
+    Value,
+)
+from repro.jimple.types import INT, JType, STRING, VOID
+
+#: The standard ``System.out`` field reference.
+SYSTEM_OUT = FieldRef("java.lang.System", "out", JType("java.io.PrintStream"))
+
+#: The standard ``PrintStream.println(String)`` reference.
+PRINTLN = MethodRef("java.io.PrintStream", "println", VOID, (STRING,))
+
+
+class MethodBuilder:
+    """Builds a :class:`JMethod` statement by statement."""
+
+    def __init__(self, name: str, return_type: JType = VOID,
+                 parameter_types: Optional[List[JType]] = None,
+                 modifiers: Optional[List[str]] = None):
+        self._method = JMethod(
+            name=name,
+            return_type=return_type,
+            parameter_types=list(parameter_types or []),
+            modifiers=list(modifiers or ["public"]),
+            body=[],
+        )
+
+    @property
+    def method(self) -> JMethod:
+        return self._method
+
+    def local(self, name: str, jtype: JType) -> "MethodBuilder":
+        """Declare a body local."""
+        self._method.locals.append(JLocal(name, jtype))
+        return self
+
+    def throws(self, *class_names: str) -> "MethodBuilder":
+        """Declare thrown exceptions."""
+        self._method.thrown.extend(class_names)
+        return self
+
+    def stmt(self, statement: Stmt) -> "MethodBuilder":
+        """Append an arbitrary statement."""
+        assert self._method.body is not None
+        self._method.body.append(statement)
+        return self
+
+    def identity(self, local: str, source: str, jtype: JType) -> "MethodBuilder":
+        return self.stmt(IdentityStmt(local, source, jtype))
+
+    def const(self, local: str, value: object, jtype: JType = INT
+              ) -> "MethodBuilder":
+        return self.stmt(AssignConstStmt(local, Constant(value, jtype)))
+
+    def label(self, name: str) -> "MethodBuilder":
+        return self.stmt(LabelStmt(name))
+
+    def goto(self, target: str) -> "MethodBuilder":
+        return self.stmt(GotoStmt(target))
+
+    def if_zero(self, local: str, cond: str, target: str) -> "MethodBuilder":
+        return self.stmt(IfStmt(local, cond, target))
+
+    def println(self, text: str, stream_local: str = "$r1") -> "MethodBuilder":
+        """Emit the canonical ``System.out.println("...")`` pair."""
+        self.local(stream_local, SYSTEM_OUT.jtype)
+        self.stmt(AssignFieldGetStmt(stream_local, SYSTEM_OUT))
+        return self.stmt(InvokeStmt(InvokeExpr(
+            "virtual", PRINTLN, stream_local,
+            [Constant(text, STRING)])))
+
+    def invoke_static(self, method: MethodRef, *args: Value) -> "MethodBuilder":
+        return self.stmt(InvokeStmt(InvokeExpr("static", method, None,
+                                               list(args))))
+
+    def ret(self, value: Optional[Value] = None) -> "MethodBuilder":
+        return self.stmt(ReturnStmt(value))
+
+    def abstract_body(self) -> "MethodBuilder":
+        """Drop the body entirely (abstract/native declaration form)."""
+        self._method.body = None
+        self._method.locals = []
+        return self
+
+    def build(self) -> JMethod:
+        return self._method
+
+
+class ClassBuilder:
+    """Builds a :class:`JClass`."""
+
+    def __init__(self, name: str, superclass: str = "java.lang.Object",
+                 modifiers: Optional[List[str]] = None):
+        self._jclass = JClass(name=name, superclass=superclass,
+                              modifiers=list(modifiers or ["public", "super"]))
+
+    @property
+    def jclass(self) -> JClass:
+        return self._jclass
+
+    def implements(self, *interfaces: str) -> "ClassBuilder":
+        self._jclass.interfaces.extend(interfaces)
+        return self
+
+    def version(self, major: int, minor: int = 0) -> "ClassBuilder":
+        self._jclass.major_version = major
+        self._jclass.minor_version = minor
+        return self
+
+    def field(self, name: str, jtype: JType,
+              modifiers: Optional[List[str]] = None,
+              constant_value: Optional[object] = None) -> "ClassBuilder":
+        self._jclass.fields.append(
+            JField(name, jtype, list(modifiers or ["public"]), constant_value))
+        return self
+
+    def method(self, method: JMethod) -> "ClassBuilder":
+        self._jclass.methods.append(method)
+        return self
+
+    def default_init(self) -> "ClassBuilder":
+        """Add the canonical no-arg ``<init>`` calling ``super.<init>``."""
+        builder = MethodBuilder("<init>", modifiers=["public"])
+        builder.local("r0", JType(self._jclass.name))
+        builder.identity("r0", "this", JType(self._jclass.name))
+        super_name = self._jclass.superclass or "java.lang.Object"
+        builder.stmt(InvokeStmt(InvokeExpr(
+            "special", MethodRef(super_name, "<init>", VOID, ()), "r0", [])))
+        builder.ret()
+        return self.method(builder.build())
+
+    def main_printing(self, text: str = "Completed!") -> "ClassBuilder":
+        """Add the canonical ``public static void main`` that prints ``text``."""
+        add_printing_main(self._jclass, text)
+        return self
+
+    def build(self) -> JClass:
+        return self._jclass
+
+
+def add_printing_main(jclass: JClass, text: str = "Completed!") -> None:
+    """Append a ``public static void main`` printing ``text`` to ``jclass``.
+
+    This is the "supplemented main method" of §2.2.1 — when a JVM can load
+    and invoke the class, it prints a completion message.
+    """
+    builder = MethodBuilder(
+        "main", VOID, [JType("java.lang.String[]")],
+        modifiers=["public", "static"])
+    builder.local("r0", JType("java.lang.String[]"))
+    builder.identity("r0", "parameter0", JType("java.lang.String[]"))
+    builder.println(text)
+    builder.ret()
+    jclass.methods.append(builder.build())

@@ -1,0 +1,64 @@
+"""Render Jimple classes as text, in the style of Soot's ``.jimple`` output.
+
+Used by examples, the reducer's diagnostics, and tests — the printed form
+matches the fragments quoted in Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.jimple.model import JClass, JMethod
+from repro.jimple.statements import LabelStmt
+
+
+def print_method(method: JMethod, indent: str = "    ") -> str:
+    """Render one method declaration (with body when present)."""
+    modifiers = " ".join(method.modifiers)
+    params = ", ".join(str(t) for t in method.parameter_types)
+    header = f"{modifiers} {method.return_type} {method.name}({params})".strip()
+    if method.thrown:
+        header += " throws " + ", ".join(method.thrown)
+    if method.body is None:
+        return f"{indent}{header};"
+    lines: List[str] = [f"{indent}{header}", f"{indent}{{"]
+    inner = indent * 2
+    for local in method.locals:
+        lines.append(f"{inner}{local};")
+    if method.locals and method.body:
+        lines.append("")
+    for stmt in method.body:
+        if isinstance(stmt, LabelStmt):
+            lines.append(f"{indent} {stmt}")
+        else:
+            lines.append(f"{inner}{stmt};")
+    for trap in method.traps:
+        lines.append(f"{inner}{trap};")
+    lines.append(f"{indent}}}")
+    return "\n".join(lines)
+
+
+def print_class(jclass: JClass) -> str:
+    """Render a whole class as Jimple-style text."""
+    modifiers = " ".join(m for m in jclass.modifiers if m != "super")
+    kind = "interface" if jclass.is_interface else "class"
+    if jclass.is_interface:
+        modifiers = " ".join(m for m in jclass.modifiers
+                             if m not in ("super", "interface", "abstract"))
+    header = f"{modifiers} {kind} {jclass.name}".strip()
+    if jclass.superclass:
+        header += f" extends {jclass.superclass}"
+    if jclass.interfaces:
+        header += " implements " + ", ".join(jclass.interfaces)
+    lines = [header, "{"]
+    for field_decl in jclass.fields:
+        mods = " ".join(field_decl.modifiers)
+        lines.append(f"    {mods} {field_decl.jtype} {field_decl.name};".replace("  ", " "))
+    if jclass.fields and jclass.methods:
+        lines.append("")
+    for index, method in enumerate(jclass.methods):
+        lines.append(print_method(method))
+        if index != len(jclass.methods) - 1:
+            lines.append("")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Simulated JVM implementations: one startup pipeline, five vendor policies.
+
+The pipeline (:mod:`repro.jvm.machine`) implements the four startup phases
+of Table 1 in the paper — creation & loading, linking (with verification),
+initialization, and invocation & execution — over real classfile bytes.
+Behavioural differences between vendors live entirely in
+:class:`repro.jvm.policy.JvmPolicy` plus the vendor's
+:class:`repro.runtime.environment.JreEnvironment`.
+"""
+
+from repro.jvm.outcome import Outcome, Phase, encode_outcomes
+from repro.jvm.policy import JvmPolicy
+from repro.jvm.machine import Jvm
+from repro.jvm.vendors import (
+    REFERENCE_JVM_NAME,
+    all_jvms,
+    make_gij,
+    make_hotspot7,
+    make_hotspot8,
+    make_hotspot9,
+    make_j9,
+    reference_jvm,
+)
+
+__all__ = [
+    "Jvm",
+    "JvmPolicy",
+    "Outcome",
+    "Phase",
+    "REFERENCE_JVM_NAME",
+    "all_jvms",
+    "encode_outcomes",
+    "make_gij",
+    "make_hotspot7",
+    "make_hotspot8",
+    "make_hotspot9",
+    "make_j9",
+    "reference_jvm",
+]

@@ -1,0 +1,134 @@
+"""Vendor behaviour policies.
+
+Every way the simulated JVMs may legitimately differ is a field here.
+The axes mirror the divergences the paper documents:
+
+* Problem 1 — ``<clinit>`` handling (``clinit_requires_static``,
+  ``treat_nonstatic_clinit_as_ordinary``);
+* Problem 2 — verification timing and depth (``eager_method_verification``,
+  ``verify_type_assignability``, ``verify_uninitialized_merge``,
+  ``strict_stack_shapes``);
+* Problem 3 — access checking of referenced internal classes
+  (``resolve_thrown_exceptions``, ``check_restricted_access``);
+* Problem 4 — GIJ leniency (``interface_members_strict``,
+  ``interface_superclass_must_be_object``, ``init_method_strict``,
+  ``reject_duplicate_fields``, ``allow_interface_main``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class JvmPolicy:
+    """Behavioural switches for one simulated JVM implementation."""
+
+    # -- creation & loading (format checking) --------------------------------
+    #: Highest classfile major version accepted.
+    max_class_version: int = 52
+    #: Lowest classfile major version accepted.
+    min_class_version: int = 45
+    #: Extra bytes after the class structure are a ClassFormatError.
+    reject_trailing_bytes: bool = True
+    #: Field/method descriptors must parse (ClassFormatError otherwise).
+    check_descriptor_validity: bool = True
+    #: A class may not be both final and abstract.
+    reject_final_abstract_class: bool = True
+    #: An interface must carry ACC_ABSTRACT (JVMS §4.1, version ≥ 50 rule).
+    interface_requires_abstract_flag: bool = True
+    #: An interface's superclass must be java/lang/Object (GIJ misses this).
+    interface_superclass_must_be_object: bool = True
+    #: Interface methods must be public (and, pre-52, abstract); interface
+    #: fields must be public static final (GIJ misses this).
+    interface_members_strict: bool = True
+    #: Classfile version from which static interface methods are legal.
+    static_interface_methods_since: int = 52
+    #: At most one of public/private/protected per member.
+    reject_conflicting_visibility: bool = True
+    #: A field may not be both final and volatile.
+    reject_final_volatile_field: bool = True
+    #: Two fields with the same name and descriptor are a format error
+    #: (GIJ accepts duplicates — Problem 4).
+    reject_duplicate_fields: bool = True
+    #: Two methods with the same name and descriptor are a format error.
+    reject_duplicate_methods: bool = True
+    #: ``<init>`` must not be static/final/synchronized/native/abstract
+    #: and must return void (GIJ misses both — Problem 4).
+    init_method_strict: bool = True
+    #: In classfiles of version ≥ 51, only a *static* ``<clinit>`` is the
+    #: initializer; a non-static one is an ordinary method (SE 8 erratum).
+    #: When False the JVM still treats any ``<clinit>`` as the initializer
+    #: and format-checks it accordingly (J9's behaviour — Problem 1).
+    treat_nonstatic_clinit_as_ordinary: bool = True
+    #: Abstract/native methods must not have a Code attribute; concrete
+    #: methods must have exactly one.
+    check_code_presence: bool = True
+    #: Whether the missing-Code check happens during loading (True, J9
+    #: style: ClassFormatError) or during linking (False, HotSpot style).
+    code_presence_checked_at_loading: bool = False
+    #: Run the member/flag format checks during linking (HotSpot performs
+    #: most static constraint checking in verification pass 1/2, so the
+    #: errors surface in the linking phase) instead of at class definition
+    #: (J9's style, where they surface during creation & loading).
+    member_checks_at_linking: bool = False
+
+    # -- linking: hierarchy ----------------------------------------------------
+    #: Reject extending a final class (VerifyError).
+    check_final_superclass: bool = True
+    #: Reject a superclass that is an interface (IncompatibleClassChangeError).
+    check_super_not_interface: bool = True
+    #: Reject implementing a non-interface (IncompatibleClassChangeError).
+    check_interfaces_are_interfaces: bool = True
+    #: Detect a class being its own (transitive) superclass.
+    check_class_circularity: bool = True
+    #: Resolve and access-check classes named in ``throws`` clauses during
+    #: linking (HotSpot does; J9 and GIJ do not — Problem 3).
+    resolve_thrown_exceptions: bool = False
+    #: When resolving a reference to a restricted (vendor-internal,
+    #: synthetic, or non-public) class, raise IllegalAccessError.
+    check_restricted_access: bool = False
+
+    # -- linking: bytecode verification -----------------------------------------
+    #: Verify every method at link time (HotSpot) vs. only when a method is
+    #: about to be invoked (J9's lazy verification — Problem 2).
+    eager_method_verification: bool = True
+    #: Check stack depth consistency at control-flow joins ("stack shape
+    #: inconsistent", J9's stricter frame checking).
+    strict_stack_shapes: bool = False
+    #: Track reference types and reject unsafe assignments/invocations
+    #: (GIJ catches String↔Map confusion; HotSpot misses it — Problem 2).
+    verify_type_assignability: bool = False
+    #: Reject merging initialized with uninitialized object types
+    #: (GIJ reports this; HotSpot does not — Problem 2).
+    verify_uninitialized_merge: bool = False
+    #: Return instruction must match the method descriptor.
+    verify_return_types: bool = True
+    #: Computed operand-stack use must stay within declared max_stack.
+    verify_max_stack: bool = True
+    #: Local accesses must stay within declared max_locals.
+    verify_max_locals: bool = True
+    #: Branch targets must land on instruction starts.
+    verify_branch_targets: bool = True
+    #: Execution must not fall off the end of the code array.
+    verify_falloff: bool = True
+    #: Constant-pool operands of instructions must have the right tag.
+    verify_cp_references: bool = True
+    #: Resolve field/method references against the library at verification
+    #: time (eager resolution shifts NoSuchMethod/NoClassDef errors from
+    #: runtime to linking).
+    resolve_refs_eagerly: bool = False
+
+    # -- initialization -------------------------------------------------------------
+    #: Execute <clinit> during initialization.
+    run_class_initializer: bool = True
+
+    # -- invocation & execution -------------------------------------------------------
+    #: ``main`` must be declared static.
+    require_static_main: bool = True
+    #: ``main`` must be declared public.
+    require_public_main: bool = True
+    #: Allow invoking ``main`` declared on an interface (GIJ — Problem 4).
+    allow_interface_main: bool = False
+    #: Interpreter step budget before declaring the run stuck.
+    max_interpreter_steps: int = 20000

@@ -1,0 +1,856 @@
+"""Bytecode verification (linking phase, JVMS §4.10).
+
+A worklist dataflow analysis over operand-stack and local-variable states.
+Verification *depth* is policy-controlled, reproducing the paper's
+Problem 2 divergences: J9 checks stack shapes more strictly, GIJ tracks
+reference types and rejects unsafe assignability and initialized/
+uninitialized merges, HotSpot does neither.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bytecode.instructions import (
+    Instruction,
+    InstructionError,
+    decode_code,
+)
+from repro.bytecode.opcodes import Op
+from repro.classfile.attributes import CodeAttribute
+from repro.classfile.constant_pool import ConstantPool, ConstantPoolError, CpTag
+from repro.classfile.descriptors import (
+    DescriptorError,
+    parse_field_descriptor,
+    parse_method_descriptor,
+)
+from repro.classfile.methods import MethodInfo
+from repro.classfile.model import ClassFile
+from repro.coverage.probes import branch, probe
+from repro.errors import (
+    ClassFormatError,
+    NoClassDefFoundError,
+    NoSuchFieldError,
+    NoSuchMethodError,
+    VerifyError,
+)
+from repro.jvm.policy import JvmPolicy
+from repro.runtime.library import ClassLibrary
+
+
+@dataclass(frozen=True)
+class VType:
+    """A verification type: a category plus an optional reference name.
+
+    Attributes:
+        cat: ``i``/``f``/``a``/``l``/``d`` — int, float, reference,
+            long, double.
+        ref: internal class name for references (``None`` = unknown),
+            prefixed ``uninit:`` for uninitialized objects, ``null`` for
+            the null type.
+    """
+
+    cat: str
+    ref: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        return 2 if self.cat in ("l", "d") else 1
+
+    @property
+    def is_uninitialized(self) -> bool:
+        return self.ref is not None and self.ref.startswith("uninit:")
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.cat}" + (f"({self.ref})" if self.ref else "")
+
+
+_INT = VType("i")
+_FLOAT = VType("f")
+_LONG = VType("l")
+_DOUBLE = VType("d")
+_NULL = VType("a", "null")
+
+#: Local-variable load/store mnemonics (excluding array element access).
+_LOCAL_LOAD_NAMES = frozenset(
+    f"{prefix}LOAD{suffix}"
+    for prefix in "ILFDA" for suffix in ("", "_0", "_1", "_2", "_3"))
+_LOCAL_STORE_NAMES = frozenset(
+    f"{prefix}STORE{suffix}"
+    for prefix in "ILFDA" for suffix in ("", "_0", "_1", "_2", "_3"))
+
+
+def _vtype_of_descriptor_char(char: str, ref: Optional[str] = None) -> VType:
+    if char in ("I", "Z", "B", "C", "S"):
+        return _INT
+    if char == "F":
+        return _FLOAT
+    if char == "J":
+        return _LONG
+    if char == "D":
+        return _DOUBLE
+    return VType("a", ref)
+
+
+def _vtype_of_field_descriptor(descriptor: str) -> VType:
+    ftype = parse_field_descriptor(descriptor)
+    if ftype.dimensions:
+        return VType("a", descriptor.replace(".", "/"))
+    if ftype.kind == "base":
+        return _vtype_of_descriptor_char(ftype.name)
+    return VType("a", ftype.name)
+
+
+class MethodVerifier:
+    """Verifies one method body."""
+
+    def __init__(self, classfile: ClassFile, method: MethodInfo,
+                 code: CodeAttribute, policy: JvmPolicy,
+                 library: ClassLibrary):
+        self.classfile = classfile
+        self.method = method
+        self.code = code
+        self.policy = policy
+        self.library = library
+        self.pool: ConstantPool = classfile.constant_pool
+        self.where = (f"{classfile.name}."
+                      f"{classfile.method_name(method)}"
+                      f"{classfile.method_descriptor(method)}")
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _fail(self, message: str) -> VerifyError:
+        return VerifyError(f"(class: {self.classfile.name}, method: "
+                           f"{self.classfile.method_name(self.method)}) "
+                           f"{message}")
+
+    def _assignable(self, source: VType, target: VType) -> bool:
+        """Loose reference assignability over the simulated library."""
+        if source.cat != target.cat:
+            return False
+        if source.cat != "a":
+            return True
+        if source.ref is None or target.ref is None:
+            return True
+        if source.ref == "null" or target.ref == "java/lang/Object":
+            return True
+        if source.ref == target.ref:
+            return True
+        if source.is_uninitialized or target.is_uninitialized:
+            return source.ref == target.ref
+        if source.ref.startswith("[") or target.ref.startswith("["):
+            return True  # array covariance left unchecked
+        source_cls = self.library.find(source.ref)
+        target_cls = self.library.find(target.ref)
+        if source_cls is None or target_cls is None:
+            # One side is outside the library (e.g. the class under test):
+            # assume compatible, as real verifiers do with lazy loading.
+            return True
+        if target_cls.is_interface:
+            # Interface assignments are normally deferred to runtime, but a
+            # *final* class that does not implement the interface can never
+            # satisfy it — the unsafe-cast case GIJ reports (Problem 2).
+            if not source_cls.is_final:
+                return True
+            return self._implements(source.ref, target.ref)
+        return self.library.is_subclass_of(source.ref, target.ref)
+
+    def _implements(self, class_name: str, interface: str) -> bool:
+        """Whether ``class_name`` transitively implements ``interface``."""
+        seen = set()
+        work = [class_name]
+        while work:
+            current = work.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if current == interface:
+                return True
+            cls = self.library.find(current)
+            if cls is None:
+                continue
+            work.extend(cls.interfaces)
+            if cls.superclass:
+                work.append(cls.superclass)
+        return False
+
+    def _merge_types(self, first: VType, second: VType) -> VType:
+        if first == second:
+            return first
+        if first.cat != second.cat:
+            raise self._fail(
+                f"Mismatched stack types ({first} vs {second})")
+        if first.cat != "a":
+            return first
+        if self.policy.verify_uninitialized_merge and branch(
+                "verifier.uninit_merge",
+                first.is_uninitialized != second.is_uninitialized):
+            raise self._fail(
+                "Merging initialized and uninitialized object types")
+        return VType("a", None)
+
+    # -- constant pool access ----------------------------------------------------
+
+    def _cp_entry(self, index: int, *tags: CpTag, what: str):
+        try:
+            entry = self.pool.entry(index)
+        except ConstantPoolError as exc:
+            raise ClassFormatError(
+                f"Bad constant pool index for {what} in {self.where}: "
+                f"{exc}") from exc
+        if self.policy.verify_cp_references and branch(
+                "verifier.cp_tag_mismatch", entry.tag not in tags):
+            raise ClassFormatError(
+                f"Constant pool entry {index} for {what} has tag "
+                f"{entry.tag.name} in {self.where}")
+        return entry
+
+    def _member_ref(self, index: int, *tags: CpTag,
+                    what: str) -> Tuple[str, str, str]:
+        self._cp_entry(index, *tags, what=what)
+        try:
+            return self.pool.get_member_ref(index)
+        except ConstantPoolError as exc:
+            raise ClassFormatError(
+                f"Broken {what} reference in {self.where}: {exc}") from exc
+
+    def _resolve_owner(self, owner: str, what: str) -> None:
+        """Eager reference resolution (policy-gated)."""
+        if not self.policy.resolve_refs_eagerly:
+            return
+        probe("verifier.resolve_ref")
+        if owner.startswith("["):
+            return
+        if owner == self.classfile.name:
+            return
+        if branch("verifier.ref_owner_missing",
+                  self.library.find(owner) is None):
+            raise NoClassDefFoundError(
+                f"{owner.replace('/', '.')} (referenced from {what} "
+                f"in {self.where})")
+
+    # -- entry point ---------------------------------------------------------------
+
+    def verify(self) -> None:
+        """Run verification; raises on the first violation."""
+        probe("verifier.method")
+        try:
+            instructions = decode_code(self.code.code)
+        except InstructionError as exc:
+            probe("verifier.bad_instruction")
+            raise self._fail(f"Bad instruction: {exc}") from exc
+        if branch("verifier.empty_code", not instructions):
+            raise self._fail("Empty code attribute")
+        starts = {instruction.offset for instruction in instructions}
+        by_offset = {instruction.offset: i
+                     for i, instruction in enumerate(instructions)}
+        self._check_branch_targets(instructions, starts)
+        self._check_exception_table(starts)
+        self._dataflow(instructions, by_offset)
+
+    def _check_branch_targets(self, instructions: List[Instruction],
+                              starts: set) -> None:
+        if not self.policy.verify_branch_targets:
+            return
+        probe("verifier.check_branch_targets")
+        for instruction in instructions:
+            for target in instruction.branch_targets():
+                if branch("verifier.branch_target_bad",
+                          target not in starts):
+                    raise self._fail(
+                        f"Illegal target of jump or branch (offset "
+                        f"{target})")
+
+    def _check_exception_table(self, starts: set) -> None:
+        probe("verifier.check_exception_table")
+        code_length = len(self.code.code)
+        for handler in self.code.exception_table:
+            if branch("verifier.handler_range_bad",
+                      not (0 <= handler.start_pc < handler.end_pc
+                           <= code_length)):
+                raise self._fail("Illegal exception table range")
+            if branch("verifier.handler_pc_bad",
+                      handler.handler_pc not in starts):
+                raise self._fail("Illegal exception table handler")
+            if handler.catch_type:
+                self._cp_entry(handler.catch_type, CpTag.CLASS,
+                               what="exception handler")
+
+    # -- dataflow ---------------------------------------------------------------------
+
+    def _initial_locals(self) -> Dict[int, VType]:
+        locals_: Dict[int, VType] = {}
+        slot = 0
+        if not self.method.is_static:
+            locals_[slot] = VType("a", self.classfile.name)
+            slot += 1
+        descriptor = self.classfile.method_descriptor(self.method)
+        try:
+            parsed = parse_method_descriptor(descriptor)
+        except DescriptorError as exc:
+            raise ClassFormatError(
+                f"Invalid method descriptor in {self.where}: {exc}") from exc
+        for param in parsed.parameters:
+            if param.dimensions:
+                vtype = VType("a", param.descriptor().replace(".", "/"))
+            elif param.kind == "base":
+                vtype = _vtype_of_descriptor_char(param.name)
+            else:
+                vtype = VType("a", param.name)
+            locals_[slot] = vtype
+            slot += vtype.size
+        if branch("verifier.args_exceed_locals",
+                  self.policy.verify_max_locals
+                  and slot > self.code.max_locals):
+            raise self._fail("Arguments can't fit into locals")
+        return locals_
+
+    def _dataflow(self, instructions: List[Instruction],
+                  by_offset: Dict[int, int]) -> None:
+        probe("verifier.dataflow")
+        states: Dict[int, Tuple[Tuple[VType, ...], Dict[int, VType]]] = {}
+        work: List[int] = [0]
+        states[0] = ((), self._initial_locals())
+        # Exception handlers are entered with the thrown object as the
+        # only stack value; locals conservatively hold just the arguments.
+        for handler in self.code.exception_table:
+            index = by_offset.get(handler.handler_pc)
+            if index is None or index in states:
+                continue
+            catch_ref = None
+            if handler.catch_type:
+                try:
+                    catch_ref = self.pool.get_class_name(handler.catch_type)
+                except Exception:
+                    catch_ref = None
+            states[index] = ((VType("a", catch_ref),),
+                             self._initial_locals())
+            work.append(index)
+        return_cat = self._return_category()
+        visited_budget = len(instructions) * 8 + 64
+        steps = 0
+        while work:
+            steps += 1
+            if steps > visited_budget:
+                break  # convergence guard; states monotonically widen
+            index = work.pop()
+            stack, locals_ = states[index]
+            instruction = instructions[index]
+            next_states = self._transfer(instruction, list(stack),
+                                         dict(locals_), return_cat)
+            for target_offset, new_stack, new_locals in next_states:
+                if branch("verifier.falloff",
+                          self.policy.verify_falloff
+                          and target_offset is None):
+                    raise self._fail("Falling off the end of the code")
+                if target_offset is None:
+                    continue
+                target_index = by_offset.get(target_offset)
+                if target_index is None:
+                    raise self._fail(
+                        f"Illegal target of jump or branch (offset "
+                        f"{target_offset})")
+                merged = self._merge_state(
+                    states.get(target_index),
+                    (tuple(new_stack), new_locals))
+                if merged != states.get(target_index):
+                    states[target_index] = merged
+                    work.append(target_index)
+
+    def _merge_state(self, old, new):
+        if old is None:
+            return new
+        old_stack, old_locals = old
+        new_stack, new_locals = new
+        if len(old_stack) != len(new_stack):
+            if self.policy.strict_stack_shapes and branch(
+                    "verifier.stack_shape_inconsistent",
+                    True):
+                raise self._fail("Stack shape inconsistent")
+            # Lenient vendors keep the shorter shape.
+            merged_stack = old_stack if len(old_stack) < len(new_stack) \
+                else new_stack
+        else:
+            merged_stack = tuple(
+                self._merge_types(a, b) for a, b in zip(old_stack, new_stack))
+        merged_locals = {}
+        for slot in set(old_locals) & set(new_locals):
+            try:
+                merged_locals[slot] = self._merge_types(
+                    old_locals[slot], new_locals[slot])
+            except VerifyError:
+                if self.policy.verify_type_assignability:
+                    raise
+                merged_locals[slot] = VType("a", None)
+        return merged_stack, merged_locals
+
+    def _return_category(self) -> Optional[str]:
+        descriptor = self.classfile.method_descriptor(self.method)
+        try:
+            parsed = parse_method_descriptor(descriptor)
+        except DescriptorError:
+            return None
+        if parsed.return_type is None:
+            return "v"
+        if parsed.return_type.dimensions or parsed.return_type.kind == "object":
+            return "a"
+        return _vtype_of_descriptor_char(parsed.return_type.name).cat
+
+    # -- per-instruction transfer -------------------------------------------------------
+
+    def _pop(self, stack: List[VType], expected: Optional[str] = None) -> VType:
+        if branch("verifier.stack_underflow", not stack):
+            raise self._fail("Unable to pop operand off an empty stack")
+        item = stack.pop()
+        if expected is not None and branch(
+                "verifier.operand_type_mismatch",
+                item.cat != expected):
+            raise self._fail(
+                f"Expecting to find {expected} on stack, found {item.cat}")
+        return item
+
+    def _push(self, stack: List[VType], item: VType) -> None:
+        stack.append(item)
+        if self.policy.verify_max_stack:
+            depth = sum(entry.size for entry in stack)
+            if branch("verifier.stack_overflow",
+                      depth > self.code.max_stack):
+                raise self._fail(
+                    f"Exceeding stack size (max_stack={self.code.max_stack})")
+
+    def _check_local(self, slot: int) -> None:
+        if self.policy.verify_max_locals and branch(
+                "verifier.local_out_of_range",
+                slot >= max(self.code.max_locals, 0)):
+            raise self._fail(
+                f"Local variable index {slot} out of range "
+                f"(max_locals={self.code.max_locals})")
+
+    def _transfer(self, instruction: Instruction, stack: List[VType],
+                  locals_: Dict[int, VType], return_cat: Optional[str]):
+        """Apply one instruction; returns [(next_offset|None, stack, locals)]."""
+        op = instruction.op
+        probe(f"verifier.op.{instruction.mnemonic}")
+        operands = instruction.operands
+        next_offset = self._next_offset(instruction)
+        name = op.name
+
+        # Constants ----------------------------------------------------------
+        if name.startswith("ICONST") or op in (Op.BIPUSH, Op.SIPUSH):
+            self._push(stack, _INT)
+        elif name.startswith("LCONST"):
+            self._push(stack, _LONG)
+        elif name.startswith("FCONST"):
+            self._push(stack, _FLOAT)
+        elif name.startswith("DCONST"):
+            self._push(stack, _DOUBLE)
+        elif op is Op.ACONST_NULL:
+            self._push(stack, _NULL)
+        elif op in (Op.LDC, Op.LDC_W, Op.LDC2_W):
+            self._transfer_ldc(op, operands, stack)
+        # Loads/stores --------------------------------------------------------
+        elif name in _LOCAL_LOAD_NAMES:
+            self._transfer_load(op, operands, stack, locals_)
+        elif name in _LOCAL_STORE_NAMES:
+            self._transfer_store(op, operands, stack, locals_)
+        # Field access -----------------------------------------------------------
+        elif op in (Op.GETSTATIC, Op.GETFIELD, Op.PUTSTATIC, Op.PUTFIELD):
+            self._transfer_field(op, operands, stack)
+        # Invocations ---------------------------------------------------------------
+        elif op in (Op.INVOKEVIRTUAL, Op.INVOKESPECIAL, Op.INVOKESTATIC,
+                    Op.INVOKEINTERFACE):
+            self._transfer_invoke(op, operands, stack, locals_)
+        elif op is Op.INVOKEDYNAMIC:
+            raise self._fail("invokedynamic is not supported by this JVM")
+        # Object/array creation ---------------------------------------------------
+        elif op is Op.NEW:
+            entry = self._cp_entry(operands["index"], CpTag.CLASS, what="new")
+            class_name = self.pool.get_class_name(operands["index"])
+            self._resolve_owner(class_name, "new")
+            self._push(stack, VType("a", f"uninit:{class_name}"))
+        elif op is Op.NEWARRAY:
+            self._pop(stack, "i")
+            self._push(stack, VType("a", "[prim"))
+        elif op is Op.ANEWARRAY:
+            self._cp_entry(operands["index"], CpTag.CLASS, what="anewarray")
+            self._pop(stack, "i")
+            self._push(stack, VType("a", "[ref"))
+        elif op is Op.MULTIANEWARRAY:
+            self._cp_entry(operands["index"], CpTag.CLASS,
+                           what="multianewarray")
+            dims = operands.get("dimensions", 0)
+            if branch("verifier.multianewarray_zero_dims", dims == 0):
+                raise self._fail("multianewarray with zero dimensions")
+            for _ in range(dims):
+                self._pop(stack, "i")
+            self._push(stack, VType("a", "[multi"))
+        elif op is Op.ARRAYLENGTH:
+            self._pop(stack, "a")
+            self._push(stack, _INT)
+        # Casts -----------------------------------------------------------------------
+        elif op is Op.CHECKCAST:
+            self._cp_entry(operands["index"], CpTag.CLASS, what="checkcast")
+            self._pop(stack, "a")
+            self._push(stack, VType(
+                "a", self.pool.get_class_name(operands["index"])))
+        elif op is Op.INSTANCEOF:
+            self._cp_entry(operands["index"], CpTag.CLASS, what="instanceof")
+            self._pop(stack, "a")
+            self._push(stack, _INT)
+        # Stack shuffles -----------------------------------------------------------------
+        elif op in (Op.POP, Op.POP2, Op.DUP, Op.DUP_X1, Op.DUP_X2, Op.DUP2,
+                    Op.DUP2_X1, Op.DUP2_X2, Op.SWAP):
+            self._transfer_shuffle(op, stack)
+        # Arithmetic / conversions ----------------------------------------------------------
+        elif op is Op.IINC:
+            self._check_local(operands["index"])
+        elif self._transfer_arith(op, stack):
+            pass
+        # Control flow -------------------------------------------------------------------------
+        elif instruction.info.is_branch:
+            return self._transfer_branch(instruction, stack, locals_,
+                                         next_offset)
+        elif op in (Op.IRETURN, Op.LRETURN, Op.FRETURN, Op.DRETURN,
+                    Op.ARETURN, Op.RETURN):
+            self._transfer_return(op, stack, return_cat)
+            return []
+        elif op is Op.ATHROW:
+            thrown = self._pop(stack, "a")
+            if self.policy.verify_type_assignability and thrown.ref and \
+                    not thrown.ref.startswith(("[", "uninit:", "null")):
+                cls = self.library.find(thrown.ref)
+                if cls is not None and branch(
+                        "verifier.throw_non_throwable",
+                        not self.library.is_throwable(thrown.ref)):
+                    raise self._fail(
+                        f"Can only throw Throwable objects, not {thrown.ref}")
+            return []
+        elif op is Op.RET:
+            return []
+        elif op in (Op.MONITORENTER, Op.MONITOREXIT):
+            self._pop(stack, "a")
+        elif op is Op.NOP:
+            pass
+        else:
+            # Array element access and anything else with fixed effects.
+            self._transfer_generic(instruction, stack)
+        return [(next_offset, list(stack), dict(locals_))]
+
+    def _next_offset(self, instruction: Instruction) -> Optional[int]:
+        end = instruction.offset + self._instruction_length(instruction)
+        return end if end < len(self.code.code) else None
+
+    def _instruction_length(self, instruction: Instruction) -> int:
+        # Recover the encoded length from the original code array: find the
+        # next decoded offset.  Cached per verify() via by-offset ordering.
+        return instruction.operands.get("_length") or self._measure(instruction)
+
+    def _measure(self, instruction: Instruction) -> int:
+        # Lengths were implicit during decoding; re-derive cheaply.
+        from repro.bytecode.instructions import _decode_one  # local import
+        _, end = _decode_one(self.code.code, instruction.offset)
+        length = end - instruction.offset
+        instruction.operands["_length"] = length
+        return length
+
+    # -- transfer helpers --------------------------------------------------------------------
+
+    def _transfer_ldc(self, op: Op, operands, stack: List[VType]) -> None:
+        index = operands["index"]
+        if op is Op.LDC2_W:
+            entry = self._cp_entry(index, CpTag.LONG, CpTag.DOUBLE,
+                                   what="ldc2_w")
+            self._push(stack, _LONG if entry.tag is CpTag.LONG else _DOUBLE)
+            return
+        entry = self._cp_entry(index, CpTag.INTEGER, CpTag.FLOAT,
+                               CpTag.STRING, CpTag.CLASS, what="ldc")
+        if entry.tag is CpTag.INTEGER:
+            self._push(stack, _INT)
+        elif entry.tag is CpTag.FLOAT:
+            self._push(stack, _FLOAT)
+        elif entry.tag is CpTag.STRING:
+            self._push(stack, VType("a", "java/lang/String"))
+        else:
+            self._push(stack, VType("a", "java/lang/Class"))
+
+    _LOAD_CATS = {"I": "i", "L": "l", "F": "f", "D": "d", "A": "a"}
+
+    def _transfer_load(self, op: Op, operands, stack: List[VType],
+                       locals_: Dict[int, VType]) -> None:
+        cat = self._LOAD_CATS[op.name[0]]
+        slot = operands.get("index")
+        if slot is None:
+            slot = int(op.name.rsplit("_", 1)[1])
+        self._check_local(slot)
+        current = locals_.get(slot)
+        if branch("verifier.load_undefined_local", current is None):
+            raise self._fail(
+                f"Accessing value from uninitialized register {slot}")
+        if branch("verifier.load_wrong_category", current.cat != cat):
+            if self.policy.verify_type_assignability or current.cat in "ld" \
+                    or cat in "ld":
+                raise self._fail(
+                    f"Register {slot} contains wrong type (expected {cat}, "
+                    f"found {current.cat})")
+            current = VType(cat)
+        self._push(stack, current)
+
+    def _transfer_store(self, op: Op, operands, stack: List[VType],
+                        locals_: Dict[int, VType]) -> None:
+        cat = self._LOAD_CATS[op.name[0]]
+        slot = operands.get("index")
+        if slot is None:
+            slot = int(op.name.rsplit("_", 1)[1])
+        self._check_local(slot)
+        item = self._pop(stack)
+        if branch("verifier.store_wrong_category", item.cat != cat):
+            raise self._fail(
+                f"Expecting to find {cat} on stack for store, found "
+                f"{item.cat}")
+        locals_[slot] = item
+        if item.size == 2:
+            locals_.pop(slot + 1, None)
+
+    def _transfer_field(self, op: Op, operands, stack: List[VType]) -> None:
+        owner, name, descriptor = self._member_ref(
+            operands["index"], CpTag.FIELDREF, what="field access")
+        try:
+            vtype = _vtype_of_field_descriptor(descriptor)
+        except DescriptorError as exc:
+            raise ClassFormatError(
+                f"Invalid field descriptor {descriptor!r} in "
+                f"{self.where}") from exc
+        self._resolve_owner(owner, "field access")
+        if self.policy.resolve_refs_eagerly and owner != self.classfile.name:
+            cls = self.library.find(owner)
+            if cls is not None and branch(
+                    "verifier.field_missing",
+                    cls.find_field(name) is None):
+                raise NoSuchFieldError(f"{owner.replace('/', '.')}.{name}")
+        if op is Op.GETSTATIC:
+            self._push(stack, vtype)
+        elif op is Op.GETFIELD:
+            self._pop(stack, "a")
+            self._push(stack, vtype)
+        elif op is Op.PUTSTATIC:
+            value = self._pop(stack)
+            self._check_assignable(value, vtype, f"field {name}")
+        else:  # PUTFIELD
+            value = self._pop(stack)
+            self._pop(stack, "a")
+            self._check_assignable(value, vtype, f"field {name}")
+
+    def _check_assignable(self, source: VType, target: VType,
+                          what: str) -> None:
+        if branch("verifier.value_category_mismatch",
+                  source.cat != target.cat):
+            raise self._fail(
+                f"Incompatible type for {what}: expected {target.cat}, "
+                f"found {source.cat}")
+        if self.policy.verify_type_assignability and branch(
+                "verifier.value_not_assignable",
+                not self._assignable(source, target)):
+            raise self._fail(
+                f"Incompatible object argument for {what}: {source.ref} "
+                f"is not assignable to {target.ref}")
+
+    def _transfer_invoke(self, op: Op, operands, stack: List[VType],
+                         locals_: Optional[Dict[int, VType]] = None) -> None:
+        tags = (CpTag.METHODREF, CpTag.INTERFACE_METHODREF)
+        owner, name, descriptor = self._member_ref(
+            operands["index"], *tags, what="invocation")
+        try:
+            parsed = parse_method_descriptor(descriptor)
+        except DescriptorError as exc:
+            raise ClassFormatError(
+                f"Invalid method descriptor {descriptor!r} in "
+                f"{self.where}") from exc
+        self._resolve_owner(owner, "invocation")
+        for param in reversed(parsed.parameters):
+            if param.dimensions:
+                expected = VType("a", param.descriptor().replace(".", "/"))
+            elif param.kind == "base":
+                expected = _vtype_of_descriptor_char(param.name)
+            else:
+                expected = VType("a", param.name)
+            value = self._pop(stack)
+            self._check_assignable(value, expected, f"argument of {name}")
+        if op is not Op.INVOKESTATIC:
+            receiver = self._pop(stack, "a")
+            if name != "<init>" and self.policy.verify_uninitialized_merge \
+                    and branch("verifier.uninit_receiver",
+                               receiver.is_uninitialized):
+                raise self._fail(
+                    "Calling a method on an uninitialized object")
+            if name == "<init>" and receiver.is_uninitialized:
+                # Initialize every remaining copy of this uninit type
+                # (stack and locals), as JVMS §4.10.1.9.invokespecial does.
+                initialized = VType("a", receiver.ref[len("uninit:"):])
+                for i, entry in enumerate(stack):
+                    if entry == receiver:
+                        stack[i] = initialized
+                if locals_ is not None:
+                    for slot, entry in list(locals_.items()):
+                        if entry == receiver:
+                            locals_[slot] = initialized
+        if self.policy.resolve_refs_eagerly and owner != self.classfile.name:
+            cls = self.library.find(owner)
+            if cls is not None and branch(
+                    "verifier.method_missing",
+                    cls.find_method(name, descriptor) is None):
+                raise NoSuchMethodError(
+                    f"{owner.replace('/', '.')}.{name}{descriptor}")
+        if parsed.return_type is not None:
+            if parsed.return_type.dimensions:
+                self._push(stack, VType(
+                    "a", parsed.return_type.descriptor().replace(".", "/")))
+            elif parsed.return_type.kind == "base":
+                self._push(stack, _vtype_of_descriptor_char(
+                    parsed.return_type.name))
+            else:
+                self._push(stack, VType("a", parsed.return_type.name))
+
+    def _transfer_shuffle(self, op: Op, stack: List[VType]) -> None:
+        if op is Op.POP:
+            item = self._pop(stack)
+            if branch("verifier.pop_category2", item.size == 2):
+                raise self._fail("pop of a category-2 value")
+        elif op is Op.POP2:
+            item = self._pop(stack)
+            if item.size == 1:
+                self._pop(stack)
+        elif op is Op.DUP:
+            item = self._pop(stack)
+            if branch("verifier.dup_category2", item.size == 2):
+                raise self._fail("dup of a category-2 value")
+            stack.append(item)
+            self._push(stack, item)
+        elif op is Op.DUP_X1:
+            first = self._pop(stack)
+            second = self._pop(stack)
+            stack.append(first)
+            stack.append(second)
+            self._push(stack, first)
+        elif op is Op.DUP_X2:
+            first = self._pop(stack)
+            second = self._pop(stack)
+            third = self._pop(stack)
+            stack.append(first)
+            stack.append(third)
+            stack.append(second)
+            self._push(stack, first)
+        elif op is Op.DUP2:
+            first = self._pop(stack)
+            if first.size == 2:
+                stack.append(first)
+                self._push(stack, first)
+            else:
+                second = self._pop(stack)
+                stack.append(second)
+                stack.append(first)
+                stack.append(second)
+                self._push(stack, first)
+        elif op in (Op.DUP2_X1, Op.DUP2_X2):
+            first = self._pop(stack)
+            second = self._pop(stack)
+            stack.append(first)
+            stack.append(second)
+            self._push(stack, first)
+        elif op is Op.SWAP:
+            first = self._pop(stack)
+            second = self._pop(stack)
+            stack.append(first)
+            self._push(stack, second)
+
+    _ARITH_GROUPS = [
+        # (ops, pops list, push)
+        (("IADD", "ISUB", "IMUL", "IDIV", "IREM", "ISHL", "ISHR", "IUSHR",
+          "IAND", "IOR", "IXOR"), ["i", "i"], _INT),
+        (("LADD", "LSUB", "LMUL", "LDIV", "LREM", "LAND", "LOR", "LXOR"),
+         ["l", "l"], _LONG),
+        (("LSHL", "LSHR", "LUSHR"), ["i", "l"], _LONG),
+        (("FADD", "FSUB", "FMUL", "FDIV", "FREM"), ["f", "f"], _FLOAT),
+        (("DADD", "DSUB", "DMUL", "DDIV", "DREM"), ["d", "d"], _DOUBLE),
+        (("INEG",), ["i"], _INT), (("LNEG",), ["l"], _LONG),
+        (("FNEG",), ["f"], _FLOAT), (("DNEG",), ["d"], _DOUBLE),
+        (("I2L",), ["i"], _LONG), (("I2F",), ["i"], _FLOAT),
+        (("I2D",), ["i"], _DOUBLE), (("L2I",), ["l"], _INT),
+        (("L2F",), ["l"], _FLOAT), (("L2D",), ["l"], _DOUBLE),
+        (("F2I",), ["f"], _INT), (("F2L",), ["f"], _LONG),
+        (("F2D",), ["f"], _DOUBLE), (("D2I",), ["d"], _INT),
+        (("D2L",), ["d"], _LONG), (("D2F",), ["d"], _FLOAT),
+        (("I2B", "I2C", "I2S"), ["i"], _INT),
+        (("LCMP",), ["l", "l"], _INT),
+        (("FCMPL", "FCMPG"), ["f", "f"], _INT),
+        (("DCMPL", "DCMPG"), ["d", "d"], _INT),
+    ]
+
+    def _transfer_arith(self, op: Op, stack: List[VType]) -> bool:
+        for names, pops, push in self._ARITH_GROUPS:
+            if op.name in names:
+                for cat in pops:
+                    self._pop(stack, cat)
+                self._push(stack, push)
+                return True
+        return False
+
+    _ARRAY_LOAD = {"IALOAD": _INT, "BALOAD": _INT, "CALOAD": _INT,
+                   "SALOAD": _INT, "FALOAD": _FLOAT, "LALOAD": _LONG,
+                   "DALOAD": _DOUBLE}
+
+    def _transfer_generic(self, instruction: Instruction,
+                          stack: List[VType]) -> None:
+        name = instruction.op.name
+        if name in self._ARRAY_LOAD:
+            self._pop(stack, "i")
+            self._pop(stack, "a")
+            self._push(stack, self._ARRAY_LOAD[name])
+        elif name == "AALOAD":
+            self._pop(stack, "i")
+            self._pop(stack, "a")
+            self._push(stack, VType("a", None))
+        elif name.endswith("ASTORE"):
+            self._pop(stack)
+            self._pop(stack, "i")
+            self._pop(stack, "a")
+        else:
+            raise self._fail(f"Unhandled opcode {name.lower()}")
+
+    def _transfer_branch(self, instruction: Instruction, stack: List[VType],
+                         locals_: Dict[int, VType],
+                         next_offset: Optional[int]):
+        op = instruction.op
+        name = op.name
+        if name.startswith("IF_ICMP"):
+            self._pop(stack, "i")
+            self._pop(stack, "i")
+        elif name.startswith("IF_ACMP") or op in (Op.IFNULL, Op.IFNONNULL):
+            self._pop(stack, "a")
+            if name.startswith("IF_ACMP"):
+                self._pop(stack, "a")
+        elif name.startswith("IF"):
+            self._pop(stack, "i")
+        elif op in (Op.TABLESWITCH, Op.LOOKUPSWITCH):
+            self._pop(stack, "i")
+        elif op in (Op.JSR, Op.JSR_W):
+            raise self._fail("jsr/ret are not supported by this verifier")
+        successors = []
+        for target in instruction.branch_targets():
+            successors.append((target, list(stack), dict(locals_)))
+        if not instruction.info.is_terminal:
+            successors.append((next_offset, list(stack), dict(locals_)))
+        return successors
+
+    def _transfer_return(self, op: Op, stack: List[VType],
+                         return_cat: Optional[str]) -> None:
+        cat_map = {Op.IRETURN: "i", Op.LRETURN: "l", Op.FRETURN: "f",
+                   Op.DRETURN: "d", Op.ARETURN: "a", Op.RETURN: "v"}
+        actual = cat_map[op]
+        if actual != "v":
+            self._pop(stack, actual)
+        if self.policy.verify_return_types and return_cat is not None:
+            if branch("verifier.return_type_mismatch", actual != return_cat):
+                raise self._fail(
+                    f"Wrong return type in function (expected {return_cat}, "
+                    f"found {actual})")

@@ -1,0 +1,12 @@
+"""Simulated Java platform class library and per-JRE environments."""
+
+from repro.runtime.library import LibraryClass, LibraryMember, ClassLibrary
+from repro.runtime.environment import JreEnvironment, build_environment
+
+__all__ = [
+    "ClassLibrary",
+    "JreEnvironment",
+    "LibraryClass",
+    "LibraryMember",
+    "build_environment",
+]

@@ -1,0 +1,127 @@
+"""Per-JRE execution environments.
+
+A :class:`JreEnvironment` is the paper's ``e`` in ``r = jvm(e, c, i)``:
+the libraries and resources a JVM execution depends on.  Environments for
+different Java versions contain *different* classes — the root cause of the
+compatibility discrepancies (NoClassDefFoundError, final-superclass
+VerifyError) the preliminary study observed when running JRE7 classfiles
+on newer JVMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.runtime.library import (
+    ClassLibrary,
+    LibraryClass,
+    LibraryMember,
+    base_catalogue,
+    _cls,
+    _exception,
+    _iface,
+)
+
+
+@dataclass
+class JreEnvironment:
+    """The environment ``e`` of a JVM execution.
+
+    Attributes:
+        name: identifier such as ``"jre7"``.
+        java_version: numeric feature version (5, 7, 8, 9).
+        library: the class library visible on the boot classpath.
+        resources: resource bundle names available at run time —
+            missing ones raise ``MissingResourceException``.
+    """
+
+    name: str
+    java_version: int
+    library: ClassLibrary
+    resources: Set[str] = field(default_factory=set)
+
+
+#: Classes that shipped in JRE 7 but were removed or relocated afterwards.
+_JRE7_ONLY = [
+    _cls("sun/beans/editors/EnumEditor",
+         superclass="com/sun/beans/editors/EnumEditor", restricted=True),
+    _cls("sun/misc/JavaUtilJarAccess", restricted=True),
+    _cls("sun/tools/jar/JarHelper", restricted=True),
+    _iface("sun/misc/JavaLangAccess", restricted=True),
+    _cls("com/sun/image/codec/jpeg/JPEGCodec", restricted=True),
+]
+
+#: Classes introduced in JRE 8.
+_JRE8_PLUS = [
+    _iface("java/util/function/Function"),
+    _iface("java/util/function/Supplier"),
+    _iface("java/util/stream/Stream"),
+    _cls("java/time/Instant", is_final=True),
+    _cls("java/util/Optional", is_final=True),
+]
+
+#: Classes introduced in JRE 9.
+_JRE9_PLUS = [
+    _cls("java/lang/Module", is_final=True),
+    _cls("java/lang/StackWalker", is_final=True),
+]
+
+#: Resources bundled with JRE 7 that later versions dropped.
+_JRE7_RESOURCES = {"sun.text.resources.FormatData",
+                   "sun.util.resources.CalendarData",
+                   "com.sun.swing.internal.plaf.basic.resources.basic"}
+
+_COMMON_RESOURCES = {"java.text.resources.FormatData"}
+
+
+def _enum_editor(final: bool) -> LibraryClass:
+    """``com.sun.beans.editors.EnumEditor`` — declared final from JRE 8 on.
+
+    The preliminary study's example: ``sun.beans.editors.EnumEditor``
+    extends it, so loading that JRE7 class on a JRE8 JVM raises a
+    VerifyError ("cannot inherit from final class").
+    """
+    return _cls("com/sun/beans/editors/EnumEditor", restricted=True,
+                is_final=final)
+
+
+def build_environment(java_version: int,
+                      name: Optional[str] = None) -> JreEnvironment:
+    """Build the simulated environment for a Java feature version.
+
+    Supported versions: 5 (GIJ's classpath-era library), 7, 8, and 9.
+    """
+    library = ClassLibrary(base_catalogue())
+    resources = set(_COMMON_RESOURCES)
+
+    if java_version <= 5:
+        # Classpath-era library: no JRE7 internals, no newer APIs, and the
+        # vendor-internal sun.* classes of OpenJDK are absent.
+        library.remove("sun/java2d/pisces/PiscesRenderingEngine")
+        library.remove("sun/java2d/pisces/PiscesRenderingEngine$2")
+        library.remove("sun/java2d/pipe/RenderingEngine")
+        library.remove("sun/misc/Unsafe")
+        library.add(_enum_editor(final=False))
+        return JreEnvironment(name or f"java{java_version}", java_version,
+                              library, resources)
+
+    if java_version == 7:
+        for cls in _JRE7_ONLY:
+            library.add(cls)
+        library.add(_enum_editor(final=False))
+        resources |= _JRE7_RESOURCES
+        return JreEnvironment(name or "jre7", 7, library, resources)
+
+    # JRE 8 and later.
+    for cls in _JRE8_PLUS:
+        library.add(cls)
+    library.add(_enum_editor(final=True))
+    if java_version >= 9:
+        for cls in _JRE9_PLUS:
+            library.add(cls)
+        # Jigsaw: vendor-internal classes exist but are flagged restricted
+        # (module system denies access); the vendor policy decides what
+        # error, if any, that produces.
+    return JreEnvironment(name or f"jre{java_version}", java_version,
+                          library, resources)

@@ -1,0 +1,343 @@
+"""A simulated platform class library (the "JRE" the JVMs link against).
+
+The paper's JVMs resolve symbolic references against real JRE libraries
+whose contents differ by version — that difference is the source of the
+compatibility discrepancies in the preliminary study (§1).  Here the
+library is a catalogue of :class:`LibraryClass` records rich enough for
+the pipeline to answer every question linking asks: does the class exist,
+is it final/interface/abstract/public, what is its superclass chain, does
+it declare this member, is it accessible from user code?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class LibraryMember:
+    """One method or field of a library class.
+
+    Attributes:
+        name: member name.
+        descriptor: JVM descriptor.
+        is_static/is_public/is_final/is_abstract: relevant flags.
+    """
+
+    name: str
+    descriptor: str
+    is_static: bool = False
+    is_public: bool = True
+    is_final: bool = False
+    is_abstract: bool = False
+
+
+@dataclass(frozen=True)
+class LibraryClass:
+    """One platform class the simulated JRE provides.
+
+    Attributes:
+        name: internal (slash) name.
+        superclass: internal superclass name (``None`` for Object).
+        interfaces: internal names of direct superinterfaces.
+        is_interface/is_abstract/is_final/is_public/is_enum: class flags.
+        is_synthetic: compiler-generated (e.g. ``Outer$1``); such classes
+            exist but some JVMs refuse user-code access to them.
+        restricted: lives in a vendor-internal package (``sun.*``) whose
+            accessibility JVMs disagree about.
+        methods/fields: declared members.
+    """
+
+    name: str
+    superclass: Optional[str] = "java/lang/Object"
+    interfaces: Tuple[str, ...] = ()
+    is_interface: bool = False
+    is_abstract: bool = False
+    is_final: bool = False
+    is_public: bool = True
+    is_enum: bool = False
+    is_synthetic: bool = False
+    restricted: bool = False
+    methods: Tuple[LibraryMember, ...] = ()
+    fields: Tuple[LibraryMember, ...] = ()
+
+    def find_method(self, name: str,
+                    descriptor: Optional[str] = None) -> Optional[LibraryMember]:
+        """Declared method matching ``name`` (and descriptor when given)."""
+        for member in self.methods:
+            if member.name == name and (descriptor is None
+                                        or member.descriptor == descriptor):
+                return member
+        return None
+
+    def find_field(self, name: str) -> Optional[LibraryMember]:
+        """Declared field called ``name``."""
+        for member in self.fields:
+            if member.name == name:
+                return member
+        return None
+
+
+class ClassLibrary:
+    """An indexed set of :class:`LibraryClass` records."""
+
+    def __init__(self, classes: Iterable[LibraryClass] = ()):
+        self._classes: Dict[str, LibraryClass] = {}
+        for cls in classes:
+            self.add(cls)
+
+    def add(self, cls: LibraryClass) -> None:
+        """Register (or replace) a class."""
+        self._classes[cls.name] = cls
+
+    def remove(self, name: str) -> None:
+        """Drop a class if present."""
+        self._classes.pop(name, None)
+
+    def replace(self, name: str, **changes) -> None:
+        """Replace attributes of an existing class."""
+        self._classes[name] = replace(self._classes[name], **changes)
+
+    def find(self, name: str) -> Optional[LibraryClass]:
+        """Look up an internal (slash) name."""
+        return self._classes.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def names(self) -> List[str]:
+        return sorted(self._classes)
+
+    def is_subclass_of(self, name: str, ancestor: str) -> bool:
+        """Whether ``name`` has ``ancestor`` on its superclass chain
+        (inclusive), walking only library classes."""
+        seen = set()
+        current: Optional[str] = name
+        while current is not None and current not in seen:
+            if current == ancestor:
+                return True
+            seen.add(current)
+            cls = self.find(current)
+            current = cls.superclass if cls else None
+        return False
+
+    def is_throwable(self, name: str) -> bool:
+        """Whether ``name`` is a subclass of ``java/lang/Throwable``."""
+        return self.is_subclass_of(name, "java/lang/Throwable")
+
+
+# ---------------------------------------------------------------------------
+# Catalogue construction helpers
+# ---------------------------------------------------------------------------
+
+_OBJECT_METHODS = (
+    LibraryMember("<init>", "()V"),
+    LibraryMember("toString", "()Ljava/lang/String;"),
+    LibraryMember("hashCode", "()I"),
+    LibraryMember("equals", "(Ljava/lang/Object;)Z"),
+    LibraryMember("getClass", "()Ljava/lang/Class;", is_final=True),
+)
+
+
+def _cls(name: str, superclass: Optional[str] = "java/lang/Object",
+         **kwargs) -> LibraryClass:
+    methods = kwargs.pop("methods", ())
+    if not kwargs.get("is_interface") and not any(
+            m.name == "<init>" for m in methods):
+        # Every concrete catalogue class gets a default constructor unless
+        # explicitly modelled otherwise.
+        methods = (LibraryMember("<init>", "()V"),) + tuple(methods)
+    return LibraryClass(name=name, superclass=superclass,
+                        methods=tuple(methods), **kwargs)
+
+
+def _iface(name: str, *interfaces: str, **kwargs) -> LibraryClass:
+    return LibraryClass(name=name, superclass="java/lang/Object",
+                        interfaces=tuple(interfaces), is_interface=True,
+                        is_abstract=True, **kwargs)
+
+
+def _exception(name: str, superclass: str) -> LibraryClass:
+    return _cls(name, superclass, methods=(
+        LibraryMember("<init>", "()V"),
+        LibraryMember("<init>", "(Ljava/lang/String;)V"),
+        LibraryMember("getMessage", "()Ljava/lang/String;"),
+    ))
+
+
+# Public aliases for the catalogue helpers (used by environment builders
+# and by tests that extend the library).
+def make_class(name: str, superclass: Optional[str] = "java/lang/Object",
+               **kwargs) -> LibraryClass:
+    """Public alias of :func:`_cls`."""
+    return _cls(name, superclass, **kwargs)
+
+
+def make_interface(name: str, *interfaces: str, **kwargs) -> LibraryClass:
+    """Public alias of :func:`_iface`."""
+    return _iface(name, *interfaces, **kwargs)
+
+
+def make_exception(name: str, superclass: str) -> LibraryClass:
+    """Public alias of :func:`_exception`."""
+    return _exception(name, superclass)
+
+
+def base_catalogue() -> List[LibraryClass]:
+    """Platform classes present in every simulated JRE."""
+    print_stream_methods = tuple(
+        LibraryMember("println", d) for d in (
+            "(Ljava/lang/String;)V", "(I)V", "(J)V", "(Z)V",
+            "(Ljava/lang/Object;)V", "()V")
+    ) + (LibraryMember("print", "(Ljava/lang/String;)V"),
+         LibraryMember("<init>", "()V", is_public=False))
+
+    return [
+        LibraryClass("java/lang/Object", superclass=None,
+                     methods=_OBJECT_METHODS),
+        _cls("java/lang/String", is_final=True,
+             interfaces=("java/io/Serializable", "java/lang/CharSequence",
+                         "java/lang/Comparable"),
+             methods=(LibraryMember("length", "()I"),
+                      LibraryMember("valueOf", "(I)Ljava/lang/String;",
+                                    is_static=True),
+                      LibraryMember("concat",
+                                    "(Ljava/lang/String;)Ljava/lang/String;"))),
+        _cls("java/lang/StringBuilder",
+             methods=(LibraryMember(
+                 "append",
+                 "(Ljava/lang/String;)Ljava/lang/StringBuilder;"),
+                 LibraryMember("toString", "()Ljava/lang/String;"))),
+        _cls("java/lang/System", is_final=True,
+             fields=(LibraryMember("out", "Ljava/io/PrintStream;",
+                                   is_static=True, is_final=True),
+                     LibraryMember("err", "Ljava/io/PrintStream;",
+                                   is_static=True, is_final=True)),
+             methods=(LibraryMember("exit", "(I)V", is_static=True),
+                      LibraryMember("currentTimeMillis", "()J",
+                                    is_static=True),
+                      LibraryMember("getProperty",
+                                    "(Ljava/lang/String;)Ljava/lang/String;",
+                                    is_static=True))),
+        _cls("java/lang/Thread", interfaces=("java/lang/Runnable",),
+             methods=(LibraryMember("<init>", "()V"),
+                      LibraryMember("start", "()V"),
+                      LibraryMember("run", "()V"))),
+        _cls("java/lang/Class", is_final=True,
+             methods=(LibraryMember("getName", "()Ljava/lang/String;"),)),
+        _cls("java/lang/Math", is_final=True, methods=(
+            LibraryMember("abs", "(I)I", is_static=True),
+            LibraryMember("max", "(II)I", is_static=True),
+            LibraryMember("min", "(II)I", is_static=True))),
+        _cls("java/lang/Number", is_abstract=True),
+        _cls("java/lang/Integer", "java/lang/Number", is_final=True,
+             methods=(LibraryMember("<init>", "(I)V"),
+                      LibraryMember("intValue", "()I"),
+                      LibraryMember("parseInt", "(Ljava/lang/String;)I",
+                                    is_static=True),
+                      LibraryMember("valueOf", "(I)Ljava/lang/Integer;",
+                                    is_static=True))),
+        _cls("java/lang/Long", "java/lang/Number", is_final=True),
+        _cls("java/lang/Float", "java/lang/Number", is_final=True),
+        _cls("java/lang/Double", "java/lang/Number", is_final=True),
+        _cls("java/lang/Short", "java/lang/Number", is_final=True),
+        _cls("java/lang/Byte", "java/lang/Number", is_final=True),
+        _cls("java/lang/Boolean", is_final=True,
+             methods=(LibraryMember("booleanValue", "()Z"),
+                      LibraryMember("getBoolean", "(Ljava/lang/String;)Z",
+                                    is_static=True))),
+        _cls("java/lang/Character", is_final=True),
+        _cls("java/lang/Enum", is_abstract=True,
+             methods=(LibraryMember("name", "()Ljava/lang/String;"),)),
+        # Throwable hierarchy.
+        _exception("java/lang/Throwable", "java/lang/Object"),
+        _exception("java/lang/Error", "java/lang/Throwable"),
+        _exception("java/lang/Exception", "java/lang/Throwable"),
+        _exception("java/lang/RuntimeException", "java/lang/Exception"),
+        _exception("java/lang/NullPointerException",
+                   "java/lang/RuntimeException"),
+        _exception("java/lang/ArithmeticException",
+                   "java/lang/RuntimeException"),
+        _exception("java/lang/ClassCastException",
+                   "java/lang/RuntimeException"),
+        _exception("java/lang/IllegalArgumentException",
+                   "java/lang/RuntimeException"),
+        _exception("java/lang/IllegalStateException",
+                   "java/lang/RuntimeException"),
+        _exception("java/io/IOException", "java/lang/Exception"),
+        _exception("java/util/MissingResourceException",
+                   "java/lang/RuntimeException"),
+        _exception("java/lang/LinkageError", "java/lang/Error"),
+        _exception("java/lang/VerifyError", "java/lang/LinkageError"),
+        # Core interfaces.
+        _iface("java/lang/Runnable"),
+        _iface("java/lang/Comparable"),
+        _iface("java/lang/CharSequence"),
+        _iface("java/lang/Cloneable"),
+        _iface("java/lang/Iterable"),
+        _iface("java/io/Serializable"),
+        _iface("java/security/PrivilegedAction"),
+        _iface("java/util/Map"),
+        _iface("java/util/Collection", "java/lang/Iterable"),
+        _iface("java/util/List", "java/util/Collection"),
+        _iface("java/util/Set", "java/util/Collection"),
+        _iface("java/util/Iterator"),
+        _iface("java/util/Enumeration"),
+        # Collections.
+        _cls("java/util/AbstractMap", is_abstract=True,
+             interfaces=("java/util/Map",)),
+        _cls("java/util/HashMap", "java/util/AbstractMap",
+             interfaces=("java/util/Map", "java/lang/Cloneable",
+                         "java/io/Serializable"),
+             methods=(LibraryMember("<init>", "()V"),
+                      LibraryMember(
+                          "put",
+                          "(Ljava/lang/Object;Ljava/lang/Object;)"
+                          "Ljava/lang/Object;"),
+                      LibraryMember("get",
+                                    "(Ljava/lang/Object;)Ljava/lang/Object;"),
+                      LibraryMember("size", "()I"))),
+        _cls("java/util/AbstractList", is_abstract=True,
+             interfaces=("java/util/List",)),
+        _cls("java/util/ArrayList", "java/util/AbstractList",
+             interfaces=("java/util/List",),
+             methods=(LibraryMember("<init>", "()V"),
+                      LibraryMember("add", "(Ljava/lang/Object;)Z"),
+                      LibraryMember("size", "()I"))),
+        _cls("java/util/HashSet", interfaces=("java/util/Set",)),
+        _cls("java/util/Random",
+             methods=(LibraryMember("<init>", "()V"),
+                      LibraryMember("<init>", "(J)V"),
+                      LibraryMember("nextInt", "(I)I"))),
+        _cls("java/util/ResourceBundle", is_abstract=True,
+             methods=(LibraryMember(
+                 "getBundle",
+                 "(Ljava/lang/String;)Ljava/util/ResourceBundle;",
+                 is_static=True),
+                 LibraryMember("getString",
+                               "(Ljava/lang/String;)Ljava/lang/String;"))),
+        _cls("java/util/Properties", "java/util/HashMap"),
+        # IO.
+        _cls("java/io/OutputStream", is_abstract=True),
+        _cls("java/io/FilterOutputStream", "java/io/OutputStream"),
+        _cls("java/io/PrintStream", "java/io/FilterOutputStream",
+             methods=print_stream_methods),
+        _cls("java/io/InputStream", is_abstract=True),
+        # Vendor-internal classes used by the paper's case studies
+        # (Problem 3, Problem 4 and the preliminary study).
+        _cls("sun/java2d/pisces/PiscesRenderingEngine",
+             superclass="sun/java2d/pipe/RenderingEngine", restricted=True),
+        _cls("sun/java2d/pipe/RenderingEngine", is_abstract=True,
+             restricted=True),
+        # The synthetic helper class generated for NormMode initialisation
+        # — extends Object, package-private, synthetic: JVMs disagree on
+        # whether user code may reference it (e.g. in a throws clause).
+        _cls("sun/java2d/pisces/PiscesRenderingEngine$2",
+             is_public=False, is_synthetic=True, restricted=True),
+        _cls("sun/misc/Unsafe", is_final=True, is_public=False,
+             restricted=True),
+    ]

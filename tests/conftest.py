@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.classfile.writer import write_class
+from repro.core.difftest import DifferentialHarness
+from repro.jimple.builder import ClassBuilder
+from repro.jimple.to_classfile import compile_class
+
+
+@pytest.fixture
+def demo_class():
+    """A canonical valid class with <init> and a printing main."""
+    builder = ClassBuilder("Demo")
+    builder.default_init()
+    builder.main_printing("Completed!")
+    return builder.build()
+
+
+@pytest.fixture
+def demo_bytes(demo_class):
+    """The demo class as classfile bytes."""
+    return write_class(compile_class(demo_class))
+
+
+@pytest.fixture(scope="session")
+def harness():
+    """One differential harness shared across tests (JVMs are stateless
+    between runs except interpreter instances, which are per-run)."""
+    return DifferentialHarness()
+
+
+def build_bytes(jclass):
+    """Compile a JClass straight to classfile bytes."""
+    return write_class(compile_class(jclass))

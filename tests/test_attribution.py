@@ -1,0 +1,111 @@
+"""Tests for automated discrepancy attribution to policy axes."""
+
+import pytest
+
+from repro.core.attribution import (
+    attribute_all_pairs,
+    attribute_discrepancy,
+)
+from repro.jimple import ClassBuilder, MethodBuilder
+from repro.jimple.to_classfile import compile_class_bytes
+from repro.jimple.types import JType, VOID
+from repro.jvm.vendors import (
+    all_jvms,
+    make_gij,
+    make_hotspot7,
+    make_hotspot8,
+    make_hotspot9,
+    make_j9,
+)
+
+
+def figure2_bytes():
+    builder = ClassBuilder("Fig2")
+    builder.default_init()
+    builder.main_printing()
+    clinit = MethodBuilder("<clinit>", modifiers=["public", "abstract"])
+    clinit.abstract_body()
+    builder.method(clinit.build())
+    return compile_class_bytes(builder.build())
+
+
+class TestSingleAxisAttribution:
+    def test_problem1_attributed_to_clinit_rule(self):
+        """J9's Figure 2 rejection is the <clinit> interpretation axis."""
+        attribution = attribute_discrepancy(
+            figure2_bytes(), make_j9(), make_hotspot8())
+        assert not attribution.environmental
+        assert "treat_nonstatic_clinit_as_ordinary" in \
+            attribution.responsible_fields
+
+    def test_problem2_attributed_to_assignability(self):
+        from repro.jimple.statements import InvokeExpr, InvokeStmt, MethodRef
+
+        builder = ClassBuilder("P2")
+        builder.default_init()
+        builder.main_printing()
+        method = MethodBuilder("t", VOID, [JType("java.lang.String")],
+                               ["protected"])
+        method.local("r0", JType("java.util.Map"))
+        method.identity("r0", "parameter0", JType("java.util.Map"))
+        method.stmt(InvokeStmt(InvokeExpr(
+            "static",
+            MethodRef("java.lang.Boolean", "getBoolean",
+                      JType("boolean"), (JType("java.util.Map"),)),
+            None, ["r0"])))
+        method.ret()
+        builder.method(method.build())
+        data = compile_class_bytes(builder.build())
+        attribution = attribute_discrepancy(data, make_gij(),
+                                            make_hotspot8())
+        assert "verify_type_assignability" in \
+            attribution.responsible_fields
+
+    def test_problem3_attributed_to_access_checking(self):
+        builder = ClassBuilder("P3")
+        builder.default_init()
+        main = MethodBuilder("main", VOID, [JType("java.lang.String[]")],
+                             ["public", "static"])
+        main.throws("sun.java2d.pisces.PiscesRenderingEngine$2")
+        main.ret()
+        builder.method(main.build())
+        data = compile_class_bytes(builder.build())
+        attribution = attribute_discrepancy(data, make_hotspot9(),
+                                            make_j9())
+        assert set(attribution.responsible_fields) <= {
+            "check_restricted_access", "resolve_thrown_exceptions"}
+        assert attribution.responsible_fields
+
+    def test_environmental_difference_detected(self):
+        """Extending a JRE7-only class: hotspot7 vs hotspot8 differ only
+        through their JRE environments, not policy."""
+        builder = ClassBuilder("EnvDiff",
+                               superclass="sun.misc.JavaUtilJarAccess")
+        builder.default_init()
+        builder.main_printing()
+        data = compile_class_bytes(builder.build())
+        attribution = attribute_discrepancy(data, make_hotspot8(),
+                                            make_hotspot7())
+        assert attribution.environmental
+        assert attribution.responsible_fields == []
+
+    def test_agreeing_pair_rejected(self, demo_bytes):
+        with pytest.raises(ValueError, match="agree"):
+            attribute_discrepancy(demo_bytes, make_hotspot8(), make_j9())
+
+    def test_summary_text(self):
+        attribution = attribute_discrepancy(
+            figure2_bytes(), make_j9(), make_hotspot8())
+        assert "policy axes" in attribution.summary()
+        assert "j9 vs hotspot8" in attribution.summary()
+
+
+class TestAllPairs:
+    def test_figure2_pairs(self):
+        attributions = attribute_all_pairs(figure2_bytes(), all_jvms())
+        # J9 disagrees with the four others -> four pairs.
+        assert len(attributions) == 4
+        assert all("j9" in (a.from_jvm, a.to_jvm) for a in attributions)
+
+    def test_no_pairs_on_clean_class(self, demo_bytes):
+        assert attribute_all_pairs(demo_bytes, all_jvms()) == []

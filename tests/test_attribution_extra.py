@@ -1,0 +1,48 @@
+"""Additional attribution coverage: multi-axis splits and probe budgets."""
+
+import pytest
+
+from repro.core.attribution import attribute_discrepancy
+from repro.jimple import ClassBuilder, MethodBuilder
+from repro.jimple.to_classfile import compile_class_bytes
+from repro.jimple.types import INT, JType
+from repro.jvm.vendors import make_gij, make_hotspot8, make_j9
+
+
+def duplicate_field_bytes():
+    builder = ClassBuilder("DupA")
+    builder.default_init()
+    builder.main_printing()
+    builder.field("x", INT, ["public"])
+    builder.field("x", INT, ["public"])
+    return compile_class_bytes(builder.build())
+
+
+class TestMultiAxis:
+    def test_gij_duplicate_fields_single_axis(self):
+        attribution = attribute_discrepancy(
+            duplicate_field_bytes(), make_gij(), make_hotspot8())
+        # GIJ accepts; transplanting HotSpot's duplicate-field rejection
+        # makes GIJ reject too.  (Direction: explain GIJ's divergence.)
+        assert attribution.responsible_fields == ["reject_duplicate_fields"]
+
+    def test_phase_split_attributed_to_check_placement(self):
+        """HotSpot vs J9 both reject duplicate fields but in different
+        phases; the responsible axis is where the member checks run."""
+        attribution = attribute_discrepancy(
+            duplicate_field_bytes(), make_hotspot8(), make_j9())
+        assert "member_checks_at_linking" in attribution.responsible_fields
+
+    def test_flipped_outcome_recorded(self):
+        attribution = attribute_discrepancy(
+            duplicate_field_bytes(), make_gij(), make_hotspot8())
+        assert attribution.flipped is not None
+        assert attribution.flipped.error == "ClassFormatError"
+        assert attribution.baseline.ok
+
+    def test_probe_budget_respected(self):
+        attribution = attribute_discrepancy(
+            duplicate_field_bytes(), make_gij(), make_hotspot8(),
+            max_probes=3)
+        # Even with a tiny budget the session terminates with a verdict.
+        assert attribution.responsible_fields or attribution.environmental

@@ -1,0 +1,196 @@
+"""Unit tests for the bytecode opcode table and codec."""
+
+import pytest
+
+from repro.bytecode import (
+    Assembler,
+    Instruction,
+    InstructionError,
+    OPCODES,
+    Op,
+    decode_code,
+    encode_code,
+)
+from repro.bytecode.opcodes import NEWARRAY_TYPES, RETURN_OPS
+
+
+class TestOpcodeTable:
+    def test_every_standard_opcode_present(self):
+        assert len(OPCODES) == len(Op)
+
+    def test_mnemonics_unique(self):
+        mnemonics = [info.mnemonic for info in OPCODES.values()]
+        assert len(mnemonics) == len(set(mnemonics))
+
+    def test_return_is_terminal(self):
+        assert OPCODES[int(Op.RETURN)].is_terminal
+        assert OPCODES[int(Op.ATHROW)].is_terminal
+        assert OPCODES[int(Op.GOTO)].is_terminal
+
+    def test_conditional_branch_not_terminal(self):
+        info = OPCODES[int(Op.IFEQ)]
+        assert info.is_branch and not info.is_terminal
+
+    def test_invoke_has_dynamic_stack_effect(self):
+        info = OPCODES[int(Op.INVOKEVIRTUAL)]
+        assert info.pops is None and info.pushes is None
+
+    def test_iadd_stack_effect(self):
+        info = OPCODES[int(Op.IADD)]
+        assert info.pops == 2 and info.pushes == 1
+
+    def test_return_ops_cover_all_type_chars(self):
+        for char in "VIZBCSJFDL[":
+            assert char in RETURN_OPS
+
+    def test_newarray_types(self):
+        assert NEWARRAY_TYPES[10] == "int"
+        assert len(NEWARRAY_TYPES) == 8
+
+
+class TestDecode:
+    def test_simple_sequence(self):
+        code = bytes([int(Op.ICONST_0), int(Op.ICONST_1), int(Op.IADD),
+                      int(Op.IRETURN)])
+        instructions = decode_code(code)
+        assert [i.op for i in instructions] == [
+            Op.ICONST_0, Op.ICONST_1, Op.IADD, Op.IRETURN]
+        assert [i.offset for i in instructions] == [0, 1, 2, 3]
+
+    def test_bipush_operand(self):
+        code = bytes([int(Op.BIPUSH), 0x85])  # -123 as signed byte
+        (instruction,) = decode_code(code)
+        assert instruction.operands["value"] == -123
+
+    def test_branch_target_absolute(self):
+        # ifeq +5 at offset 0 -> target 5
+        code = bytes([int(Op.IFEQ), 0, 5, int(Op.NOP), int(Op.NOP),
+                      int(Op.RETURN)])
+        instructions = decode_code(code)
+        assert instructions[0].operands["target"] == 5
+        assert instructions[0].branch_targets() == [5]
+
+    def test_unknown_opcode(self):
+        with pytest.raises(InstructionError, match="unknown opcode"):
+            decode_code(bytes([0xFD]))
+
+    def test_truncated_operand(self):
+        with pytest.raises(InstructionError, match="truncated"):
+            decode_code(bytes([int(Op.SIPUSH), 0x01]))
+
+    def test_wide_iload(self):
+        code = bytes([int(Op.WIDE_PREFIX), int(Op.ILOAD), 0x01, 0x00,
+                      int(Op.RETURN)])
+        instructions = decode_code(code)
+        assert instructions[0].op is Op.ILOAD
+        assert instructions[0].operands["index"] == 256
+        assert instructions[0].operands["wide"]
+
+    def test_wide_iinc(self):
+        code = bytes([int(Op.WIDE_PREFIX), int(Op.IINC),
+                      0x00, 0x05, 0xFF, 0xFF])
+        (instruction,) = decode_code(code)
+        assert instruction.operands["index"] == 5
+        assert instruction.operands["const"] == -1
+
+    def test_wide_bad_target(self):
+        with pytest.raises(InstructionError, match="wide"):
+            decode_code(bytes([int(Op.WIDE_PREFIX), int(Op.NOP)]))
+
+    def test_invokeinterface_extras(self):
+        code = bytes([int(Op.INVOKEINTERFACE), 0, 7, 2, 0])
+        (instruction,) = decode_code(code)
+        assert instruction.operands["index"] == 7
+        assert instruction.operands["count"] == 2
+
+
+class TestSwitches:
+    def test_tableswitch_roundtrip(self):
+        asm = Assembler()
+        asm.emit(Op.ICONST_1)
+        asm.switch(Op.TABLESWITCH, "dflt", low=0, high=1,
+                   targets=["a", "b"])
+        asm.label("a")
+        asm.emit(Op.NOP)
+        asm.label("b")
+        asm.emit(Op.NOP)
+        asm.label("dflt")
+        asm.emit(Op.RETURN)
+        code = asm.build()
+        instructions = decode_code(code)
+        switch = instructions[1]
+        assert switch.op is Op.TABLESWITCH
+        assert len(switch.operands["targets"]) == 2
+        # Re-encode and re-decode must be stable.
+        assert encode_code(decode_code(code)) == code
+
+    def test_lookupswitch_roundtrip(self):
+        asm = Assembler()
+        asm.emit(Op.ICONST_1)
+        asm.switch(Op.LOOKUPSWITCH, "dflt", pairs=[(10, "case"),
+                                                   (20, "dflt")])
+        asm.label("case")
+        asm.emit(Op.NOP)
+        asm.label("dflt")
+        asm.emit(Op.RETURN)
+        code = asm.build()
+        instructions = decode_code(code)
+        assert instructions[1].operands["pairs"][0][0] == 10
+        assert encode_code(decode_code(code)) == code
+
+    def test_tableswitch_high_below_low(self):
+        # Hand-craft a tableswitch with high < low at offset 0.
+        import struct
+
+        body = bytes([int(Op.TABLESWITCH)]) + b"\x00" * 3
+        body += struct.pack(">iii", 12, 5, 2)
+        with pytest.raises(InstructionError, match="high"):
+            decode_code(body)
+
+
+class TestEncode:
+    def test_roundtrip_stability(self):
+        code = bytes([int(Op.ICONST_0), int(Op.ISTORE_1), int(Op.ILOAD_1),
+                      int(Op.IRETURN)])
+        assert encode_code(decode_code(code)) == code
+
+    def test_branch_retargeting_after_deletion(self):
+        # goto over a nop; delete the nop and the delta must shrink.
+        code = bytes([int(Op.GOTO), 0, 4, int(Op.NOP), int(Op.RETURN)])
+        instructions = decode_code(code)
+        del instructions[1]  # remove the nop at offset 3... wait: 1 is nop
+        recoded = encode_code(instructions)
+        redecoded = decode_code(recoded)
+        assert redecoded[0].operands["target"] == redecoded[1].offset
+
+    def test_dangling_branch_target_rejected(self):
+        instruction = Instruction(0, Op.GOTO, {"target": 99})
+        with pytest.raises(InstructionError, match="not an instruction"):
+            encode_code([instruction])
+
+
+class TestAssembler:
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(InstructionError, match="duplicate"):
+            asm.label("x")
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler()
+        asm.branch(Op.GOTO, "nowhere")
+        with pytest.raises(InstructionError, match="undefined"):
+            asm.build()
+
+    def test_forward_and_backward_branches(self):
+        asm = Assembler()
+        asm.label("top")
+        asm.emit(Op.ICONST_0)
+        asm.branch(Op.IFEQ, "end")
+        asm.branch(Op.GOTO, "top")
+        asm.label("end")
+        asm.emit(Op.RETURN)
+        instructions = decode_code(asm.build())
+        assert instructions[2].operands["target"] == 0      # back to top
+        assert instructions[1].operands["target"] == \
+            instructions[3].offset                           # forward to end

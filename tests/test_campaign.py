@@ -1,0 +1,87 @@
+"""Tests for campaign orchestration and the paper-scale cost model."""
+
+import pytest
+
+from repro.core.campaign import (
+    ALL_ALGORITHMS,
+    ITERATION_COST,
+    PAPER_BUDGET_SECONDS,
+    CampaignRun,
+    format_table4,
+    iterations_for_budget,
+    run_campaign,
+)
+from repro.corpus import CorpusConfig, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def seeds():
+    return generate_corpus(CorpusConfig(count=20, seed=3))
+
+
+class TestCostModel:
+    def test_full_budget_reproduces_table4_iterations(self):
+        expected = {"classfuzz[stbr]": 2130, "classfuzz[st]": 2108,
+                    "classfuzz[tr]": 1971, "uniquefuzz": 1898,
+                    "greedyfuzz": 1911, "randfuzz": 46318}
+        for label, iterations in expected.items():
+            assert iterations_for_budget(label,
+                                         PAPER_BUDGET_SECONDS) == iterations
+
+    def test_directed_iteration_costs_cluster(self):
+        directed = [cost for label, cost in ITERATION_COST.items()
+                    if label != "randfuzz"]
+        assert all(110 < cost < 140 for cost in directed)
+        assert ITERATION_COST["randfuzz"] < 10
+
+    def test_minimum_one_iteration(self):
+        assert iterations_for_budget("randfuzz", 0.001) == 1
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            iterations_for_budget("nope", 100)
+
+
+class TestCampaign:
+    def test_runs_requested_algorithms(self, seeds):
+        runs = run_campaign(seeds, 3000.0,
+                            algorithms=("classfuzz[stbr]", "randfuzz"))
+        assert [run.label for run in runs] == ["classfuzz[stbr]",
+                                               "randfuzz"]
+
+    def test_evaluation_optional(self, seeds):
+        runs = run_campaign(seeds, 2000.0, algorithms=("randfuzz",))
+        assert runs[0].gen_report is None
+        runs = run_campaign(seeds, 2000.0, algorithms=("randfuzz",),
+                            evaluate=True)
+        assert runs[0].gen_report is not None
+
+    def test_repetitions_keep_largest_suite(self, seeds):
+        single = run_campaign(seeds, 4000.0,
+                              algorithms=("classfuzz[stbr]",),
+                              rng_seed=1, repetitions=1)
+        best = run_campaign(seeds, 4000.0,
+                            algorithms=("classfuzz[stbr]",),
+                            rng_seed=1, repetitions=3)
+        assert len(best[0].fuzz.test_classes) >= \
+            len(single[0].fuzz.test_classes)
+
+    def test_modeled_costs_positive(self, seeds):
+        runs = run_campaign(seeds, 3000.0, algorithms=("classfuzz[stbr]",))
+        run = runs[0]
+        if run.fuzz.gen_classes:
+            assert run.modeled_seconds_per_generated > 0
+        if run.fuzz.test_classes:
+            assert run.modeled_seconds_per_test >= \
+                run.modeled_seconds_per_generated
+
+    def test_table4_formatting(self, seeds):
+        runs = run_campaign(seeds, 2000.0,
+                            algorithms=("classfuzz[stbr]", "randfuzz"))
+        table = format_table4(runs)
+        assert "algorithm" in table and "succ" in table
+        assert "classfuzz[stbr]" in table
+        assert len(table.splitlines()) == 3
+
+    def test_all_algorithms_constant(self):
+        assert set(ALL_ALGORITHMS) == set(ITERATION_COST)

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def seeds_dir(tmp_path):
+    out = tmp_path / "seeds"
+    code = main(["corpus", "--count", "6", "--out", str(out)])
+    assert code == 0
+    return out
+
+
+class TestCorpusCommand:
+    def test_writes_class_files(self, seeds_dir, capsys):
+        files = list(seeds_dir.glob("*.class"))
+        assert len(files) == 6
+        assert files[0].read_bytes()[:4] == b"\xca\xfe\xba\xbe"
+
+    def test_deterministic(self, tmp_path):
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        main(["corpus", "--count", "3", "--out", str(first)])
+        main(["corpus", "--count", "3", "--out", str(second)])
+        for path in first.glob("*.class"):
+            assert path.read_bytes() == (second / path.name).read_bytes()
+
+
+class TestInspectCommand:
+    def test_inspect_output(self, seeds_dir, capsys):
+        target = sorted(seeds_dir.glob("*.class"))[0]
+        assert main(["inspect", str(target)]) == 0
+        output = capsys.readouterr().out
+        assert "major version: 51" in output
+        assert "Constant pool:" in output
+
+    def test_no_pool_flag(self, seeds_dir, capsys):
+        target = sorted(seeds_dir.glob("*.class"))[0]
+        main(["inspect", str(target), "--no-pool"])
+        assert "Constant pool:" not in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_all_jvms(self, seeds_dir, capsys):
+        target = sorted(seeds_dir.glob("*.class"))[0]
+        main(["run", str(target)])
+        output = capsys.readouterr().out
+        for name in ("hotspot7", "hotspot8", "hotspot9", "j9", "gij"):
+            assert name in output
+
+    def test_run_single_jvm(self, seeds_dir, capsys):
+        target = sorted(seeds_dir.glob("*.class"))[0]
+        main(["run", str(target), "--jvm", "gij"])
+        output = capsys.readouterr().out
+        assert "gij" in output and "hotspot7" not in output
+
+
+class TestFuzzCommand:
+    def test_fuzz_writes_suite(self, tmp_path, capsys):
+        out = tmp_path / "mutants"
+        code = main(["fuzz", "--iterations", "40", "--seed-count", "20",
+                     "--out", str(out)])
+        assert code == 0
+        assert list((out / "tests").glob("*.class"))
+        assert list((out / "tests").glob("*.info"))   # LCOV traces
+        assert (out / "manifest.json").exists()
+        assert "accepted" in capsys.readouterr().out
+
+    def test_fuzz_suite_difftests(self, tmp_path, capsys):
+        out = tmp_path / "mutants"
+        main(["fuzz", "--iterations", "40", "--seed-count", "20",
+              "--out", str(out)])
+        capsys.readouterr()
+        main(["difftest", str(out / "tests")])
+        assert "discrepancies" in capsys.readouterr().out
+
+    def test_randfuzz_algorithm(self, capsys):
+        code = main(["fuzz", "--algorithm", "randfuzz", "--iterations",
+                     "20", "--seed-count", "10"])
+        assert code == 0
+        assert "randfuzz" in capsys.readouterr().out
+
+
+class TestDifftestCommand:
+    def test_difftest_directory(self, seeds_dir, capsys):
+        main(["difftest", str(seeds_dir)])
+        output = capsys.readouterr().out
+        assert "discrepancies" in output
+
+    def test_difftest_empty(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["difftest", str(empty)]) == 2
+
+
+class TestReduceCommand:
+    def test_reduce_discrepant_classfile(self, tmp_path, capsys):
+        from repro.jimple import ClassBuilder, MethodBuilder
+        from repro.jimple.to_classfile import compile_class_bytes
+
+        builder = ClassBuilder("Fig2")
+        builder.default_init()
+        builder.main_printing()
+        clinit = MethodBuilder("<clinit>", modifiers=["public", "abstract"])
+        clinit.abstract_body()
+        builder.method(clinit.build())
+        path = tmp_path / "Fig2.class"
+        path.write_bytes(compile_class_bytes(builder.build()))
+        assert main(["reduce", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "JVM discrepancy report" in output
+        assert "classification:" in output
+
+    def test_reduce_clean_classfile_fails(self, tmp_path, capsys):
+        from repro.jimple import ClassBuilder
+        from repro.jimple.to_classfile import compile_class_bytes
+
+        builder = ClassBuilder("Clean")
+        builder.default_init()
+        builder.main_printing()
+        path = tmp_path / "Clean.class"
+        path.write_bytes(compile_class_bytes(builder.build()))
+        assert main(["reduce", str(path)]) == 2

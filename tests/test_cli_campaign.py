@@ -1,0 +1,23 @@
+"""CLI campaign command (smoke, at a tiny scale)."""
+
+from repro.cli import main
+
+
+def test_campaign_command(capsys):
+    code = main(["campaign", "--budget-scale", "0.002",
+                 "--seed-count", "30",
+                 "--algorithms", "classfuzz[stbr]", "randfuzz"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "Table 4" in output
+    assert "Table 6" in output
+    assert "classfuzz[stbr]" in output
+    assert "randfuzz" in output
+
+
+def test_campaign_respects_algorithm_selection(capsys):
+    main(["campaign", "--budget-scale", "0.002", "--seed-count", "20",
+          "--algorithms", "greedyfuzz"])
+    output = capsys.readouterr().out
+    assert "greedyfuzz" in output
+    assert "uniquefuzz" not in output

@@ -1,0 +1,75 @@
+"""Tests for the synthetic seed corpus generator."""
+
+import pytest
+
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.core.difftest import DifferentialHarness
+from repro.jimple.to_classfile import compile_class_bytes
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusConfig(count=200, seed=99))
+
+
+class TestGeneration:
+    def test_requested_count(self, corpus):
+        assert len(corpus) == 200
+
+    def test_deterministic(self):
+        config = CorpusConfig(count=30, seed=5)
+        first = generate_corpus(config)
+        second = generate_corpus(config)
+        from repro.jimple import print_class
+
+        assert [print_class(c) for c in first] == \
+            [print_class(c) for c in second]
+
+    def test_unique_names(self, corpus):
+        names = [jclass.name for jclass in corpus]
+        assert len(set(names)) == len(names)
+
+    def test_every_seed_compiles(self, corpus):
+        for jclass in corpus:
+            data = compile_class_bytes(jclass)
+            assert data[:4] == b"\xca\xfe\xba\xbe"
+
+    def test_version_51(self, corpus):
+        assert all(jclass.major_version == 51 for jclass in corpus)
+
+    def test_contains_interfaces(self, corpus):
+        fraction = sum(1 for c in corpus if c.is_interface) / len(corpus)
+        assert 0.05 < fraction < 0.25
+
+    def test_most_lack_main(self, corpus):
+        """Like real library classes, seeds mostly have no main (§3.1.1)."""
+        with_main = sum(1 for c in corpus if c.find_method("main"))
+        assert with_main / len(corpus) < 0.1
+
+    def test_some_have_clinit(self, corpus):
+        assert any(c.find_method("<clinit>") for c in corpus)
+
+    def test_structural_variety(self, corpus):
+        field_counts = {len(c.fields) for c in corpus}
+        method_counts = {len(c.methods) for c in corpus}
+        assert len(field_counts) >= 3
+        assert len(method_counts) >= 3
+
+
+class TestBaselineRates:
+    """The preliminary-study shape: a small discrepancy baseline."""
+
+    def test_seed_discrepancy_rate_near_paper(self, corpus, harness):
+        results = [harness.run_one(compile_class_bytes(c), c.name)
+                   for c in corpus]
+        rate = sum(1 for r in results if r.is_discrepancy) / len(results)
+        # Paper: 1.7 % (full JRE7) to 3.0 % (sampled seeds).
+        assert 0.005 <= rate <= 0.08
+
+    def test_most_seeds_rejected_same_stage(self, corpus, harness):
+        """Table 6 seeds row: the bulk is 'all rejected at the same
+        stage' (no main method)."""
+        results = [harness.run_one(compile_class_bytes(c), c.name)
+                   for c in corpus[:80]]
+        same_stage = sum(1 for r in results if r.all_rejected_same_stage)
+        assert same_stage / len(results) > 0.75

@@ -1,0 +1,182 @@
+"""Unit tests for tracefiles, the ⊕ merge, and the uniqueness criteria."""
+
+import pytest
+
+from repro.coverage import (
+    CoverageCollector,
+    Tracefile,
+    active_collector,
+    branch,
+    make_criterion,
+    merge,
+    probe,
+)
+from repro.coverage.tracefile import same_branch_sets, same_statement_sets
+from repro.coverage.uniqueness import (
+    StBrUniqueness,
+    StUniqueness,
+    TrUniqueness,
+)
+
+
+def trace(statements, branches=()):
+    return Tracefile(statements={s: 1 for s in statements},
+                     branches={b: 1 for b in branches})
+
+
+class TestCollector:
+    def test_probe_noop_without_collector(self):
+        assert active_collector() is None
+        probe("x")  # must not raise
+
+    def test_branch_returns_condition(self):
+        assert branch("site", True) is True
+        assert branch("site", False) is False
+
+    def test_collection(self):
+        collector = CoverageCollector()
+        with collector:
+            probe("a")
+            probe("a")
+            probe("b")
+            branch("c", True)
+            branch("c", False)
+        result = collector.tracefile()
+        assert result.stmt == 2
+        assert result.br == 2
+        assert result.statements["a"] == 2
+
+    def test_nested_collectors_rejected(self):
+        with CoverageCollector():
+            with pytest.raises(RuntimeError):
+                CoverageCollector().__enter__()
+        assert active_collector() is None
+
+    def test_collector_cleared_after_exit(self):
+        with CoverageCollector():
+            pass
+        assert active_collector() is None
+
+
+class TestTracefile:
+    def test_statistics(self):
+        t = trace(["a", "b"], [("c", True)])
+        assert t.signature == (2, 1)
+
+    def test_merge_unions_sites(self):
+        merged = merge(trace(["a"]), trace(["b"]))
+        assert merged.stmt == 2
+
+    def test_merge_sums_frequencies(self):
+        merged = merge(trace(["a"]), trace(["a"]))
+        assert merged.statements["a"] == 2
+        assert merged.stmt == 1
+
+    def test_merge_operator_alias(self):
+        assert (trace(["a"]) | trace(["b"])).stmt == 2
+
+    def test_same_statement_sets(self):
+        assert same_statement_sets(trace(["a", "b"]), trace(["a", "b"]))
+        assert not same_statement_sets(trace(["a", "b"]), trace(["a", "c"]))
+
+    def test_same_branch_sets(self):
+        first = trace([], [("x", True)])
+        second = trace([], [("x", False)])
+        assert not same_branch_sets(first, second)
+        assert same_branch_sets(first, trace([], [("x", True)]))
+
+    def test_equal_counts_different_sets_detected_by_merge(self):
+        """The [tr]-vs-[stbr] distinction: same statistics, different sets."""
+        first = trace(["a", "b"])
+        second = trace(["a", "c"])
+        assert first.signature == second.signature
+        assert not same_statement_sets(first, second)
+
+
+class TestUniquenessCriteria:
+    def test_st_by_count_only(self):
+        criterion = StUniqueness()
+        assert criterion.check_and_accept(trace(["a", "b"]))
+        # Different sites, same count -> NOT unique under [st].
+        assert not criterion.check_and_accept(trace(["c", "d"]))
+        assert criterion.check_and_accept(trace(["a"]))
+
+    def test_stbr_by_count_pair(self):
+        criterion = StBrUniqueness()
+        assert criterion.check_and_accept(trace(["a"], [("x", True)]))
+        # Same stmt count, different branch count -> unique.
+        assert criterion.check_and_accept(
+            trace(["a"], [("x", True), ("x", False)]))
+        # Same pair -> rejected even with different sites.
+        assert not criterion.check_and_accept(trace(["b"], [("y", True)]))
+
+    def test_tr_by_sets(self):
+        criterion = TrUniqueness()
+        assert criterion.check_and_accept(trace(["a", "b"]))
+        # Same counts, different set -> unique under [tr].
+        assert criterion.check_and_accept(trace(["a", "c"]))
+        # Exact same set -> rejected.
+        assert not criterion.check_and_accept(trace(["a", "b"]))
+
+    def test_tr_considers_branch_sets(self):
+        criterion = TrUniqueness()
+        assert criterion.check_and_accept(trace(["a"], [("x", True)]))
+        assert criterion.check_and_accept(trace(["a"], [("x", False)]))
+
+    def test_tr_accepts_everything_stbr_accepts(self):
+        """[tr] is strictly weaker as a rejection filter than [stbr]."""
+        traces = [trace(["a"]), trace(["a", "b"]),
+                  trace(["c"], [("x", True)]), trace(["a", "c"])]
+        stbr, tr = StBrUniqueness(), TrUniqueness()
+        for t in traces:
+            if stbr.is_unique(t):
+                assert tr.is_unique(t)
+            stbr.check_and_accept(t)
+            tr.check_and_accept(t)
+
+    def test_factory(self):
+        assert isinstance(make_criterion("st"), StUniqueness)
+        assert isinstance(make_criterion("stbr"), StBrUniqueness)
+        assert isinstance(make_criterion("tr"), TrUniqueness)
+        with pytest.raises(ValueError):
+            make_criterion("nope")
+
+
+class TestEndToEndCoverage:
+    def test_reference_run_produces_coverage(self, demo_bytes):
+        from repro.jvm.vendors import reference_jvm
+
+        collector = CoverageCollector()
+        with collector:
+            reference_jvm().run(demo_bytes)
+        result = collector.tracefile()
+        assert result.stmt > 30
+        assert result.br > 20
+        assert any(site.startswith("verifier.op.") for site in
+                   result.statements)
+        assert any(site.startswith("interp.op.") for site in
+                   result.statements)
+
+    def test_uninstrumented_run_records_nothing(self, demo_bytes):
+        from repro.jvm.vendors import make_j9
+
+        collector = CoverageCollector()
+        make_j9().run(demo_bytes)   # outside the collector context
+        assert collector.tracefile().stmt == 0
+
+    def test_different_classes_different_traces(self, demo_bytes):
+        from repro.jimple import ClassBuilder
+        from repro.jimple.to_classfile import compile_class_bytes
+        from repro.jvm.vendors import reference_jvm
+
+        bad = ClassBuilder("Bad", superclass="com.example.Missing")
+        bad.main_printing()
+        bad_bytes = compile_class_bytes(bad.build())
+        jvm = reference_jvm()
+        traces = []
+        for data in (demo_bytes, bad_bytes):
+            collector = CoverageCollector()
+            with collector:
+                jvm.run(data)
+            traces.append(collector.tracefile())
+        assert traces[0].stmt_set != traces[1].stmt_set

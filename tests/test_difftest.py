@@ -1,0 +1,127 @@
+"""Tests for the differential harness, outcome encoding, and metrics."""
+
+import pytest
+
+from repro.core.difftest import DifferentialHarness
+from repro.core.metrics import evaluate_suite, format_table
+from repro.jimple import ClassBuilder, MethodBuilder
+from repro.jimple.to_classfile import compile_class_bytes
+from repro.jvm.outcome import (
+    DifferentialResult,
+    Outcome,
+    Phase,
+    encode_outcomes,
+    is_discrepancy,
+)
+
+
+def figure2_class_bytes():
+    """The Figure 2 mutant: abstract code-less <clinit>."""
+    builder = ClassBuilder("M1436188543")
+    builder.default_init()
+    builder.main_printing("Completed!")
+    method = MethodBuilder("<clinit>", modifiers=["public", "abstract"])
+    method.abstract_body()
+    builder.method(method.build())
+    return compile_class_bytes(builder.build())
+
+
+class TestOutcomeEncoding:
+    def test_phase_codes_match_paper(self):
+        assert Phase.INVOKED == 0
+        assert Phase.LOADING == 1
+        assert Phase.LINKING == 2
+        assert Phase.INITIALIZATION == 3
+        assert Phase.RUNTIME == 4
+
+    def test_encode(self):
+        outcomes = [Outcome(Phase.INVOKED), Outcome(Phase.LOADING),
+                    Outcome(Phase.LINKING)]
+        assert encode_outcomes(outcomes) == (0, 1, 2)
+
+    def test_discrepancy_detection(self):
+        assert is_discrepancy((0, 0, 0, 1, 2))
+        assert not is_discrepancy((0, 0, 0, 0, 0))
+        assert not is_discrepancy((2, 2, 2, 2, 2))
+
+    def test_figure3_shape(self):
+        """Figure 3: invoked on three HotSpots, rejected by J9 and GIJ in
+        different phases — the sequence 0 0 0 x y with x != y != 0."""
+        result = DifferentialResult(outcomes=[
+            Outcome(Phase.INVOKED, jvm_name="hotspot7"),
+            Outcome(Phase.INVOKED, jvm_name="hotspot8"),
+            Outcome(Phase.INVOKED, jvm_name="hotspot9"),
+            Outcome(Phase.LOADING, jvm_name="j9"),
+            Outcome(Phase.LINKING, jvm_name="gij"),
+        ])
+        assert result.codes == (0, 0, 0, 1, 2)
+        assert result.is_discrepancy
+        assert not result.all_invoked
+        assert not result.all_rejected_same_stage
+
+    def test_all_rejected_same_stage(self):
+        result = DifferentialResult(outcomes=[
+            Outcome(Phase.LINKING) for _ in range(5)])
+        assert result.all_rejected_same_stage
+        assert not result.is_discrepancy
+
+    def test_summary_mentions_every_jvm(self):
+        result = DifferentialResult(outcomes=[
+            Outcome(Phase.INVOKED, jvm_name="a"),
+            Outcome(Phase.RUNTIME, error="NullPointerException",
+                    jvm_name="b"),
+        ], label="X")
+        text = result.summary()
+        assert "a:" in text and "b:" in text
+
+
+class TestHarness:
+    def test_default_harness_has_five_jvms(self, harness):
+        assert harness.jvm_names == ["hotspot7", "hotspot8", "hotspot9",
+                                     "j9", "gij"]
+
+    def test_valid_class_no_discrepancy(self, harness, demo_bytes):
+        result = harness.run_one(demo_bytes, "Demo")
+        assert result.all_invoked
+        assert not result.is_discrepancy
+
+    def test_figure2_discrepancy(self, harness):
+        result = harness.run_one(figure2_class_bytes(), "M1436188543")
+        assert result.is_discrepancy
+        # Only J9's column differs.
+        assert result.codes == (0, 0, 0, 1, 0)
+
+    def test_distinct_discrepancy_grouping(self, harness, demo_bytes):
+        results = [harness.run_one(figure2_class_bytes(), "a"),
+                   harness.run_one(figure2_class_bytes(), "b"),
+                   harness.run_one(demo_bytes, "c")]
+        categories = harness.distinct_discrepancies(results)
+        assert categories == {(0, 0, 0, 1, 0): 2}
+
+    def test_phase_table_totals(self, harness, demo_bytes):
+        results = harness.run_many([("demo", demo_bytes),
+                                    ("fig2", figure2_class_bytes())])
+        table = harness.phase_table(results)
+        for name in harness.jvm_names:
+            assert sum(table[name]) == 2
+        assert table["j9"][int(Phase.LOADING)] == 1
+
+
+class TestMetrics:
+    def test_evaluate_suite_counts(self, harness, demo_bytes):
+        report = evaluate_suite("suite", [
+            ("demo", demo_bytes), ("fig2", figure2_class_bytes())], harness)
+        assert report.size == 2
+        assert report.all_invoked == 1
+        assert report.discrepancies == 1
+        assert report.distinct_discrepancies == 1
+        assert report.diff == pytest.approx(0.5)
+
+    def test_empty_suite(self, harness):
+        report = evaluate_suite("empty", [], harness)
+        assert report.diff == 0.0
+
+    def test_format_table(self, harness, demo_bytes):
+        report = evaluate_suite("suite", [("demo", demo_bytes)], harness)
+        text = format_table([report])
+        assert "suite" in text and "diff" in text

@@ -1,0 +1,49 @@
+"""Tests for the donor-class pool backing replace-all-members mutators."""
+
+import random
+
+from repro.classfile.writer import write_class
+from repro.core.mutators.donors import DONORS, random_donor
+from repro.jimple.to_classfile import compile_class
+
+
+class TestDonors:
+    def test_pool_nonempty_and_varied(self):
+        assert len(DONORS) >= 3
+        names = {donor.name for donor in DONORS}
+        assert len(names) == len(DONORS)
+
+    def test_every_donor_compiles(self):
+        for donor in DONORS:
+            data = write_class(compile_class(donor))
+            assert data[:4] == b"\xca\xfe\xba\xbe"
+
+    def test_donors_offer_fields_and_methods(self):
+        assert any(donor.fields for donor in DONORS)
+        assert all(donor.methods for donor in DONORS)
+        assert any(method.thrown
+                   for donor in DONORS for method in donor.methods)
+
+    def test_one_donor_carries_main(self):
+        assert any(donor.find_method("main") for donor in DONORS)
+
+    def test_random_donor_deterministic(self):
+        assert random_donor(random.Random(4)).name == \
+            random_donor(random.Random(4)).name
+
+    def test_replace_all_does_not_alias_donor(self):
+        """Mutators deep-copy donor members: mutating the mutant must not
+        corrupt the shared pool."""
+        from repro.core.mutators import mutator_by_name
+        from repro.jimple import ClassBuilder
+
+        rng = random.Random(0)
+        victim = ClassBuilder("Victim").default_init().build()
+        assert mutator_by_name("method.replace_all")(victim, rng)
+        donor_names_before = [
+            [m.name for m in donor.methods] for donor in DONORS]
+        for method in victim.methods:
+            method.name = "clobbered"
+        donor_names_after = [
+            [m.name for m in donor.methods] for donor in DONORS]
+        assert donor_names_before == donor_names_after

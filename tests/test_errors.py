@@ -1,0 +1,63 @@
+"""Tests for the JVM error taxonomy."""
+
+import pytest
+
+from repro import errors
+from repro.errors import (
+    ClassFormatError,
+    IncompatibleClassChangeError,
+    JavaError,
+    LinkageError,
+    NoSuchFieldError,
+    NullPointerException,
+    PHASE_ERRORS,
+    UnsupportedClassVersionError,
+    VerifyError,
+)
+
+
+class TestHierarchy:
+    def test_format_error_is_linkage_error(self):
+        assert issubclass(ClassFormatError, LinkageError)
+        assert issubclass(UnsupportedClassVersionError, ClassFormatError)
+
+    def test_incompatible_change_family(self):
+        assert issubclass(NoSuchFieldError, IncompatibleClassChangeError)
+        assert issubclass(IncompatibleClassChangeError, LinkageError)
+
+    def test_everything_is_java_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and name.endswith(("Error", "Error_",
+                                                        "Exception")):
+                assert issubclass(obj, JavaError), name
+
+    def test_java_names_fully_qualified(self):
+        assert VerifyError.java_name == "java.lang.VerifyError"
+        assert NullPointerException("x").simple_name == \
+            "NullPointerException"
+
+    def test_message_attribute(self):
+        error = ClassFormatError("bad magic")
+        assert error.message == "bad magic"
+        assert str(error) == "bad magic"
+
+    def test_catchable_as_python_exception(self):
+        with pytest.raises(JavaError):
+            raise VerifyError("nope")
+
+
+class TestPhaseTable:
+    def test_table1_phases_present(self):
+        assert set(PHASE_ERRORS) == {"loading", "linking",
+                                     "initialization", "execution"}
+
+    def test_loading_errors_match_table1(self):
+        names = {cls.__name__ for cls in PHASE_ERRORS["loading"]}
+        assert {"ClassCircularityError", "ClassFormatError",
+                "NoClassDefFoundError"} <= names
+
+    def test_linking_errors_match_table1(self):
+        names = {cls.__name__ for cls in PHASE_ERRORS["linking"]}
+        assert "VerifyError" in names
+        assert "IncompatibleClassChangeError" in names

@@ -1,0 +1,43 @@
+"""The examples advertised in the README exist and are importable."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+_SCRIPTS = sorted(EXAMPLES.glob("*.py"))
+
+
+def test_at_least_five_examples():
+    assert len(_SCRIPTS) >= 5
+
+
+@pytest.mark.parametrize("script", _SCRIPTS, ids=lambda p: p.name)
+def test_example_parses_and_has_main(script):
+    tree = ast.parse(script.read_text())
+    assert ast.get_docstring(tree), f"{script.name} lacks a docstring"
+    functions = {node.name for node in ast.walk(tree)
+                 if isinstance(node, ast.FunctionDef)}
+    assert "main" in functions, f"{script.name} lacks a main()"
+
+
+@pytest.mark.parametrize("script", _SCRIPTS, ids=lambda p: p.name)
+def test_example_only_imports_public_package(script):
+    tree = ast.parse(script.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                assert alias.name.split(".")[0] in ("repro", "sys"), \
+                    alias.name
+        elif isinstance(node, ast.ImportFrom):
+            assert (node.module or "").split(".")[0] in ("repro",
+                                                         "pathlib"), \
+                node.module
+
+
+def test_readme_references_every_example():
+    readme = (EXAMPLES.parent / "README.md").read_text()
+    for script in _SCRIPTS:
+        assert script.name in readme, script.name

@@ -1,0 +1,67 @@
+"""Tests for the version-fuzzing extension (beyond the paper's scope)."""
+
+import random
+
+import pytest
+
+from repro.core.extensions import VERSION_MUTATORS, versionfuzz
+from repro.core.extensions.versionfuzz import version_discrepancy_vectors
+from repro.core.mutators import MUTATORS
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.jimple import ClassBuilder
+
+
+class TestVersionMutators:
+    def test_registry_untouched(self):
+        """The extension must not grow the 129-operator registry."""
+        assert len(MUTATORS) == 129
+        names = {m.name for m in MUTATORS}
+        assert all(m.name not in names for m in VERSION_MUTATORS)
+
+    def test_set_version(self):
+        rng = random.Random(0)
+        jclass = ClassBuilder("V").build()
+        setter = next(m for m in VERSION_MUTATORS
+                      if m.name == "version.set_53")
+        assert setter(jclass, rng)
+        assert jclass.major_version == 53
+        assert not setter(jclass, rng)  # already 53 -> inapplicable
+
+    def test_bump_and_drop(self):
+        rng = random.Random(0)
+        jclass = ClassBuilder("V").build()
+        bump = next(m for m in VERSION_MUTATORS if m.name == "version.bump")
+        drop = next(m for m in VERSION_MUTATORS if m.name == "version.drop")
+        assert bump(jclass, rng)
+        assert jclass.major_version == 52
+        assert drop(jclass, rng)
+        assert jclass.major_version == 51
+
+    def test_drop_floors_at_45(self):
+        rng = random.Random(0)
+        jclass = ClassBuilder("V").build()
+        jclass.major_version = 45
+        drop = next(m for m in VERSION_MUTATORS if m.name == "version.drop")
+        assert not drop(jclass, rng)
+
+
+class TestVersionFuzz:
+    @pytest.fixture(scope="class")
+    def run(self):
+        seeds = generate_corpus(CorpusConfig(count=40, seed=77))
+        return versionfuzz(seeds, iterations=250, seed=77)
+
+    def test_produces_off_version_mutants(self, run):
+        versions = {g.jclass.major_version for g in run.gen_classes}
+        assert versions - {51}, "no version mutation ever applied"
+
+    def test_finds_version_gate_discrepancies(self, run, harness):
+        vectors = version_discrepancy_vectors(run, harness)
+        assert vectors, "version fuzzing revealed no new discrepancies"
+        # Version-ceiling splits reject at loading (code 1) on the JVMs
+        # whose ceiling is below the mutant's version.
+        assert any(1 in vector for vector in vectors)
+
+    def test_report_covers_extended_registry(self, run):
+        assert len(run.mutator_report) == 129 + len(VERSION_MUTATORS)
+        assert run.algorithm == "versionfuzz"

@@ -1,0 +1,65 @@
+"""Tests for the §2.3 fine-grained outcome analysis."""
+
+from repro.classfile.writer import write_class
+from repro.core.metrics import evaluate_suite
+from repro.jimple import ClassBuilder, compile_class
+from repro.jvm.outcome import (
+    DifferentialResult,
+    Outcome,
+    Phase,
+    encode_outcomes_fine,
+)
+
+
+class TestFineEncoding:
+    def test_fine_codes_carry_error_names(self):
+        outcomes = [
+            Outcome(Phase.INVOKED, jvm_name="a"),
+            Outcome(Phase.LINKING, error="VerifyError", jvm_name="b"),
+        ]
+        assert encode_outcomes_fine(outcomes) == (
+            (0, ""), (2, "VerifyError"))
+
+    def test_same_phase_different_error_is_fine_discrepancy(self):
+        """The phase encoding's false negative: both reject at linking,
+        but for different reasons."""
+        result = DifferentialResult(outcomes=[
+            Outcome(Phase.LINKING, error="VerifyError", jvm_name="a"),
+            Outcome(Phase.LINKING, error="IncompatibleClassChangeError",
+                    jvm_name="b"),
+        ])
+        assert not result.is_discrepancy
+        assert result.is_fine_discrepancy
+
+    def test_identical_outcomes_not_fine_discrepant(self):
+        result = DifferentialResult(outcomes=[
+            Outcome(Phase.LINKING, error="VerifyError", jvm_name="a"),
+            Outcome(Phase.LINKING, error="VerifyError", jvm_name="b"),
+        ])
+        assert not result.is_fine_discrepancy
+
+    def test_fine_implies_at_least_phase_count(self, harness):
+        """Over a real suite, fine discrepancies ⊇ phase discrepancies."""
+        from repro.corpus import CorpusConfig, generate_corpus
+        from repro.jimple.to_classfile import compile_class_bytes
+
+        seeds = generate_corpus(CorpusConfig(count=60, seed=21))
+        suite = [(s.name, compile_class_bytes(s)) for s in seeds]
+        report = evaluate_suite("seeds", suite, harness)
+        assert report.fine_discrepancies >= report.discrepancies
+
+    def test_real_same_phase_split_detected(self, harness):
+        """Extending ``sun.misc.Unsafe`` (final + restricted): HotSpot 8
+        rejects with VerifyError, HotSpot 9 with IllegalAccessError —
+        both during linking, so the phase codes agree between them and
+        only the fine encoding separates the two HotSpots."""
+        builder = ClassBuilder("SubUnsafe", superclass="sun.misc.Unsafe")
+        builder.default_init()
+        builder.main_printing()
+        data = write_class(compile_class(builder.build()))
+        result = harness.run_one(data, "SubUnsafe")
+        by_name = {o.jvm_name: o for o in result.outcomes}
+        assert by_name["hotspot8"].code == by_name["hotspot9"].code == 2
+        assert by_name["hotspot8"].error == "VerifyError"
+        assert by_name["hotspot9"].error == "IllegalAccessError"
+        assert result.is_fine_discrepancy

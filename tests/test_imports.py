@@ -1,0 +1,41 @@
+"""Package hygiene: every module imports cleanly and carries a docstring."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+_MODULES = [name for _, name, _ in pkgutil.walk_packages(
+    repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")]  # importing __main__ runs the CLI
+
+
+@pytest.mark.parametrize("module_name", _MODULES)
+def test_module_imports(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_module_inventory_is_substantial():
+    """The package keeps its many-small-modules structure."""
+    assert len(_MODULES) > 40
+    packages = {name.rsplit(".", 1)[0] for name in _MODULES}
+    for subsystem in ("repro.classfile", "repro.bytecode", "repro.jimple",
+                      "repro.runtime", "repro.jvm", "repro.coverage",
+                      "repro.corpus", "repro.core",
+                      "repro.core.mutators", "repro.core.extensions"):
+        assert subsystem in packages | set(_MODULES), subsystem
+
+
+def test_public_classes_have_docstrings():
+    import inspect
+
+    for module_name in _MODULES:
+        module = importlib.import_module(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if inspect.isclass(obj) and obj.__module__ == module_name:
+                assert obj.__doc__, f"{module_name}.{name}"

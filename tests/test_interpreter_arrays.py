@@ -1,0 +1,153 @@
+"""Interpreter array semantics and stack-shuffle opcodes (raw bytecode)."""
+
+import pytest
+
+from repro.bytecode import Assembler, Op
+from repro.classfile.access_flags import AccessFlags
+from repro.classfile.attributes import CodeAttribute
+from repro.classfile.methods import MethodInfo
+from repro.classfile.model import ClassFile
+from repro.errors import (
+    ArrayIndexOutOfBoundsException,
+    NegativeArraySizeException,
+    NullPointerException,
+)
+from repro.jvm.interpreter import Interpreter
+from repro.jvm.policy import JvmPolicy
+from repro.runtime.environment import build_environment
+
+
+def run_raw(code_builder, max_stack=6, max_locals=6):
+    """Assemble and interpret a static ()I method; returns its result."""
+    classfile = ClassFile()
+    pool = classfile.constant_pool
+    classfile.this_class = pool.class_ref("ArrT")
+    classfile.super_class = pool.class_ref("java/lang/Object")
+    classfile.access_flags = AccessFlags.PUBLIC | AccessFlags.SUPER
+    asm = Assembler()
+    code_builder(asm, pool)
+    code = CodeAttribute(max_stack, max_locals, asm.build())
+    method = MethodInfo(AccessFlags.PUBLIC | AccessFlags.STATIC,
+                        pool.utf8("m"), pool.utf8("()I"), [code])
+    classfile.methods.append(method)
+    interpreter = Interpreter(classfile, JvmPolicy(), build_environment(8))
+    return interpreter.invoke_method(method, [])
+
+
+class TestArrays:
+    def test_newarray_store_load(self):
+        def body(asm, pool):
+            asm.emit(Op.ICONST_3)
+            asm.emit(Op.NEWARRAY, value=10)   # int[3]
+            asm.emit(Op.DUP)
+            asm.emit(Op.ICONST_1)
+            asm.emit(Op.BIPUSH, value=42)
+            asm.emit(Op.IASTORE)
+            asm.emit(Op.ICONST_1)
+            asm.emit(Op.IALOAD)
+            asm.emit(Op.IRETURN)
+        assert run_raw(body) == 42
+
+    def test_arraylength(self):
+        def body(asm, pool):
+            asm.emit(Op.ICONST_5)
+            asm.emit(Op.ANEWARRAY, index=pool.class_ref("java/lang/Object"))
+            asm.emit(Op.ARRAYLENGTH)
+            asm.emit(Op.IRETURN)
+        assert run_raw(body) == 5
+
+    def test_negative_size(self):
+        def body(asm, pool):
+            asm.emit(Op.ICONST_M1)
+            asm.emit(Op.NEWARRAY, value=10)
+            asm.emit(Op.POP)
+            asm.emit(Op.ICONST_0)
+            asm.emit(Op.IRETURN)
+        with pytest.raises(NegativeArraySizeException):
+            run_raw(body)
+
+    def test_out_of_bounds(self):
+        def body(asm, pool):
+            asm.emit(Op.ICONST_2)
+            asm.emit(Op.NEWARRAY, value=10)
+            asm.emit(Op.ICONST_5)
+            asm.emit(Op.IALOAD)
+            asm.emit(Op.IRETURN)
+        with pytest.raises(ArrayIndexOutOfBoundsException):
+            run_raw(body)
+
+    def test_null_array_access(self):
+        def body(asm, pool):
+            asm.emit(Op.ACONST_NULL)
+            asm.emit(Op.ICONST_0)
+            asm.emit(Op.IALOAD)
+            asm.emit(Op.IRETURN)
+        with pytest.raises(NullPointerException):
+            run_raw(body)
+
+    def test_aastore_aaload(self):
+        def body(asm, pool):
+            asm.emit(Op.ICONST_1)
+            asm.emit(Op.ANEWARRAY, index=pool.class_ref("java/lang/String"))
+            asm.emit(Op.DUP)
+            asm.emit(Op.ICONST_0)
+            asm.emit(Op.LDC_W, index=pool.string("x"))
+            asm.emit(Op.AASTORE)
+            asm.emit(Op.ICONST_0)
+            asm.emit(Op.AALOAD)
+            asm.emit(Op.POP)
+            asm.emit(Op.BIPUSH, value=7)
+            asm.emit(Op.IRETURN)
+        assert run_raw(body) == 7
+
+
+class TestStackShuffles:
+    def test_dup_x1(self):
+        # a b -> b a b : compute (2 dup_x1 over 1) pattern
+        def body(asm, pool):
+            asm.emit(Op.ICONST_1)
+            asm.emit(Op.ICONST_2)
+            asm.emit(Op.DUP_X1)      # 2 1 2
+            asm.emit(Op.POP)         # 2 1
+            asm.emit(Op.ISUB)        # 2-1... wait: stack [2,1]: 2-1=1
+            asm.emit(Op.IRETURN)
+        assert run_raw(body) == 1
+
+    def test_swap(self):
+        def body(asm, pool):
+            asm.emit(Op.ICONST_5)
+            asm.emit(Op.ICONST_3)
+            asm.emit(Op.SWAP)        # 3 5
+            asm.emit(Op.ISUB)        # 3-5 = -2
+            asm.emit(Op.IRETURN)
+        assert run_raw(body) == -2
+
+    def test_dup2_on_two_ints(self):
+        def body(asm, pool):
+            asm.emit(Op.ICONST_1)
+            asm.emit(Op.ICONST_2)
+            asm.emit(Op.DUP2)        # 1 2 1 2
+            asm.emit(Op.IADD)        # 1 2 3
+            asm.emit(Op.IADD)        # 1 5
+            asm.emit(Op.IADD)        # 6
+            asm.emit(Op.IRETURN)
+        assert run_raw(body) == 6
+
+    def test_iinc_and_tableswitch(self):
+        def body(asm, pool):
+            asm.emit(Op.ICONST_1)
+            asm.emit(Op.ISTORE, index=0)
+            asm.emit(Op.IINC, index=0, const=2)
+            asm.emit(Op.ILOAD, index=0)
+            asm.switch(Op.TABLESWITCH, "dflt", low=3, high=4,
+                       targets=["three", "four"])
+            asm.label("three")
+            asm.emit(Op.BIPUSH, value=33)
+            asm.emit(Op.IRETURN)
+            asm.label("four")
+            asm.emit(Op.BIPUSH, value=44)
+            asm.emit(Op.IRETURN)
+            asm.label("dflt")
+            asm.emit(Op.ICONST_0)
+            asm.emit(Op.IRETURN)
+        assert run_raw(body) == 33

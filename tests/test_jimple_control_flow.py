@@ -1,0 +1,178 @@
+"""Tests for switch statements and exception traps in the Jimple pipeline."""
+
+import pytest
+
+from repro.bytecode import Op, decode_code
+from repro.classfile import read_class
+from repro.jimple import ClassBuilder, MethodBuilder, compile_class, lift_class
+from repro.jimple.statements import (
+    AssignNewStmt,
+    Constant,
+    IdentityStmt,
+    InvokeExpr,
+    InvokeStmt,
+    MethodRef,
+    SwitchStmt,
+    ThrowStmt,
+    Trap,
+)
+from repro.jimple.to_classfile import JimpleCompileError, compile_class_bytes
+from repro.jimple.types import INT, JType, VOID
+from repro.jvm import all_jvms
+
+
+def switch_class(key, cases, arms_print=True):
+    builder = ClassBuilder("Switchy")
+    builder.default_init()
+    method = MethodBuilder("main", VOID, [JType("java.lang.String[]")],
+                           ["public", "static"])
+    method.local("$k", INT)
+    method.const("$k", key)
+    labels = sorted({label for _, label in cases})
+    method.stmt(SwitchStmt("$k", cases, "dflt"))
+    for label in labels:
+        method.label(label)
+        if arms_print:
+            method.println(label, f"$p_{label}")
+        method.goto("end")
+    method.label("dflt")
+    method.println("default", "$p_d")
+    method.label("end")
+    method.ret()
+    builder.method(method.build())
+    return builder.build()
+
+
+class TestSwitchStatements:
+    def test_contiguous_cases_become_tableswitch(self):
+        jclass = switch_class(1, [(0, "a"), (1, "b"), (2, "c")])
+        code = compile_class(jclass).methods[1].code
+        ops = {i.op for i in decode_code(code.code)}
+        assert Op.TABLESWITCH in ops
+
+    def test_sparse_cases_become_lookupswitch(self):
+        jclass = switch_class(1, [(1, "a"), (10, "b"), (100, "c")])
+        code = compile_class(jclass).methods[1].code
+        ops = {i.op for i in decode_code(code.code)}
+        assert Op.LOOKUPSWITCH in ops
+
+    @pytest.mark.parametrize("key,expected", [
+        (0, "a"), (1, "b"), (2, "c"), (9, "default")])
+    def test_dispatch_semantics(self, key, expected):
+        jclass = switch_class(key, [(0, "a"), (1, "b"), (2, "c")])
+        data = compile_class_bytes(jclass)
+        for jvm in all_jvms():
+            outcome = jvm.run(data)
+            assert outcome.ok, outcome.brief()
+            assert outcome.output[0] == expected
+
+    def test_switch_lifts_back(self):
+        jclass = switch_class(1, [(1, "a"), (50, "b")])
+        lifted = lift_class(read_class(compile_class_bytes(jclass)))
+        main = lifted.find_method("main")
+        assert main.body is not None
+        assert any(isinstance(stmt, SwitchStmt) for stmt in main.body)
+
+
+def trap_class(catch_type="java.lang.Exception"):
+    builder = ClassBuilder("Trappy")
+    builder.default_init()
+    method = MethodBuilder("main", VOID, [JType("java.lang.String[]")],
+                           ["public", "static"])
+    method.local("$e", JType("java.lang.RuntimeException"))
+    method.local("$c", JType("java.lang.Exception"))
+    method.label("begin")
+    method.stmt(AssignNewStmt("$e", "java.lang.RuntimeException"))
+    method.stmt(InvokeStmt(InvokeExpr(
+        "special",
+        MethodRef("java.lang.RuntimeException", "<init>", VOID, ()),
+        "$e", [])))
+    method.stmt(ThrowStmt("$e"))
+    method.label("end")
+    method.ret()
+    method.label("handler")
+    method.stmt(IdentityStmt("$c", "caughtexception",
+                             JType("java.lang.Exception")))
+    method.println("caught", "$p")
+    method.ret()
+    built = method.build()
+    built.traps.append(Trap("begin", "end", "handler", catch_type, "$c"))
+    builder.method(built)
+    return builder.build()
+
+
+class TestTraps:
+    def test_exception_table_emitted(self):
+        code = compile_class(trap_class()).methods[1].code
+        assert len(code.exception_table) == 1
+        handler = code.exception_table[0]
+        assert handler.start_pc < handler.end_pc <= handler.handler_pc
+
+    def test_catch_executes_handler(self):
+        data = compile_class_bytes(trap_class())
+        for jvm in all_jvms():
+            outcome = jvm.run(data)
+            assert outcome.ok, outcome.brief()
+            assert outcome.output == ("caught",)
+
+    def test_mismatched_catch_type_propagates(self):
+        data = compile_class_bytes(trap_class("java.io.IOException"))
+        outcome = all_jvms()[1].run(data)
+        assert not outcome.ok
+        assert outcome.error == "RuntimeException"
+
+    def test_catch_all_trap(self):
+        data = compile_class_bytes(trap_class(None))
+        outcome = all_jvms()[1].run(data)
+        assert outcome.ok
+        assert outcome.output == ("caught",)
+
+    def test_trap_with_missing_label_fails_dump(self):
+        jclass = trap_class()
+        jclass.methods[1].traps[0] = Trap("begin", "nowhere", "handler",
+                                          "java.lang.Exception", "$c")
+        with pytest.raises(JimpleCompileError, match="missing label"):
+            compile_class_bytes(jclass)
+
+    def test_trapped_body_roundtrips_opaquely(self):
+        """Bodies with exception tables lift to raw code, preserving the
+        table through recompilation."""
+        data = compile_class_bytes(trap_class())
+        lifted = lift_class(read_class(data))
+        main = lifted.find_method("main")
+        assert main.raw_code is not None
+        recompiled = compile_class(lifted)
+        assert len(recompiled.methods[1].code.exception_table) == 1
+        for jvm in all_jvms():
+            from repro.classfile.writer import write_class
+
+            outcome = jvm.run(write_class(recompiled))
+            assert outcome.ok
+
+    def test_division_by_zero_caught(self):
+        from repro.jimple.statements import AssignBinopStmt, AssignConstStmt
+
+        builder = ClassBuilder("DivTrap")
+        builder.default_init()
+        method = MethodBuilder("main", VOID, [JType("java.lang.String[]")],
+                               ["public", "static"])
+        method.local("$a", INT)
+        method.local("$c", JType("java.lang.ArithmeticException"))
+        method.label("begin")
+        method.const("$a", 1)
+        method.stmt(AssignBinopStmt("$a", "$a", "/", Constant(0, INT)))
+        method.label("end")
+        method.ret()
+        method.label("handler")
+        method.stmt(IdentityStmt("$c", "caughtexception",
+                                 JType("java.lang.ArithmeticException")))
+        method.println("div caught", "$p")
+        method.ret()
+        built = method.build()
+        built.traps.append(Trap("begin", "end", "handler",
+                                "java.lang.ArithmeticException", "$c"))
+        builder.method(built)
+        data = compile_class_bytes(builder.build())
+        outcome = all_jvms()[2].run(data)
+        assert outcome.ok
+        assert outcome.output == ("div caught",)

@@ -1,0 +1,98 @@
+"""Tests for the Jimple textual printer."""
+
+from repro.jimple import ClassBuilder, MethodBuilder, print_class, print_method
+from repro.jimple.statements import (
+    AssignFieldGetStmt,
+    Constant,
+    FieldRef,
+    InvokeExpr,
+    InvokeStmt,
+    MethodRef,
+)
+from repro.jimple.types import INT, JType, STRING, VOID
+
+
+class TestPrintClass:
+    def test_header_matches_table2_style(self):
+        builder = ClassBuilder("M1437185190")
+        text = print_class(builder.build())
+        assert text.startswith(
+            "public class M1437185190 extends java.lang.Object")
+
+    def test_private_modifier_and_thread_super(self):
+        """Table 2's class-mutation example rendering."""
+        builder = ClassBuilder("M1437185190", superclass="java.lang.Thread",
+                               modifiers=["private", "super"])
+        text = print_class(builder.build())
+        assert "private class M1437185190 extends java.lang.Thread" in text
+
+    def test_implements_clause(self):
+        builder = ClassBuilder("X")
+        builder.implements("java.security.PrivilegedAction")
+        text = print_class(builder.build())
+        assert "implements java.security.PrivilegedAction" in text
+
+    def test_interface_rendering(self):
+        builder = ClassBuilder("I", modifiers=["public", "interface",
+                                               "abstract"])
+        text = print_class(builder.build())
+        assert "public interface I" in text
+        assert "abstract interface" not in text
+
+    def test_fields_rendered(self):
+        builder = ClassBuilder("F")
+        builder.field("MAP", JType("java.util.Map"), ["protected", "final"])
+        text = print_class(builder.build())
+        assert "protected final java.util.Map MAP;" in text
+
+
+class TestPrintMethod:
+    def test_signature_and_throws(self):
+        method = MethodBuilder("main", VOID, [JType("java.lang.String[]")],
+                               ["public", "static"])
+        method.throws("sun.java2d.pisces.PiscesRenderingEngine$2")
+        method.ret()
+        text = print_method(method.build())
+        assert "public static void main(java.lang.String[])" in text
+        assert "throws sun.java2d.pisces.PiscesRenderingEngine$2" in text
+
+    def test_abstract_method_semicolon_form(self):
+        method = MethodBuilder("op", modifiers=["public", "abstract"])
+        method.abstract_body()
+        text = print_method(method.build())
+        assert text.strip().endswith(";")
+        assert "{" not in text
+
+    def test_statements_in_paper_syntax(self):
+        method = MethodBuilder("m", VOID, [], ["public", "static"])
+        method.local("$r1", JType("java.io.PrintStream"))
+        method.stmt(AssignFieldGetStmt("$r1", FieldRef(
+            "java.lang.System", "out", JType("java.io.PrintStream"))))
+        method.stmt(InvokeStmt(InvokeExpr(
+            "virtual",
+            MethodRef("java.io.PrintStream", "println", VOID, (STRING,)),
+            "$r1", [Constant("Executed", STRING)])))
+        method.ret()
+        text = print_method(method.build())
+        assert "$r1 = <java.lang.System: java.io.PrintStream out>;" in text
+        assert ("virtualinvoke $r1.<java.io.PrintStream: void "
+                "println(java.lang.String)>(\"Executed\");") in text
+
+    def test_identity_statement_syntax(self):
+        method = MethodBuilder("m", VOID, [STRING], ["public", "static"])
+        method.local("r0", STRING)
+        method.identity("r0", "parameter0", STRING)
+        method.ret()
+        text = print_method(method.build())
+        assert "r0 := @parameter0: java.lang.String;" in text
+
+    def test_labels_outdented(self):
+        method = MethodBuilder("m", VOID, [], ["public", "static"])
+        method.local("$i", INT)
+        method.const("$i", 1)
+        method.if_zero("$i", "==", "done")
+        method.label("done")
+        method.ret()
+        text = print_method(method.build())
+        assert "if $i == 0 goto done;" in text
+        assert "done:" in text

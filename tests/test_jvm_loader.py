@@ -1,0 +1,201 @@
+"""Unit tests for the loading phase's format checks."""
+
+import pytest
+
+from repro.classfile.writer import write_class
+from repro.errors import ClassFormatError, UnsupportedClassVersionError
+from repro.jimple import ClassBuilder, MethodBuilder, compile_class
+from repro.jimple.types import INT, JType, VOID
+from repro.jvm.loader import Loader
+from repro.jvm.policy import JvmPolicy
+
+
+def load(jclass, **policy_overrides):
+    policy = JvmPolicy(**policy_overrides)
+    return Loader(policy).load(write_class(compile_class(jclass)))
+
+
+def simple_class(name="L1", modifiers=None):
+    return ClassBuilder(name, modifiers=modifiers).default_init().build()
+
+
+class TestClassFlags:
+    def test_valid_class_loads(self):
+        assert load(simple_class()).name == "L1"
+
+    def test_final_abstract_rejected(self):
+        jclass = simple_class(modifiers=["public", "final", "abstract",
+                                         "super"])
+        with pytest.raises(ClassFormatError, match="ACC_FINAL and"):
+            load(jclass)
+
+    def test_final_abstract_tolerated_when_lenient(self):
+        jclass = simple_class(modifiers=["public", "final", "abstract",
+                                         "super"])
+        load(jclass, reject_final_abstract_class=False)
+
+    def test_interface_without_abstract_rejected(self):
+        jclass = ClassBuilder("I1", modifiers=["public", "interface"]).build()
+        with pytest.raises(ClassFormatError, match="ACC_ABSTRACT"):
+            load(jclass)
+
+    def test_interface_without_abstract_ok_when_lenient(self):
+        jclass = ClassBuilder("I1", modifiers=["public", "interface"]).build()
+        load(jclass, interface_requires_abstract_flag=False)
+
+    def test_final_interface_rejected(self):
+        jclass = ClassBuilder(
+            "I2", modifiers=["public", "interface", "abstract",
+                             "final"]).build()
+        with pytest.raises(ClassFormatError, match="ACC_FINAL"):
+            load(jclass)
+
+    def test_version_ceiling(self):
+        jclass = simple_class()
+        jclass.major_version = 53
+        with pytest.raises(UnsupportedClassVersionError):
+            load(jclass, max_class_version=52)
+        load(jclass, max_class_version=53)
+
+
+class TestFieldChecks:
+    def test_duplicate_fields_rejected(self):
+        builder = ClassBuilder("F1").default_init()
+        builder.field("x", INT, ["public"])
+        builder.field("x", INT, ["public"])
+        with pytest.raises(ClassFormatError, match="Duplicate field"):
+            load(builder.build())
+
+    def test_duplicate_fields_accepted_by_lenient_vendor(self):
+        builder = ClassBuilder("F1").default_init()
+        builder.field("x", INT, ["public"])
+        builder.field("x", INT, ["public"])
+        load(builder.build(), reject_duplicate_fields=False)
+
+    def test_same_name_different_type_allowed(self):
+        builder = ClassBuilder("F2").default_init()
+        builder.field("x", INT, ["public"])
+        builder.field("x", JType("java.lang.String"), ["public"])
+        load(builder.build())
+
+    def test_conflicting_visibility_rejected(self):
+        builder = ClassBuilder("F3").default_init()
+        builder.field("x", INT, ["public", "private"])
+        with pytest.raises(ClassFormatError, match="conflicting visibility"):
+            load(builder.build())
+
+    def test_final_volatile_rejected(self):
+        builder = ClassBuilder("F4").default_init()
+        builder.field("x", INT, ["public", "final", "volatile"])
+        with pytest.raises(ClassFormatError, match="final"):
+            load(builder.build())
+
+    def test_interface_field_must_be_constant(self):
+        builder = ClassBuilder("I3", modifiers=["public", "interface",
+                                                "abstract"])
+        builder.field("x", INT, ["public"])
+        with pytest.raises(ClassFormatError, match="public static final"):
+            load(builder.build())
+
+    def test_interface_constant_field_ok(self):
+        builder = ClassBuilder("I4", modifiers=["public", "interface",
+                                                "abstract"])
+        builder.field("X", INT, ["public", "static", "final"])
+        load(builder.build())
+
+
+class TestMethodChecks:
+    def test_duplicate_methods_rejected(self):
+        builder = ClassBuilder("M1")
+        for _ in range(2):
+            method = MethodBuilder("dup", modifiers=["public"])
+            method.ret()
+            builder.method(method.build())
+        with pytest.raises(ClassFormatError, match="Duplicate method"):
+            load(builder.build())
+
+    def test_overload_is_not_duplicate(self):
+        builder = ClassBuilder("M2")
+        first = MethodBuilder("f", VOID, [], ["public"])
+        first.ret()
+        second = MethodBuilder("f", VOID, [INT], ["public"])
+        second.ret()
+        builder.method(first.build()).method(second.build())
+        load(builder.build())
+
+    def test_static_init_rejected(self):
+        builder = ClassBuilder("M3")
+        method = MethodBuilder("<init>", modifiers=["public", "static"])
+        method.ret()
+        builder.method(method.build())
+        with pytest.raises(ClassFormatError, match="<init>"):
+            load(builder.build())
+
+    def test_static_init_accepted_by_gij_style_policy(self):
+        builder = ClassBuilder("M3")
+        method = MethodBuilder("<init>", modifiers=["public", "static"])
+        method.ret()
+        builder.method(method.build())
+        load(builder.build(), init_method_strict=False)
+
+    def test_init_with_return_type_rejected(self):
+        builder = ClassBuilder("M4")
+        method = MethodBuilder("<init>", JType("java.lang.Thread"),
+                               modifiers=["public"])
+        method.abstract_body()  # the check fires on the descriptor alone
+        builder.method(method.build())
+        with pytest.raises(ClassFormatError, match="return void"):
+            load(builder.build(), check_code_presence=False)
+
+    def test_abstract_with_body_rejected(self):
+        builder = ClassBuilder("M5")
+        method = MethodBuilder("m", modifiers=["public", "abstract"])
+        method.ret()
+        builder.method(method.build())
+        with pytest.raises(ClassFormatError, match="Code attribute"):
+            load(builder.build())
+
+    def test_concrete_without_code_at_loading_when_j9_style(self):
+        builder = ClassBuilder("M6")
+        method = MethodBuilder("m", modifiers=["public"])
+        method.abstract_body()
+        builder.method(method.build())
+        with pytest.raises(ClassFormatError, match="Absent Code"):
+            load(builder.build(), code_presence_checked_at_loading=True)
+        # HotSpot style defers the check to linking: loading succeeds.
+        load(builder.build(), code_presence_checked_at_loading=False)
+
+    def test_nonstatic_clinit_ordinary_under_se8_reading(self):
+        """Problem 1: a non-static, code-less <clinit> in a v51 class."""
+        builder = ClassBuilder("M7").default_init()
+        method = MethodBuilder("<clinit>", modifiers=["public", "abstract"])
+        method.abstract_body()
+        builder.method(method.build())
+        # HotSpot reading: of no consequence -> loads.
+        load(builder.build(), treat_nonstatic_clinit_as_ordinary=True)
+        # J9 reading: it is the initializer and lacks Code -> format error.
+        with pytest.raises(ClassFormatError, match="no Code attribute"):
+            load(builder.build(), treat_nonstatic_clinit_as_ordinary=False)
+
+    def test_interface_method_must_be_public(self):
+        builder = ClassBuilder("I5", modifiers=["public", "interface",
+                                                "abstract"])
+        method = MethodBuilder("m", modifiers=["private"])
+        method.ret()
+        builder.method(method.build())
+        with pytest.raises(ClassFormatError, match="public"):
+            load(builder.build())
+
+    def test_static_interface_method_version_gate(self):
+        builder = ClassBuilder("I6", modifiers=["public", "interface",
+                                                "abstract"])
+        method = MethodBuilder("m", modifiers=["public", "static"])
+        method.ret()
+        builder.method(method.build())
+        jclass = builder.build()
+        jclass.major_version = 51
+        with pytest.raises(ClassFormatError, match="abstract"):
+            load(jclass)
+        jclass52 = builder.build()
+        jclass52.major_version = 52
+        load(jclass52)

@@ -1,0 +1,84 @@
+"""J9-style lazy per-invocation verification (Problem 2, the timing side)."""
+
+import pytest
+
+from repro.classfile.writer import write_class
+from repro.jimple import ClassBuilder, MethodBuilder, compile_class
+from repro.jimple.statements import InvokeExpr, InvokeStmt, MethodRef, ReturnStmt
+from repro.jimple.types import INT, JType, VOID
+from repro.jvm.outcome import Phase
+from repro.jvm.vendors import make_hotspot8, make_j9
+
+
+def class_with_broken_helper(invoke_from_main: bool):
+    """A class whose helper method has a broken body (bare return in an
+    int-returning method); ``main`` optionally calls it."""
+    builder = ClassBuilder("Lazy")
+    builder.default_init()
+    main = MethodBuilder("main", VOID, [JType("java.lang.String[]")],
+                         ["public", "static"])
+    if invoke_from_main:
+        main.local("$x", INT)
+        from repro.jimple.statements import AssignInvokeStmt
+
+        main.stmt(AssignInvokeStmt("$x", InvokeExpr(
+            "static", MethodRef("Lazy", "broken", INT, ()), None, [])))
+    main.println("done")
+    main.ret()
+    builder.method(main.build())
+    broken = MethodBuilder("broken", INT, [], ["public", "static"])
+    broken.ret()   # wrong return opcode for an int method
+    builder.method(broken.build())
+    return write_class(compile_class(builder.build()))
+
+
+class TestLazyVerification:
+    def test_uncalled_broken_method_passes_on_j9(self):
+        data = class_with_broken_helper(invoke_from_main=False)
+        outcome = make_j9().run(data)
+        assert outcome.ok, outcome.brief()
+        assert outcome.output == ("done",)
+
+    def test_uncalled_broken_method_fails_on_hotspot(self):
+        data = class_with_broken_helper(invoke_from_main=False)
+        outcome = make_hotspot8().run(data)
+        assert outcome.phase is Phase.LINKING
+        assert outcome.error == "VerifyError"
+
+    def test_called_broken_method_fails_on_j9_too(self):
+        """Lazy verification fires at first invocation: once main calls
+        the broken helper, J9 also rejects."""
+        data = class_with_broken_helper(invoke_from_main=True)
+        outcome = make_j9().run(data)
+        assert not outcome.ok
+        assert outcome.error == "VerifyError"
+
+    def test_verification_happens_once(self):
+        """The lazy verifier memoizes per method (no re-verification on
+        repeated calls) — exercised through a loop calling a valid helper."""
+        builder = ClassBuilder("Memo")
+        builder.default_init()
+        helper = MethodBuilder("h", INT, [], ["public", "static"])
+        helper.local("$v", INT)
+        helper.const("$v", 1)
+        helper.stmt(ReturnStmt("$v"))
+        builder.method(helper.build())
+        main = MethodBuilder("main", VOID, [JType("java.lang.String[]")],
+                             ["public", "static"])
+        main.local("$i", INT)
+        main.local("$r", INT)
+        main.const("$i", 5)
+        main.label("top")
+        from repro.jimple.statements import AssignBinopStmt, AssignInvokeStmt, Constant
+
+        main.stmt(AssignInvokeStmt("$r", InvokeExpr(
+            "static", MethodRef("Memo", "h", INT, ()), None, [])))
+        main.stmt(AssignBinopStmt("$i", "$i", "-", Constant(1, INT)))
+        main.if_zero("$i", ">", "top")
+        main.println("looped")
+        main.ret()
+        builder.method(main.build())
+        data = write_class(compile_class(builder.build()))
+        outcome = make_j9().run(data)
+        assert outcome.ok
+        assert outcome.output == ("looped",)

@@ -1,0 +1,76 @@
+"""Tests for LCOV tracefile serialization."""
+
+import pytest
+
+from repro.coverage.lcov import read_lcov, write_lcov
+from repro.coverage.tracefile import Tracefile
+
+
+def trace(statements, branches=()):
+    return Tracefile(statements=dict(statements), branches=dict(branches))
+
+
+class TestLcovRoundtrip:
+    def test_statements_roundtrip(self):
+        original = trace({"loader.parse": 3, "verifier.method": 1})
+        parsed = read_lcov(write_lcov(original))
+        assert parsed.statements == original.statements
+
+    def test_branches_roundtrip(self):
+        original = trace({}, {("linker.super_is_final", True): 2,
+                              ("linker.super_is_final", False): 5})
+        parsed = read_lcov(write_lcov(original))
+        assert parsed.branches == original.branches
+
+    def test_full_roundtrip_preserves_statistics(self):
+        original = trace({"a.x": 1, "a.y": 2, "b.z": 3},
+                         {("a.x", True): 1, ("b.z", False): 4})
+        parsed = read_lcov(write_lcov(original))
+        assert parsed.signature == original.signature
+        assert parsed.stmt_set == original.stmt_set
+        assert parsed.br_set == original.br_set
+
+    def test_empty_tracefile(self):
+        parsed = read_lcov(write_lcov(trace({})))
+        assert parsed.stmt == 0 and parsed.br == 0
+
+    def test_test_name_recorded(self):
+        text = write_lcov(trace({"a.b": 1}), test_name="M12345")
+        assert text.startswith("TN:M12345")
+
+    def test_sources_grouped(self):
+        text = write_lcov(trace({"loader.a": 1, "verifier.b": 1}))
+        assert "SF:loader" in text
+        assert "SF:verifier" in text
+        assert text.count("end_of_record") == 2
+
+    def test_real_coverage_roundtrip(self, demo_bytes):
+        from repro.coverage.probes import CoverageCollector
+        from repro.jvm.vendors import reference_jvm
+
+        collector = CoverageCollector()
+        with collector:
+            reference_jvm().run(demo_bytes)
+        original = collector.tracefile()
+        parsed = read_lcov(write_lcov(original, "Demo"))
+        assert parsed.statements == original.statements
+        assert parsed.branches == original.branches
+
+
+class TestLcovErrors:
+    def test_unknown_record_rejected(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            read_lcov("SF:x\nWEIRD:1\nend_of_record")
+
+    def test_da_without_site_rejected(self):
+        with pytest.raises(ValueError, match="without #SITE"):
+            read_lcov("SF:x\nDA:5,1\nend_of_record")
+
+    def test_malformed_brda_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            read_lcov("SF:x\nBRDA:1,2\nend_of_record")
+
+    def test_foreign_records_tolerated(self):
+        parsed = read_lcov("TN:\nSF:x\nFN:1,main\nLH:0\nLF:0\n"
+                           "end_of_record")
+        assert parsed.stmt == 0

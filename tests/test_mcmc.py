@@ -1,0 +1,148 @@
+"""Unit tests for MCMC mutator selection (§2.2.2)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.mcmc import (
+    DEFAULT_P,
+    McmcMutatorSelector,
+    UniformMutatorSelector,
+    estimate_p_range,
+    geometric_pmf,
+)
+from repro.core.mutators import MUTATORS
+from repro.core.mutators.base import Mutator
+
+
+def dummy_mutators(count):
+    def noop(jclass, rng):
+        return True
+    return [Mutator(f"mu{i}", "class", "noop", noop) for i in range(count)]
+
+
+class TestParameterEstimation:
+    def test_paper_range(self):
+        """§2.2.2: the initial p must lie in (0.022, 0.025)."""
+        low, high = estimate_p_range(129)
+        assert low == pytest.approx(0.0232, abs=2e-3)
+        assert 0.02 < low < high < 0.03
+
+    def test_default_p_in_valid_range(self):
+        low, high = estimate_p_range(129)
+        assert low <= DEFAULT_P <= high
+
+    def test_default_p_is_3_over_129(self):
+        assert DEFAULT_P == pytest.approx(3 / 129)
+
+    def test_conditions_hold_at_default_p(self):
+        n, p = 129, DEFAULT_P
+        mass = sum(geometric_pmf(k, p) for k in range(1, n + 1))
+        assert 0.95 <= mass <= 1.0
+        assert p >= 1 / n
+        assert geometric_pmf(n, p) > 0.001
+
+    def test_geometric_pmf_decreasing(self):
+        values = [geometric_pmf(k) for k in range(1, 20)]
+        assert values == sorted(values, reverse=True)
+
+    def test_pmf_rejects_zero_rank(self):
+        with pytest.raises(ValueError):
+            geometric_pmf(0)
+
+
+class TestMetropolisChoice:
+    def test_better_rank_always_accepted(self):
+        selector = McmcMutatorSelector(dummy_mutators(10),
+                                       rng=random.Random(0))
+        worst = selector.ranked[-1]
+        best = selector.ranked[0]
+        assert selector.acceptance_probability(worst, best) == 1.0
+
+    def test_worse_rank_geometric(self):
+        selector = McmcMutatorSelector(dummy_mutators(10), p=0.1,
+                                       rng=random.Random(0))
+        first, last = selector.ranked[0], selector.ranked[-1]
+        assert selector.acceptance_probability(first, last) == \
+            pytest.approx(0.9 ** 9)
+
+    def test_chain_advances(self):
+        selector = McmcMutatorSelector(dummy_mutators(5),
+                                       rng=random.Random(1))
+        drawn = {selector.next_mutator().name for _ in range(200)}
+        assert len(drawn) == 5  # every mutator reachable
+
+    def test_selection_counts_recorded(self):
+        selector = McmcMutatorSelector(dummy_mutators(3),
+                                       rng=random.Random(2))
+        for _ in range(30):
+            selector.next_mutator()
+        assert sum(s.selected for s in selector.stats.values()) == 30
+
+    def test_sampling_favours_top_ranked(self):
+        """After feedback, high-success mutators are drawn more often —
+        the paper's Proposition."""
+        mutators = dummy_mutators(20)
+        # p scaled up for the 20-element registry: the bias ratio between
+        # ranks is (1-p)^(rank gap); at the paper's p = 3/129 it only
+        # becomes substantial across a 129-deep ranking.
+        selector = McmcMutatorSelector(mutators, p=0.2,
+                                       rng=random.Random(3))
+        # Give mu0 a perfect record and mu19 a dismal one.
+        for _ in range(10):
+            selector.stats["mu0"].selected += 1
+            selector.record_success(mutators[0])
+            selector.stats["mu19"].selected += 10
+        counts = {name: 0 for name in selector.stats}
+        for _ in range(3000):
+            counts[selector.next_mutator().name] += 1
+        assert counts["mu0"] > counts["mu19"] * 1.5
+
+    def test_resort_after_success(self):
+        mutators = dummy_mutators(4)
+        selector = McmcMutatorSelector(mutators, rng=random.Random(4))
+        selector.stats["mu3"].selected = 1
+        selector.record_success(mutators[3])
+        assert selector.ranked[0].name == "mu3"
+
+    def test_report_sorted_by_rank(self):
+        mutators = dummy_mutators(4)
+        selector = McmcMutatorSelector(mutators, rng=random.Random(5))
+        selector.stats["mu2"].selected = 2
+        selector.record_success(mutators[2])
+        report = selector.report()
+        assert report[0][0] == "mu2"
+        assert report[0][3] == pytest.approx(0.5)
+
+    def test_rejects_empty_mutator_list(self):
+        with pytest.raises(ValueError):
+            McmcMutatorSelector([])
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            McmcMutatorSelector(dummy_mutators(2), p=1.5)
+
+    def test_works_with_full_registry(self):
+        selector = McmcMutatorSelector(MUTATORS, rng=random.Random(6))
+        for _ in range(50):
+            assert selector.next_mutator() in MUTATORS
+
+
+class TestUniformSelector:
+    def test_roughly_uniform(self):
+        selector = UniformMutatorSelector(dummy_mutators(4),
+                                          rng=random.Random(7))
+        counts = {f"mu{i}": 0 for i in range(4)}
+        for _ in range(4000):
+            counts[selector.next_mutator().name] += 1
+        for count in counts.values():
+            assert 800 < count < 1200
+
+    def test_report_shape(self):
+        selector = UniformMutatorSelector(dummy_mutators(2),
+                                          rng=random.Random(8))
+        mutator = selector.next_mutator()
+        selector.record_success(mutator)
+        report = selector.report()
+        assert report[0][3] == 1.0

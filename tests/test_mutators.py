@@ -1,0 +1,195 @@
+"""Tests for the 129-mutator registry and representative members of each
+Table 2 family."""
+
+import random
+
+import pytest
+
+from repro.core.mutators import (
+    MUTATORS,
+    MUTATOR_COUNT,
+    SYNTACTIC_COUNT,
+    mutator_by_name,
+    mutators_in_category,
+)
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.jimple import ClassBuilder, MethodBuilder
+from repro.jimple.to_classfile import JimpleCompileError, compile_class_bytes
+from repro.jimple.types import INT, JType
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+@pytest.fixture
+def rich_class():
+    """A class with material for every mutator family."""
+    builder = ClassBuilder("Rich")
+    builder.implements("java.lang.Runnable")
+    builder.field("count", INT, ["private"])
+    builder.field("name", JType("java.lang.String"), ["public"])
+    builder.default_init()
+    method = MethodBuilder("work", INT, [INT], ["public"])
+    method.throws("java.io.IOException")
+    method.local("p0", INT)
+    method.identity("p0", "parameter0", INT)
+    from repro.jimple.statements import ReturnStmt
+
+    method.stmt(ReturnStmt("p0"))
+    builder.method(method.build())
+    builder.main_printing()
+    return builder.build()
+
+
+class TestRegistry:
+    def test_exactly_129_mutators(self):
+        assert len(MUTATORS) == MUTATOR_COUNT == 129
+
+    def test_123_syntactic_6_jimple(self):
+        jimple = mutators_in_category("jimple")
+        assert len(jimple) == 6
+        assert len(MUTATORS) - len(jimple) == SYNTACTIC_COUNT == 123
+
+    def test_names_unique(self):
+        names = [m.name for m in MUTATORS]
+        assert len(set(names)) == 129
+
+    def test_all_table2_families_present(self):
+        categories = {m.category for m in MUTATORS}
+        assert categories == {"class", "interface", "field", "method",
+                              "exception", "parameter", "localvar", "jimple"}
+
+    def test_lookup_by_name(self):
+        mutator = mutator_by_name("method.rename")
+        assert mutator.category == "method"
+        with pytest.raises(ValueError):
+            mutator_by_name("no.such")
+
+    def test_every_mutator_has_description(self):
+        assert all(m.description for m in MUTATORS)
+
+
+class TestApplication:
+    def test_every_mutator_runs_without_crashing(self, rich_class, rng):
+        for mutator in MUTATORS:
+            clone = rich_class.clone()
+            mutator(clone, rng)  # applicability varies; crashes do not
+
+    def test_every_mutator_applicable_somewhere(self, rng):
+        """No mutator is permanently inapplicable.
+
+        A couple only fire on classes another mutation already touched
+        (e.g. clearing ``final`` needs a final class first), so retry on a
+        primed clone before declaring a mutator dead.
+        """
+        corpus = generate_corpus(CorpusConfig(count=40))
+        for mutator in MUTATORS:
+            applied = any(mutator(seed.clone(), rng) for seed in corpus)
+            if not applied:
+                primed = corpus[0].clone()
+                primed.modifiers = ["final", "super"]  # non-public, final
+                applied = mutator(primed, rng)
+            assert applied, f"{mutator.name} never applied"
+
+    def test_mutation_does_not_touch_original(self, rich_class, rng):
+        import copy
+
+        snapshot = copy.deepcopy(rich_class)
+        for mutator in MUTATORS[:25]:
+            mutator(rich_class.clone(), rng)
+        assert rich_class.fields[0].name == snapshot.fields[0].name
+        assert len(rich_class.methods) == len(snapshot.methods)
+
+
+class TestSpecificMutators:
+    def test_rename_method(self, rich_class, rng):
+        clone = rich_class.clone()
+        assert mutator_by_name("method.rename")(clone, rng)
+        assert {m.name for m in clone.methods} != \
+            {m.name for m in rich_class.methods}
+
+    def test_superclass_self_circularity(self, rich_class, rng):
+        clone = rich_class.clone()
+        assert mutator_by_name("class.set_superclass_self")(clone, rng)
+        assert clone.superclass == clone.name
+
+    def test_abstract_and_drop_code_recipe(self, rich_class, rng):
+        clone = rich_class.clone()
+        assert mutator_by_name("method.abstract_and_drop_code")(clone, rng)
+        mutated = [m for m in clone.methods
+                   if "abstract" in m.modifiers and m.body is None]
+        assert mutated
+
+    def test_replace_all_methods_from_donor(self, rich_class, rng):
+        clone = rich_class.clone()
+        assert mutator_by_name("method.replace_all")(clone, rng)
+        assert {m.name for m in clone.methods}.isdisjoint(
+            {"work"})
+
+    def test_duplicate_field_exact(self, rich_class, rng):
+        clone = rich_class.clone()
+        assert mutator_by_name("field.insert_duplicate")(clone, rng)
+        names = [f.name for f in clone.fields]
+        assert len(names) == len(rich_class.fields) + 1
+
+    def test_delete_local_leaves_dangling_uses(self, rich_class, rng):
+        clone = rich_class.clone()
+        assert mutator_by_name("localvar.delete_all_declarations")(clone, rng)
+        with pytest.raises(JimpleCompileError):
+            compile_class_bytes(clone)
+
+    def test_exception_add_restricted(self, rich_class, rng):
+        clone = rich_class.clone()
+        assert mutator_by_name("exception.add_restricted_synthetic")(
+            clone, rng)
+        thrown = [t for m in clone.methods for t in m.thrown]
+        assert "sun.java2d.pisces.PiscesRenderingEngine$2" in thrown
+
+    def test_parameter_insert_object_front(self, rich_class, rng):
+        clone = rich_class.clone()
+        assert mutator_by_name("parameter.insert_object_front")(clone, rng)
+        assert any(m.parameter_types
+                   and m.parameter_types[0].name == "java.lang.Object"
+                   for m in clone.methods)
+
+    def test_interface_delete_inapplicable_without_interfaces(self, rng):
+        bare = ClassBuilder("Bare").build()
+        assert not mutator_by_name("interface.delete_one")(bare, rng)
+
+    def test_jimple_swap_statements(self, rich_class, rng):
+        clone = rich_class.clone()
+        assert mutator_by_name("jimple.swap_statements")(clone, rng)
+
+    def test_class_rename_changes_name(self, rich_class, rng):
+        clone = rich_class.clone()
+        assert mutator_by_name("class.rename")(clone, rng)
+        assert clone.name != rich_class.name
+        assert clone.name.startswith("M")
+
+    def test_clear_absent_modifier_inapplicable(self, rng):
+        bare = ClassBuilder("Bare2", modifiers=["public", "super"]).build()
+        assert not mutator_by_name("class.clear_modifier_final")(bare, rng)
+
+    def test_most_mutants_still_dump(self, rich_class):
+        """The bulk of single mutations keep the class dumpable — matching
+        the paper's GenClasses/iterations ratios (~70 %)."""
+        rng = random.Random(7)
+        dumped = 0
+        applied = 0
+        for mutator in MUTATORS:
+            clone = rich_class.clone()
+            try:
+                if not mutator(clone, rng):
+                    continue
+            except Exception:
+                continue
+            applied += 1
+            try:
+                compile_class_bytes(clone)
+                dumped += 1
+            except JimpleCompileError:
+                pass
+        assert applied > 100
+        assert dumped / applied > 0.6

@@ -1,0 +1,71 @@
+"""Tests for the outcome model itself."""
+
+from repro.jvm.outcome import DifferentialResult, Outcome, Phase
+
+
+class TestPhase:
+    def test_codes_are_stable(self):
+        assert [int(p) for p in Phase] == [0, 1, 2, 3, 4]
+
+    def test_labels_match_paper_wording(self):
+        assert Phase.INVOKED.label == "normally invoked"
+        assert Phase.LOADING.label == \
+            "rejected during the creation/loading phase"
+        assert Phase.RUNTIME.label == "rejected at runtime"
+
+
+class TestOutcome:
+    def test_ok_predicate(self):
+        assert Outcome(Phase.INVOKED).ok
+        assert not Outcome(Phase.LINKING, error="VerifyError").ok
+
+    def test_brief_for_success(self):
+        outcome = Outcome(Phase.INVOKED, jvm_name="gij")
+        assert outcome.brief() == "gij: invoked normally"
+
+    def test_brief_for_rejection(self):
+        outcome = Outcome(Phase.LOADING, error="ClassFormatError",
+                          jvm_name="j9")
+        assert "j9: ClassFormatError during loading" == outcome.brief()
+
+    def test_outcome_is_immutable(self):
+        outcome = Outcome(Phase.INVOKED)
+        try:
+            outcome.phase = Phase.RUNTIME
+            mutated = True
+        except AttributeError:
+            mutated = False
+        assert not mutated
+
+
+class TestDifferentialResult:
+    def _mk(self, *codes):
+        return DifferentialResult(outcomes=[
+            Outcome(Phase(code), error=None if code == 0 else "E",
+                    jvm_name=f"jvm{i}") for i, code in enumerate(codes)])
+
+    def test_theoretical_space_is_5_to_the_5(self):
+        """Figure 3's note: 5^5 possible encoded sequences."""
+        assert len(Phase) ** 5 == 3125
+
+    def test_codes_property(self):
+        assert self._mk(0, 1, 2, 3, 4).codes == (0, 1, 2, 3, 4)
+
+    def test_all_invoked(self):
+        assert self._mk(0, 0, 0).all_invoked
+        assert not self._mk(0, 0, 1).all_invoked
+
+    def test_all_rejected_same_stage_excludes_invoked(self):
+        assert self._mk(2, 2, 2).all_rejected_same_stage
+        assert not self._mk(0, 0, 0).all_rejected_same_stage
+        assert not self._mk(2, 2, 3).all_rejected_same_stage
+
+    def test_trichotomy(self):
+        """Every result is exactly one of: all invoked, all rejected at
+        one stage, or a discrepancy — the Table 6 row partition."""
+        for codes in ((0, 0), (3, 3), (0, 2), (1, 4)):
+            result = self._mk(*codes)
+            buckets = [result.all_invoked,
+                       result.all_rejected_same_stage,
+                       result.is_discrepancy]
+            assert sum(buckets) == 1, codes

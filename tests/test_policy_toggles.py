@@ -1,0 +1,144 @@
+"""Direct coverage of policy toggles not exercised elsewhere: each axis
+must actually change observable behaviour when flipped."""
+
+import pytest
+
+from repro.classfile.writer import write_class
+from repro.jimple import ClassBuilder, MethodBuilder, compile_class
+from repro.jimple.types import INT, JType
+from repro.jvm.machine import Jvm
+from repro.jvm.outcome import Phase
+from repro.jvm.policy import JvmPolicy
+from repro.runtime.environment import build_environment
+
+
+def jvm_with(**overrides):
+    return Jvm("probe", JvmPolicy(**overrides), build_environment(8))
+
+
+def demo_with_trailing_junk():
+    builder = ClassBuilder("Junked")
+    builder.default_init()
+    builder.main_printing()
+    return write_class(compile_class(builder.build())) + b"\x00garbage"
+
+
+class TestLoadingToggles:
+    def test_reject_trailing_bytes(self):
+        data = demo_with_trailing_junk()
+        strict = jvm_with(reject_trailing_bytes=True).run(data)
+        assert strict.phase is Phase.LOADING
+        lenient = jvm_with(reject_trailing_bytes=False).run(data)
+        assert lenient.ok
+
+    def test_descriptor_validity_toggle(self):
+        builder = ClassBuilder("BadDesc")
+        builder.main_printing()
+        jclass = builder.build()
+        data = write_class(compile_class(jclass))
+        # Corrupt the field descriptor Utf8 in the compiled bytes:
+        # build a class with a field, then patch its descriptor.
+        builder = ClassBuilder("BadDesc2")
+        builder.field("x", INT)
+        builder.main_printing()
+        classfile = compile_class(builder.build())
+        # Point the field's descriptor at a non-descriptor Utf8.
+        bogus = classfile.constant_pool.utf8("not-a-descriptor")
+        classfile.fields[0].descriptor_index = bogus
+        data = write_class(classfile)
+        strict = jvm_with(check_descriptor_validity=True,
+                          member_checks_at_linking=False).run(data)
+        assert strict.phase is Phase.LOADING
+        assert strict.error == "ClassFormatError"
+        lenient = jvm_with(check_descriptor_validity=False,
+                           eager_method_verification=False).run(data)
+        assert lenient.ok
+
+    def test_circularity_toggle(self):
+        builder = ClassBuilder("Self", superclass="Self")
+        builder.main_printing()
+        data = write_class(compile_class(builder.build()))
+        checking = jvm_with(check_class_circularity=True).run(data)
+        assert checking.error == "ClassCircularityError"
+        # With the check off, resolution proceeds and the lookup simply
+        # fails to find the (self-named) class in the library.
+        ignoring = jvm_with(check_class_circularity=False).run(data)
+        assert ignoring.error == "NoClassDefFoundError"
+
+
+class TestLinkingToggles:
+    def _final_super(self):
+        builder = ClassBuilder("SubStr", superclass="java.lang.String")
+        builder.default_init()
+        builder.main_printing()
+        return write_class(compile_class(builder.build()))
+
+    def test_final_superclass_toggle(self):
+        data = self._final_super()
+        assert jvm_with(check_final_superclass=True).run(data).error == \
+            "VerifyError"
+        assert jvm_with(check_final_superclass=False).run(data).ok
+
+    def test_super_not_interface_toggle(self):
+        builder = ClassBuilder("SubIface", superclass="java.lang.Runnable")
+        builder.default_init()
+        builder.main_printing()
+        data = write_class(compile_class(builder.build()))
+        strict = jvm_with(check_super_not_interface=True).run(data)
+        assert strict.error == "IncompatibleClassChangeError"
+        assert jvm_with(check_super_not_interface=False).run(data).ok
+
+    def test_interfaces_are_interfaces_toggle(self):
+        builder = ClassBuilder("ImplClass")
+        builder.implements("java.lang.String")
+        builder.default_init()
+        builder.main_printing()
+        data = write_class(compile_class(builder.build()))
+        strict = jvm_with(check_interfaces_are_interfaces=True).run(data)
+        assert strict.error == "IncompatibleClassChangeError"
+        assert jvm_with(check_interfaces_are_interfaces=False).run(data).ok
+
+    def test_verify_max_stack_toggle(self):
+        builder = ClassBuilder("DeepStack")
+        builder.default_init()
+        builder.main_printing()
+        classfile = compile_class(builder.build())
+        main = classfile.main_method()
+        main.code.max_stack = 1   # the println sequence needs 2
+        data = write_class(classfile)
+        strict = jvm_with(verify_max_stack=True).run(data)
+        assert strict.error == "VerifyError"
+        lenient = jvm_with(verify_max_stack=False).run(data)
+        assert lenient.ok
+
+
+class TestExecutionToggles:
+    def test_interpreter_budget_toggle(self):
+        builder = ClassBuilder("Spin")
+        builder.default_init()
+        method = MethodBuilder("main", None or JType("void"),
+                               [JType("java.lang.String[]")],
+                               ["public", "static"])
+        method.label("top")
+        method.goto("top")
+        builder.method(method.build())
+        data = write_class(compile_class(builder.build()))
+        outcome = jvm_with(max_interpreter_steps=100).run(data)
+        assert outcome.phase is Phase.RUNTIME
+        assert outcome.error == "Timeout"
+
+    def test_interface_main_toggle(self):
+        builder = ClassBuilder("IMain", modifiers=["public", "interface",
+                                                   "abstract"])
+        method = MethodBuilder("main", JType("void"),
+                               [JType("java.lang.String[]")],
+                               ["public", "static"])
+        method.println("hi")
+        method.ret()
+        builder.method(method.build())
+        jclass = builder.build()
+        jclass.major_version = 52   # static interface methods legal
+        data = write_class(compile_class(jclass))
+        assert jvm_with(allow_interface_main=True).run(data).ok
+        refused = jvm_with(allow_interface_main=False).run(data)
+        assert refused.phase is Phase.RUNTIME

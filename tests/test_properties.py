@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.classfile.constant_pool import ConstantPool
+from repro.classfile.descriptors import (
+    parse_field_descriptor,
+    parse_method_descriptor,
+)
+from repro.classfile.writer import _clamp_s32, _clamp_s64
+from repro.coverage.tracefile import Tracefile, merge
+from repro.coverage.uniqueness import StBrUniqueness, StUniqueness, TrUniqueness
+
+# ---------------------------------------------------------------------------
+# Descriptor grammar
+# ---------------------------------------------------------------------------
+
+_base_type = st.sampled_from(list("BCDFIJSZ"))
+_class_name = st.from_regex(r"[a-z][a-z0-9]{0,8}(/[A-Z][a-zA-Z0-9]{0,8}){1,3}",
+                            fullmatch=True)
+_object_type = _class_name.map(lambda name: f"L{name};")
+_field_descriptor = st.builds(
+    lambda dims, base: "[" * dims + base,
+    st.integers(min_value=0, max_value=4),
+    st.one_of(_base_type, _object_type))
+
+
+@given(_field_descriptor)
+def test_field_descriptor_roundtrip(descriptor):
+    assert parse_field_descriptor(descriptor).descriptor() == descriptor
+
+
+@given(st.lists(_field_descriptor, max_size=5),
+       st.one_of(st.just("V"), _field_descriptor))
+def test_method_descriptor_roundtrip(params, ret):
+    descriptor = f"({''.join(params)}){ret}"
+    parsed = parse_method_descriptor(descriptor)
+    assert parsed.descriptor() == descriptor
+    assert len(parsed.parameters) == len(params)
+
+
+@given(_field_descriptor)
+def test_java_name_conversion_roundtrip(descriptor):
+    from repro.jimple.types import descriptor_to_java, java_to_descriptor
+
+    assert java_to_descriptor(descriptor_to_java(descriptor)) == descriptor
+
+
+# ---------------------------------------------------------------------------
+# Constant pool
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.text(max_size=20), min_size=1, max_size=30))
+def test_utf8_interning_idempotent(texts):
+    pool = ConstantPool()
+    indices = {text: pool.utf8(text) for text in texts}
+    for text, index in indices.items():
+        assert pool.utf8(text) == index
+        assert pool.get_utf8(index) == text
+    assert len(pool) == len(set(texts))
+
+
+@given(st.lists(st.one_of(
+    st.tuples(st.just("int"), st.integers(-2**31, 2**31 - 1)),
+    st.tuples(st.just("long"), st.integers(-2**63, 2**63 - 1)),
+    st.tuples(st.just("utf8"), st.text(max_size=10)),
+), max_size=20))
+def test_pool_slot_accounting(entries):
+    """Slot count equals sum of entry widths, regardless of order."""
+    pool = ConstantPool()
+    expected = 0
+    seen = set()
+    for kind, value in entries:
+        if (kind, value) in seen:
+            continue
+        seen.add((kind, value))
+        if kind == "int":
+            pool.integer(value)
+            expected += 1
+        elif kind == "long":
+            pool.long(value)
+            expected += 2
+        else:
+            pool.utf8(value)
+            expected += 1
+    assert len(pool) == expected
+
+
+# ---------------------------------------------------------------------------
+# Java integer wrapping
+# ---------------------------------------------------------------------------
+
+@given(st.integers())
+def test_clamp_s32_range_and_congruence(value):
+    clamped = _clamp_s32(value)
+    assert -2**31 <= clamped < 2**31
+    assert (clamped - value) % 2**32 == 0
+
+
+@given(st.integers())
+def test_clamp_s64_range_and_congruence(value):
+    clamped = _clamp_s64(value)
+    assert -2**63 <= clamped < 2**63
+    assert (clamped - value) % 2**64 == 0
+
+
+# ---------------------------------------------------------------------------
+# Tracefile merge (⊕) algebra
+# ---------------------------------------------------------------------------
+
+_sites = st.dictionaries(st.text(min_size=1, max_size=4),
+                         st.integers(min_value=1, max_value=5), max_size=8)
+_branches = st.dictionaries(
+    st.tuples(st.text(min_size=1, max_size=4), st.booleans()),
+    st.integers(min_value=1, max_value=5), max_size=8)
+_tracefiles = st.builds(Tracefile, statements=_sites, branches=_branches)
+
+
+@given(_tracefiles, _tracefiles)
+def test_merge_commutative_on_sets(a, b):
+    ab, ba = merge(a, b), merge(b, a)
+    assert ab.stmt_set == ba.stmt_set
+    assert ab.br_set == ba.br_set
+    assert ab.statements == ba.statements  # counts commute too
+
+
+@given(_tracefiles, _tracefiles, _tracefiles)
+def test_merge_associative(a, b, c):
+    left = merge(merge(a, b), c)
+    right = merge(a, merge(b, c))
+    assert left.statements == right.statements
+    assert left.branches == right.branches
+
+
+@given(_tracefiles)
+def test_merge_idempotent_on_sets(a):
+    merged = merge(a, a)
+    assert merged.stmt_set == a.stmt_set
+    assert merged.stmt == a.stmt
+
+
+@given(_tracefiles, _tracefiles)
+def test_merge_monotone(a, b):
+    merged = merge(a, b)
+    assert merged.stmt >= max(a.stmt, b.stmt)
+    assert merged.br >= max(a.br, b.br)
+
+
+# ---------------------------------------------------------------------------
+# Uniqueness criteria invariants
+# ---------------------------------------------------------------------------
+
+@given(st.lists(_tracefiles, max_size=20))
+def test_criterion_hierarchy(traces):
+    """Acceptance strictness: [st] rejects ⊇ [stbr] rejects ⊇ [tr] rejects.
+
+    Equivalently: anything [stbr] accepts, [tr] accepts; anything [st]
+    accepts, [stbr] accepts.
+    """
+    st_c, stbr_c, tr_c = StUniqueness(), StBrUniqueness(), TrUniqueness()
+    for trace in traces:
+        if st_c.is_unique(trace):
+            assert stbr_c.is_unique(trace)
+        if stbr_c.is_unique(trace):
+            assert tr_c.is_unique(trace)
+        st_c.check_and_accept(trace)
+        stbr_c.check_and_accept(trace)
+        tr_c.check_and_accept(trace)
+
+
+@given(st.lists(_tracefiles, max_size=20))
+def test_accepted_suite_pairwise_unique(traces):
+    criterion = TrUniqueness()
+    accepted = [t for t in traces if criterion.check_and_accept(t)]
+    keys = [(t.stmt_set, t.br_set) for t in accepted]
+    assert len(set(keys)) == len(keys)
+
+
+@given(_tracefiles)
+def test_duplicate_never_accepted_twice(trace):
+    for criterion in (StUniqueness(), StBrUniqueness(), TrUniqueness()):
+        assert criterion.check_and_accept(trace)
+        assert not criterion.check_and_accept(trace)
+
+
+# ---------------------------------------------------------------------------
+# Bytecode codec
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.sampled_from([
+    0x00, 0x01, 0x03, 0x04, 0x57, 0x59, 0xb1, 0x02, 0x05, 0x06, 0x08,
+]), min_size=1, max_size=40))
+def test_operand_free_codec_roundtrip(opcodes):
+    from repro.bytecode import decode_code, encode_code
+
+    code = bytes(opcodes)
+    assert encode_code(decode_code(code)) == code
+
+
+@given(st.integers(min_value=-128, max_value=127))
+def test_bipush_value_roundtrip(value):
+    from repro.bytecode import Op, decode_code, encode_code, Instruction
+
+    encoded = encode_code([Instruction(0, Op.BIPUSH, {"value": value})])
+    (decoded,) = decode_code(encoded)
+    assert decoded.operands["value"] == value
+
+
+# ---------------------------------------------------------------------------
+# MCMC invariants
+# ---------------------------------------------------------------------------
+
+@given(st.integers(min_value=2, max_value=200),
+       st.floats(min_value=0.01, max_value=0.5))
+def test_acceptance_probability_bounds(count, p):
+    import random
+
+    from repro.core.mcmc import McmcMutatorSelector
+    from repro.core.mutators.base import Mutator
+
+    def noop(jclass, rng):
+        return True
+
+    mutators = [Mutator(f"m{i}", "class", "x", noop) for i in range(count)]
+    selector = McmcMutatorSelector(mutators, p=p, rng=random.Random(0))
+    first, last = selector.ranked[0], selector.ranked[-1]
+    up = selector.acceptance_probability(last, first)
+    down = selector.acceptance_probability(first, last)
+    assert up == 1.0
+    assert 0.0 < down <= 1.0

@@ -1,0 +1,72 @@
+"""Tests for the hierarchical delta-debugging reducer (§2.3)."""
+
+import pytest
+
+from repro.core.reducer import reduce_discrepancy
+from repro.jimple import ClassBuilder, MethodBuilder, print_class
+from repro.jimple.types import INT, JType
+
+
+def discrepant_class():
+    """A bulky class whose discrepancy is caused by one duplicate field."""
+    builder = ClassBuilder("Bulky")
+    builder.default_init()
+    builder.main_printing()
+    builder.field("MAP", JType("java.util.Map"), ["protected"])
+    builder.field("MAP", JType("java.util.Map"), ["protected"])  # the bug
+    builder.field("unrelated1", INT, ["public"])
+    builder.field("unrelated2", INT, ["public"])
+    for i in range(3):
+        method = MethodBuilder(f"noise{i}", modifiers=["public"])
+        method.ret()
+        builder.method(method.build())
+    return builder.build()
+
+
+class TestReducer:
+    def test_reduction_preserves_codes(self, harness):
+        result = reduce_discrepancy(discrepant_class(), harness)
+        # HotSpots reject at linking, J9 at loading, GIJ accepts.
+        assert result.codes == (2, 2, 2, 1, 0)
+        # Re-check: the reduced class still triggers the same vector.
+        from repro.jimple.to_classfile import compile_class_bytes
+
+        rerun = harness.run_one(compile_class_bytes(result.reduced), "r")
+        assert rerun.codes == result.codes
+
+    def test_reduction_shrinks(self, harness):
+        original = discrepant_class()
+        result = reduce_discrepancy(original, harness)
+        assert len(result.reduced.methods) < len(original.methods)
+        assert len(result.reduced.fields) <= len(original.fields)
+        assert result.steps
+
+    def test_duplicate_fields_survive(self, harness):
+        """The discrepancy-carrying duplicate pair cannot be removed."""
+        result = reduce_discrepancy(discrepant_class(), harness)
+        names = [f.name for f in result.reduced.fields]
+        assert names.count("MAP") == 2
+
+    def test_non_discrepant_input_rejected(self, harness, demo_class):
+        with pytest.raises(ValueError, match="does not trigger"):
+            reduce_discrepancy(demo_class, harness)
+
+    def test_undumpable_input_rejected(self, harness):
+        from repro.jimple.statements import AssignLocalStmt
+
+        builder = ClassBuilder("Broken")
+        method = MethodBuilder("m", modifiers=["public"])
+        method.stmt(AssignLocalStmt("a", "ghost"))
+        method.ret()
+        builder.method(method.build())
+        with pytest.raises(ValueError, match="cannot be dumped"):
+            reduce_discrepancy(builder.build(), harness)
+
+    def test_reduced_class_printable(self, harness):
+        result = reduce_discrepancy(discrepant_class(), harness)
+        text = print_class(result.reduced)
+        assert "Bulky" in text
+
+    def test_tests_run_counted(self, harness):
+        result = reduce_discrepancy(discrepant_class(), harness)
+        assert result.tests_run >= len(result.steps)

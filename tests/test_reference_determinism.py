@@ -1,0 +1,79 @@
+"""Determinism of the reference JVM's coverage — the bedrock of the
+uniqueness criteria: a classfile must map to one tracefile."""
+
+import pytest
+
+from repro.coverage.probes import CoverageCollector
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.jimple.to_classfile import compile_class_bytes
+from repro.jvm.vendors import reference_jvm
+
+
+def collect(jvm, data):
+    collector = CoverageCollector()
+    with collector:
+        jvm.run(data)
+    return collector.tracefile()
+
+
+class TestReferenceDeterminism:
+    def test_same_class_same_tracefile(self, demo_bytes):
+        jvm = reference_jvm()
+        first = collect(jvm, demo_bytes)
+        second = collect(jvm, demo_bytes)
+        assert first.statements == second.statements
+        assert first.branches == second.branches
+
+    def test_fresh_jvm_instance_same_tracefile(self, demo_bytes):
+        first = collect(reference_jvm(), demo_bytes)
+        second = collect(reference_jvm(), demo_bytes)
+        assert first.stmt_set == second.stmt_set
+        assert first.br_set == second.br_set
+
+    def test_corpus_tracefiles_stable(self):
+        seeds = generate_corpus(CorpusConfig(count=15, seed=8))
+        jvm = reference_jvm()
+        for jclass in seeds:
+            data = compile_class_bytes(jclass)
+            assert collect(jvm, data).signature == \
+                collect(jvm, data).signature
+
+    def test_outcome_unaffected_by_instrumentation(self, demo_bytes):
+        """Probes must be observationally transparent."""
+        jvm = reference_jvm()
+        bare = jvm.run(demo_bytes)
+        collector = CoverageCollector()
+        with collector:
+            instrumented = jvm.run(demo_bytes)
+        assert bare.code == instrumented.code
+        assert bare.output == instrumented.output
+
+    def test_distinct_errors_reach_distinct_sites(self):
+        """Classfiles failing different checks must cover different
+        statement sets — otherwise uniqueness cannot separate them."""
+        from repro.jimple import ClassBuilder, MethodBuilder
+        from repro.jimple.types import INT, JType
+
+        jvm = reference_jvm()
+        shapes = {}
+        # (a) duplicate fields.
+        builder = ClassBuilder("D1")
+        builder.field("x", INT)
+        builder.field("x", INT)
+        builder.main_printing()
+        shapes["dup_field"] = compile_class_bytes(builder.build())
+        # (b) final superclass.
+        builder = ClassBuilder("D2", superclass="java.lang.String")
+        builder.default_init()
+        builder.main_printing()
+        shapes["final_super"] = compile_class_bytes(builder.build())
+        # (c) missing superclass.
+        builder = ClassBuilder("D3", superclass="com.example.Missing")
+        builder.main_printing()
+        shapes["missing_super"] = compile_class_bytes(builder.build())
+        traces = {name: collect(jvm, data).stmt_set
+                  for name, data in shapes.items()}
+        names = list(traces)
+        for i, first in enumerate(names):
+            for second in names[i + 1:]:
+                assert traces[first] != traces[second], (first, second)

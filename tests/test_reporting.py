@@ -1,0 +1,72 @@
+"""Tests for discrepancy bug-report generation."""
+
+import pytest
+
+from repro.core.reporting import (
+    classify_discrepancy,
+    report_discrepancy,
+    summarize_reports,
+)
+from repro.jimple import ClassBuilder, MethodBuilder
+from repro.jimple.types import JType
+from repro.jvm.outcome import DifferentialResult, Outcome, Phase
+
+
+def figure2_class():
+    builder = ClassBuilder("M1436188543")
+    builder.default_init()
+    builder.main_printing("Completed!")
+    clinit = MethodBuilder("<clinit>", modifiers=["public", "abstract"])
+    clinit.abstract_body()
+    builder.method(clinit.build())
+    return builder.build()
+
+
+class TestClassification:
+    def _result(self, *outcomes):
+        return DifferentialResult(outcomes=list(outcomes))
+
+    def test_pure_compatibility(self):
+        result = self._result(
+            Outcome(Phase.INVOKED, jvm_name="a"),
+            Outcome(Phase.LINKING, error="NoClassDefFoundError",
+                    jvm_name="b"))
+        assert classify_discrepancy(result) == "compatibility"
+
+    def test_format_split_is_defect_indicative(self):
+        result = self._result(
+            Outcome(Phase.INVOKED, jvm_name="a"),
+            Outcome(Phase.LOADING, error="ClassFormatError", jvm_name="b"))
+        assert classify_discrepancy(result) == "defect-indicative"
+
+    def test_all_reject_differently_is_policy(self):
+        result = self._result(
+            Outcome(Phase.LINKING, error="VerifyError", jvm_name="a"),
+            Outcome(Phase.LOADING, error="ClassFormatError", jvm_name="b"))
+        assert classify_discrepancy(result) == "verification-policy"
+
+
+class TestReportGeneration:
+    def test_figure2_report(self, harness):
+        report = report_discrepancy(figure2_class(), harness)
+        assert report.codes == (0, 0, 0, 1, 0)
+        assert report.classification == "defect-indicative"
+        assert "encoded outcome sequence" in report.text
+        assert "no Code attribute" in report.text
+        assert "javap -v" in report.text
+        assert report.reduction is not None
+
+    def test_reduction_can_be_skipped(self, harness):
+        report = report_discrepancy(figure2_class(), harness, reduce=False)
+        assert report.reduction is None
+        assert "delta debugging" not in report.text
+
+    def test_non_discrepant_rejected(self, harness, demo_class):
+        with pytest.raises(ValueError, match="does not trigger"):
+            report_discrepancy(demo_class, harness)
+
+    def test_summary_buckets(self, harness):
+        report = report_discrepancy(figure2_class(), harness, reduce=False)
+        text = summarize_reports([report, report])
+        assert "2 discrepancies triaged" in text
+        assert "defect-indicative: 2" in text

@@ -1,0 +1,106 @@
+"""Unit tests for the simulated platform library and JRE environments."""
+
+from repro.runtime import build_environment
+from repro.runtime.library import (
+    ClassLibrary,
+    LibraryClass,
+    base_catalogue,
+    make_class,
+    make_interface,
+)
+
+
+class TestClassLibrary:
+    def setup_method(self):
+        self.library = ClassLibrary(base_catalogue())
+
+    def test_object_is_root(self):
+        obj = self.library.find("java/lang/Object")
+        assert obj is not None
+        assert obj.superclass is None
+
+    def test_subclass_chain(self):
+        assert self.library.is_subclass_of("java/lang/RuntimeException",
+                                           "java/lang/Throwable")
+        assert not self.library.is_subclass_of("java/lang/Thread",
+                                               "java/lang/Throwable")
+
+    def test_is_throwable(self):
+        assert self.library.is_throwable("java/io/IOException")
+        assert not self.library.is_throwable("java/util/HashMap")
+
+    def test_subclass_reflexive(self):
+        assert self.library.is_subclass_of("java/lang/String",
+                                           "java/lang/String")
+
+    def test_cycle_safe(self):
+        self.library.add(make_class("A", superclass="B"))
+        self.library.add(make_class("B", superclass="A"))
+        assert not self.library.is_subclass_of("A", "java/lang/Object")
+
+    def test_find_method_with_descriptor(self):
+        system = self.library.find("java/lang/System")
+        assert system.find_method("exit", "(I)V") is not None
+        assert system.find_method("exit", "()V") is None
+
+    def test_find_field(self):
+        system = self.library.find("java/lang/System")
+        out = system.find_field("out")
+        assert out is not None and out.is_static
+
+    def test_default_constructor_added(self):
+        thread = self.library.find("java/lang/Thread")
+        assert thread.find_method("<init>", "()V") is not None
+
+    def test_interfaces_have_no_constructor(self):
+        runnable = self.library.find("java/lang/Runnable")
+        assert runnable.is_interface
+        assert runnable.find_method("<init>") is None
+
+    def test_string_is_final(self):
+        assert self.library.find("java/lang/String").is_final
+
+    def test_replace(self):
+        self.library.replace("java/lang/Thread", is_final=True)
+        assert self.library.find("java/lang/Thread").is_final
+
+
+class TestEnvironments:
+    def test_jre7_has_legacy_classes(self):
+        env = build_environment(7)
+        assert "sun/misc/JavaUtilJarAccess" in env.library
+        assert "sun/beans/editors/EnumEditor" in env.library
+
+    def test_jre8_drops_legacy_adds_new(self):
+        env = build_environment(8)
+        assert "sun/misc/JavaUtilJarAccess" not in env.library
+        assert "java/util/Optional" in env.library
+
+    def test_enum_editor_final_flip(self):
+        """The preliminary-study example: final from JRE 8 on."""
+        assert not build_environment(7).library.find(
+            "com/sun/beans/editors/EnumEditor").is_final
+        assert build_environment(8).library.find(
+            "com/sun/beans/editors/EnumEditor").is_final
+
+    def test_jre9_has_modules_classes(self):
+        env = build_environment(9)
+        assert "java/lang/Module" in env.library
+
+    def test_classpath_era_lacks_sun_internals(self):
+        env = build_environment(5)
+        assert "sun/java2d/pisces/PiscesRenderingEngine$2" not in env.library
+        assert "java/lang/Object" in env.library
+
+    def test_synthetic_class_flagged(self):
+        env = build_environment(8)
+        synthetic = env.library.find(
+            "sun/java2d/pisces/PiscesRenderingEngine$2")
+        assert synthetic.is_synthetic and not synthetic.is_public
+
+    def test_environment_names(self):
+        assert build_environment(7).name == "jre7"
+        assert build_environment(8, name="ibm-sdk8").name == "ibm-sdk8"
+
+    def test_jre7_resources_superset(self):
+        assert build_environment(7).resources > build_environment(8).resources

@@ -1,0 +1,68 @@
+"""Tests for suite persistence (classfiles + LCOV traces + manifest)."""
+
+import json
+
+import pytest
+
+from repro.core.fuzzing import classfuzz, randfuzz
+from repro.core.storage import (
+    load_manifest,
+    load_suite,
+    load_tracefile,
+    save_suite,
+)
+from repro.corpus import CorpusConfig, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    seeds = generate_corpus(CorpusConfig(count=15, seed=5))
+    return classfuzz(seeds, iterations=40, seed=5)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, small_run, tmp_path):
+        save_suite(small_run, tmp_path / "suite")
+        suite = load_suite(tmp_path / "suite")
+        assert len(suite) == len(small_run.test_classes)
+        by_label = {g.label: g.data for g in small_run.test_classes}
+        for label, data in suite:
+            assert by_label[label] == data
+
+    def test_manifest_statistics(self, small_run, tmp_path):
+        manifest_path = save_suite(small_run, tmp_path / "suite")
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["algorithm"] == "classfuzz"
+        assert manifest["criterion"] == "stbr"
+        assert manifest["test_count"] == len(small_run.test_classes)
+        assert all(entry["mutator"] for entry in manifest["classes"])
+
+    def test_tracefiles_roundtrip(self, small_run, tmp_path):
+        save_suite(small_run, tmp_path / "suite")
+        generated = small_run.test_classes[0]
+        trace = load_tracefile(tmp_path / "suite", generated.label)
+        assert trace is not None
+        assert trace.signature == generated.tracefile.signature
+        assert trace.stmt_set == generated.tracefile.stmt_set
+
+    def test_include_gen_bucket(self, small_run, tmp_path):
+        save_suite(small_run, tmp_path / "suite", include_gen=True)
+        gen = load_suite(tmp_path / "suite", bucket="gen")
+        expected = len(small_run.gen_classes) - len(small_run.test_classes)
+        assert len(gen) == expected
+
+    def test_randfuzz_suite_has_no_traces(self, tmp_path):
+        seeds = generate_corpus(CorpusConfig(count=10, seed=6))
+        run = randfuzz(seeds, iterations=20, seed=6)
+        save_suite(run, tmp_path / "suite")
+        label = run.test_classes[0].label
+        assert load_tracefile(tmp_path / "suite", label) is None
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no manifest"):
+            load_manifest(tmp_path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        (tmp_path / "manifest.json").write_text('{"version": 999}')
+        with pytest.raises(ValueError, match="version"):
+            load_manifest(tmp_path)

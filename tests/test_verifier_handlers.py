@@ -1,0 +1,97 @@
+"""Verifier coverage of exception-handler entry states."""
+
+import pytest
+
+from repro.bytecode import Assembler, Op
+from repro.classfile.access_flags import AccessFlags
+from repro.classfile.attributes import CodeAttribute, ExceptionHandler
+from repro.classfile.methods import MethodInfo
+from repro.classfile.model import ClassFile
+from repro.errors import VerifyError
+from repro.jvm.policy import JvmPolicy
+from repro.jvm.verifier import MethodVerifier
+from repro.runtime.environment import build_environment
+
+LIBRARY = build_environment(8).library
+
+
+def build(code_builder, handlers, max_stack=4, max_locals=4,
+          **policy_overrides):
+    classfile = ClassFile()
+    pool = classfile.constant_pool
+    classfile.this_class = pool.class_ref("HTest")
+    classfile.super_class = pool.class_ref("java/lang/Object")
+    classfile.access_flags = AccessFlags.PUBLIC | AccessFlags.SUPER
+    asm = Assembler()
+    code_builder(asm, pool)
+    code_bytes = asm.build()
+    table = [ExceptionHandler(s, e, asm.label_offsets.get(h, h), c)
+             if isinstance(h, str) else ExceptionHandler(s, e, h, c)
+             for s, e, h, c in handlers]
+    code = CodeAttribute(max_stack, max_locals, code_bytes, table)
+    method = MethodInfo(AccessFlags.PUBLIC | AccessFlags.STATIC,
+                        pool.utf8("m"), pool.utf8("()V"), [code])
+    classfile.methods.append(method)
+    policy = JvmPolicy(**policy_overrides)
+    MethodVerifier(classfile, method, code, policy, LIBRARY).verify()
+
+
+class TestHandlerVerification:
+    def test_valid_handler_verifies(self):
+        def body(asm, pool):
+            asm.emit(Op.NOP)
+            asm.emit(Op.RETURN)
+            asm.label("h")
+            asm.emit(Op.POP)   # consumes the pushed throwable
+            asm.emit(Op.RETURN)
+        build(body, [(0, 1, "h", 0)])
+
+    def test_handler_sees_throwable_on_stack(self):
+        def body(asm, pool):
+            asm.emit(Op.NOP)
+            asm.emit(Op.RETURN)
+            asm.label("h")
+            asm.emit(Op.ASTORE, index=1)   # store the caught reference
+            asm.emit(Op.RETURN)
+        build(body, [(0, 1, "h", 0)])
+
+    def test_handler_with_wrong_consumption_fails(self):
+        def body(asm, pool):
+            asm.emit(Op.NOP)
+            asm.emit(Op.RETURN)
+            asm.label("h")
+            asm.emit(Op.ISTORE, index=1)   # int store on a reference
+            asm.emit(Op.RETURN)
+        with pytest.raises(VerifyError):
+            build(body, [(0, 1, "h", 0)])
+
+    def test_handler_range_bounds_checked(self):
+        def body(asm, pool):
+            asm.emit(Op.NOP)
+            asm.emit(Op.RETURN)
+        with pytest.raises(VerifyError, match="exception table range"):
+            build(body, [(5, 1, 0, 0)])
+
+    def test_handler_pc_must_hit_instruction(self):
+        def body(asm, pool):
+            asm.emit(Op.NOP)
+            asm.emit(Op.SIPUSH, value=1)
+            asm.emit(Op.POP)
+            asm.emit(Op.RETURN)
+        with pytest.raises(VerifyError, match="handler"):
+            build(body, [(0, 1, 2, 0)])   # 2 is inside sipush
+
+    def test_bad_catch_type_tag(self):
+        def body(asm, pool):
+            asm.emit(Op.NOP)
+            asm.emit(Op.RETURN)
+            asm.label("h")
+            asm.emit(Op.POP)
+            asm.emit(Op.RETURN)
+        from repro.errors import ClassFormatError
+
+        with pytest.raises(ClassFormatError):
+            def body2(asm, pool):
+                body(asm, pool)
+                pool.utf8("notaclass")
+            build(body2, [(0, 1, "h", 1)])  # index 1 is a Utf8, not Class

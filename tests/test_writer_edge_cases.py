@@ -1,0 +1,108 @@
+"""Writer edge cases: the permissive serializer must emit exactly what
+mutants contain, valid or not."""
+
+import struct
+
+import pytest
+
+from repro.classfile import (
+    AccessFlags,
+    ClassFile,
+    CodeAttribute,
+    MethodInfo,
+    read_class,
+    write_class,
+)
+from repro.classfile.fields import FieldInfo
+from repro.classfile.reader import ReaderOptions
+from repro.classfile.writer import _clamp_s32, _clamp_s64
+from repro.errors import ClassFormatError
+
+
+def minimal():
+    classfile = ClassFile()
+    pool = classfile.constant_pool
+    classfile.this_class = pool.class_ref("W")
+    classfile.super_class = pool.class_ref("java/lang/Object")
+    classfile.access_flags = AccessFlags.PUBLIC | AccessFlags.SUPER
+    return classfile
+
+
+class TestClamping:
+    def test_s32_wraps_like_java(self):
+        assert _clamp_s32(2 ** 31) == -(2 ** 31)
+        assert _clamp_s32(-2 ** 31 - 1) == 2 ** 31 - 1
+        assert _clamp_s32(5) == 5
+
+    def test_s64_wraps_like_java(self):
+        assert _clamp_s64(2 ** 63) == -(2 ** 63)
+        assert _clamp_s64(-1) == -1
+
+    def test_out_of_range_integer_constant_serializes(self):
+        classfile = minimal()
+        classfile.constant_pool.integer(2 ** 40)  # silently wrapped
+        data = write_class(classfile)
+        parsed = read_class(data)
+        values = [info.value for _, info in parsed.constant_pool
+                  if isinstance(info.value, int)]
+        assert _clamp_s32(2 ** 40) in values
+
+
+class TestInvalidStructures:
+    def test_dangling_super_index_serializes(self):
+        """The writer must NOT validate; the JVMs decide."""
+        classfile = minimal()
+        classfile.super_class = 999
+        data = write_class(classfile)
+        with pytest.raises(ClassFormatError):
+            read_class(data)
+
+    def test_contradictory_flags_serialize(self):
+        classfile = minimal()
+        classfile.access_flags = (AccessFlags.FINAL | AccessFlags.ABSTRACT
+                                  | AccessFlags.INTERFACE)
+        parsed = read_class(write_class(classfile))
+        assert parsed.access_flags & AccessFlags.FINAL
+        assert parsed.access_flags & AccessFlags.ABSTRACT
+
+    def test_flag_bits_masked_to_16(self):
+        classfile = minimal()
+        classfile.access_flags = AccessFlags(0x1FFFF)
+        data = write_class(classfile)
+        # access_flags field holds only 16 bits.
+        parsed = read_class(write_class(read_class(data,
+                            ReaderOptions(reject_trailing_bytes=False))))
+        assert int(parsed.access_flags) <= 0xFFFF
+
+    def test_duplicate_members_serialize(self):
+        classfile = minimal()
+        pool = classfile.constant_pool
+        for _ in range(2):
+            classfile.fields.append(FieldInfo(
+                AccessFlags.PUBLIC, pool.utf8("x"), pool.utf8("I")))
+        parsed = read_class(write_class(classfile))
+        assert len(parsed.fields) == 2
+
+    def test_garbage_bytecode_serializes(self):
+        classfile = minimal()
+        pool = classfile.constant_pool
+        code = CodeAttribute(1, 1, b"\xff\xfe\xfd")
+        classfile.methods.append(MethodInfo(
+            AccessFlags.PUBLIC, pool.utf8("m"), pool.utf8("()V"), [code]))
+        parsed = read_class(write_class(classfile))
+        assert parsed.methods[0].code.code == b"\xff\xfe\xfd"
+
+    def test_big_constant_pool(self):
+        classfile = minimal()
+        pool = classfile.constant_pool
+        for i in range(500):
+            pool.utf8(f"entry{i}")
+        parsed = read_class(write_class(classfile))
+        assert len(parsed.constant_pool) == len(pool)
+
+    def test_unicode_names_roundtrip(self):
+        classfile = minimal()
+        pool = classfile.constant_pool
+        index = pool.utf8("名前é€")
+        parsed = read_class(write_class(classfile))
+        assert parsed.constant_pool.get_utf8(index) == "名前é€"
