@@ -31,14 +31,19 @@ Quickstart::
 from repro.classfile import ClassFile, read_class, write_class
 from repro.core import (
     DifferentialHarness,
+    ExecutorStats,
     FuzzResult,
     MUTATORS,
     McmcMutatorSelector,
     Mutator,
+    OutcomeCache,
+    ParallelExecutor,
+    SerialExecutor,
     SuiteReport,
     classfuzz,
     evaluate_suite,
     greedyfuzz,
+    make_executor,
     randfuzz,
     reduce_discrepancy,
     uniquefuzz,

@@ -29,6 +29,7 @@ from repro.core.campaign import (
     run_campaign,
 )
 from repro.core.difftest import DifferentialHarness
+from repro.core.executor import make_executor
 from repro.core.fuzzing import classfuzz, greedyfuzz, randfuzz, uniquefuzz
 from repro.core.metrics import evaluate_suite, format_table
 from repro.core.reporting import report_discrepancy
@@ -37,6 +38,20 @@ from repro.jimple.from_classfile import lift_class
 from repro.jimple.printer import print_class
 from repro.jimple.to_classfile import compile_class_bytes
 from repro.jvm.vendors import all_jvms, jvms_by_name
+
+
+def _add_executor_options(command: argparse.ArgumentParser) -> None:
+    """Execution-engine flags shared by the JVM-running commands."""
+    command.add_argument("--jobs", type=int, default=1,
+                         help="worker count for differential runs "
+                              "(1 = serial)")
+    command.add_argument("--backend", choices=("thread", "process"),
+                         default="thread",
+                         help="parallel backend when --jobs > 1 "
+                              "(process gives real CPU parallelism)")
+    command.add_argument("--stats", action="store_true",
+                         help="print executor statistics (runs, cache "
+                              "hits, per-vendor latency)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,6 +87,8 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="synthetic seed corpus size")
     fuzz.add_argument("--out", type=Path, default=None,
                       help="directory for accepted classfiles")
+    fuzz.add_argument("--stats", action="store_true",
+                      help="print executor statistics for the run")
 
     difftest = sub.add_parser("difftest",
                               help="differentially test classfiles")
@@ -79,6 +96,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help=".class files or directories")
     difftest.add_argument("--show", type=int, default=5,
                           help="discrepancies to print in full")
+    _add_executor_options(difftest)
 
     reduce = sub.add_parser("reduce",
                             help="minimise a discrepancy trigger")
@@ -92,6 +110,7 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=20160613)
     campaign.add_argument("--algorithms", nargs="*",
                           default=list(ALL_ALGORITHMS))
+    _add_executor_options(campaign)
     return parser
 
 
@@ -137,16 +156,19 @@ def _cmd_run(args) -> int:
 def _cmd_fuzz(args) -> int:
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
                                          seed=args.seed))
+    executor = make_executor(jobs=1)
     runners = {
         "classfuzz": lambda: classfuzz(seeds, args.iterations,
                                        criterion=args.criterion,
-                                       seed=args.seed),
+                                       seed=args.seed, executor=executor),
         "uniquefuzz": lambda: uniquefuzz(seeds, args.iterations,
-                                         seed=args.seed),
+                                         seed=args.seed,
+                                         executor=executor),
         "greedyfuzz": lambda: greedyfuzz(seeds, args.iterations,
-                                         seed=args.seed),
+                                         seed=args.seed,
+                                         executor=executor),
         "randfuzz": lambda: randfuzz(seeds, args.iterations,
-                                     seed=args.seed),
+                                     seed=args.seed, executor=executor),
     }
     result = runners[args.algorithm]()
     print(f"{result.algorithm}"
@@ -155,6 +177,12 @@ def _cmd_fuzz(args) -> int:
           f"{len(result.gen_classes)} generated, "
           f"{len(result.test_classes)} accepted "
           f"(succ {result.succ:.1%}) in {result.elapsed_seconds:.1f}s")
+    if result.discards:
+        breakdown = ", ".join(f"{category}: {count}" for category, count
+                              in sorted(result.discards.items()))
+        print(f"discarded {result.discarded} iterations ({breakdown})")
+    if args.stats:
+        print(executor.stats.format())
     if args.out:
         from repro.core.storage import save_suite
 
@@ -179,7 +207,8 @@ def _cmd_difftest(args) -> int:
     if not files:
         print("no classfiles found", file=sys.stderr)
         return 2
-    harness = DifferentialHarness()
+    executor = make_executor(jobs=args.jobs, backend=args.backend)
+    harness = DifferentialHarness(executor=executor)
     suite = [(path.stem, path.read_bytes()) for path in files]
     report = evaluate_suite("suite", suite, harness)
     print(format_table([report]))
@@ -189,6 +218,11 @@ def _cmd_difftest(args) -> int:
             shown += 1
             print()
             print(result.summary())
+    if args.stats:
+        print()
+        print("=== Executor stats ===")
+        print(executor.stats.format())
+    executor.close()
     return 0 if report.discrepancies == 0 else 1
 
 
@@ -210,8 +244,10 @@ def _cmd_campaign(args) -> int:
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
                                          seed=args.seed))
     budget = PAPER_BUDGET_SECONDS * args.budget_scale
+    executor = make_executor(jobs=args.jobs, backend=args.backend)
     runs = run_campaign(seeds, budget, algorithms=tuple(args.algorithms),
-                        rng_seed=args.seed, evaluate=True)
+                        rng_seed=args.seed, evaluate=True,
+                        executor=executor)
     print(f"=== Table 4 (budget = {budget:.0f} modeled seconds) ===")
     print(format_table4(runs))
     print()
@@ -221,6 +257,18 @@ def _cmd_campaign(args) -> int:
         reports.append(run.gen_report)
         reports.append(run.test_report)
     print(format_table([r for r in reports if r is not None]))
+    if args.stats:
+        print()
+        print("=== Executor stats ===")
+        for run in runs:
+            stats = run.executor_stats
+            print(f"{run.label}: fuzz {run.fuzz_seconds:.2f}s, "
+                  f"evaluate {run.evaluate_seconds:.2f}s, "
+                  f"{stats.runs} runs, {stats.cache_hits} cache hits, "
+                  f"{stats.trace_hits} trace hits")
+        print()
+        print(executor.stats.format())
+    executor.close()
     return 0
 
 

@@ -11,21 +11,41 @@ from repro.core.fuzzing import (
     uniquefuzz,
 )
 from repro.core.difftest import DifferentialHarness
+from repro.core.executor import (
+    Executor,
+    ExecutorStats,
+    OutcomeCache,
+    ParallelExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    classfile_digest,
+    make_executor,
+)
 from repro.core.metrics import SuiteReport, evaluate_suite
 from repro.core.reducer import reduce_discrepancy
 
 __all__ = [
     "DEFAULT_P",
     "DifferentialHarness",
+    "Executor",
+    "ExecutorStats",
     "FuzzResult",
     "MUTATORS",
     "McmcMutatorSelector",
     "Mutator",
+    "OutcomeCache",
+    "ParallelExecutor",
+    "ProcessExecutor",
+    "SerialExecutor",
     "SuiteReport",
+    "ThreadExecutor",
+    "classfile_digest",
     "classfuzz",
     "estimate_p_range",
     "evaluate_suite",
     "greedyfuzz",
+    "make_executor",
     "mutator_by_name",
     "randfuzz",
     "reduce_discrepancy",

@@ -25,9 +25,16 @@ randfuzz           5.6     (no coverage run)
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.executor import (
+    Executor,
+    ExecutorStats,
+    OutcomeCache,
+    SerialExecutor,
+)
 from repro.core.fuzzing import (
     FuzzResult,
     classfuzz,
@@ -38,6 +45,7 @@ from repro.core.fuzzing import (
 from repro.core.metrics import SuiteReport, evaluate_suite
 from repro.core.difftest import DifferentialHarness
 from repro.jimple.model import JClass
+from repro.jvm.machine import Jvm
 
 #: Paper wall-clock budget: three days, in seconds.
 PAPER_BUDGET_SECONDS = 3 * 24 * 3600
@@ -77,12 +85,22 @@ class CampaignRun:
         modeled_seconds_per_generated: the cost model's average seconds
             per generated classfile (Table 4's row).
         modeled_seconds_per_test: likewise per accepted test classfile.
+        fuzz_seconds: real wall-clock spent in this algorithm's fuzzing
+            phase (all repetitions).
+        evaluate_seconds: real wall-clock spent differential-testing the
+            Gen/Test suites.
+        executor_stats: the executor counters this run accumulated —
+            runs, cache hits, batches, per-vendor latency (``None`` when
+            no stats were collected).
     """
 
     label: str
     fuzz: FuzzResult
     gen_report: Optional[SuiteReport] = None
     test_report: Optional[SuiteReport] = None
+    fuzz_seconds: float = 0.0
+    evaluate_seconds: float = 0.0
+    executor_stats: Optional[ExecutorStats] = None
 
     @property
     def modeled_seconds_per_generated(self) -> float:
@@ -111,20 +129,20 @@ class CampaignRun:
         }
 
 
-#: Algorithm label → runner taking (seeds, iterations, seed).
+#: Algorithm label → runner taking (seeds, iterations, seed, **shared kw).
 _RUNNERS: Dict[str, Callable[..., FuzzResult]] = {
-    "classfuzz[stbr]": lambda seeds, iters, rng_seed: classfuzz(
-        seeds, iters, criterion="stbr", seed=rng_seed),
-    "classfuzz[st]": lambda seeds, iters, rng_seed: classfuzz(
-        seeds, iters, criterion="st", seed=rng_seed),
-    "classfuzz[tr]": lambda seeds, iters, rng_seed: classfuzz(
-        seeds, iters, criterion="tr", seed=rng_seed),
-    "uniquefuzz": lambda seeds, iters, rng_seed: uniquefuzz(
-        seeds, iters, seed=rng_seed),
-    "greedyfuzz": lambda seeds, iters, rng_seed: greedyfuzz(
-        seeds, iters, seed=rng_seed),
-    "randfuzz": lambda seeds, iters, rng_seed: randfuzz(
-        seeds, iters, seed=rng_seed),
+    "classfuzz[stbr]": lambda seeds, iters, rng_seed, **kw: classfuzz(
+        seeds, iters, criterion="stbr", seed=rng_seed, **kw),
+    "classfuzz[st]": lambda seeds, iters, rng_seed, **kw: classfuzz(
+        seeds, iters, criterion="st", seed=rng_seed, **kw),
+    "classfuzz[tr]": lambda seeds, iters, rng_seed, **kw: classfuzz(
+        seeds, iters, criterion="tr", seed=rng_seed, **kw),
+    "uniquefuzz": lambda seeds, iters, rng_seed, **kw: uniquefuzz(
+        seeds, iters, seed=rng_seed, **kw),
+    "greedyfuzz": lambda seeds, iters, rng_seed, **kw: greedyfuzz(
+        seeds, iters, seed=rng_seed, **kw),
+    "randfuzz": lambda seeds, iters, rng_seed, **kw: randfuzz(
+        seeds, iters, seed=rng_seed, **kw),
 }
 
 ALL_ALGORITHMS = tuple(_RUNNERS)
@@ -135,7 +153,9 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                  rng_seed: int = 0,
                  evaluate: bool = False,
                  harness: Optional[DifferentialHarness] = None,
-                 repetitions: int = 1) -> List[CampaignRun]:
+                 repetitions: int = 1,
+                 executor: Optional[Executor] = None,
+                 reference: Optional[Jvm] = None) -> List[CampaignRun]:
     """Run the Table 4/6 experiment at a scaled budget.
 
     Args:
@@ -148,26 +168,52 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
         evaluate: also differential-test Gen/Test suites (Table 6 rows).
         repetitions: run each algorithm this many times and keep the run
             with the largest test suite (the paper's §3.1.3 protocol).
+        executor: one execution engine shared by every fuzzing run and
+            (unless a custom ``harness`` brings its own) the differential
+            evaluation.  Defaults to a cached serial engine, so every
+            algorithm's seed-priming coverage runs and the Gen/Test suite
+            overlap hit the content-addressed cache.
+        reference: the coverage-instrumented reference JVM injected into
+            all four algorithms (defaults to each run constructing
+            :func:`~repro.jvm.vendors.reference_jvm`).
     """
-    harness = harness or (DifferentialHarness() if evaluate else None)
+    executor = executor if executor is not None \
+        else SerialExecutor(cache=OutcomeCache())
+    harness = harness or (DifferentialHarness(executor=executor)
+                          if evaluate else None)
+    # Stats can accrue on two engines when a caller-supplied harness
+    # brings its own; per-run deltas merge both.
+    engines: List[Executor] = [executor]
+    if harness is not None and harness.executor is not executor:
+        engines.append(harness.executor)
     runs: List[CampaignRun] = []
     for label in algorithms:
         iterations = iterations_for_budget(label, budget_seconds)
+        before = [engine.stats.snapshot() for engine in engines]
+        fuzz_started = time.perf_counter()
         best: Optional[FuzzResult] = None
         for repetition in range(max(1, repetitions)):
             result = _RUNNERS[label](seeds, iterations,
-                                     rng_seed + repetition)
+                                     rng_seed + repetition,
+                                     executor=executor,
+                                     reference=reference)
             if best is None or len(result.test_classes) > len(
                     best.test_classes):
                 best = result
         run = CampaignRun(label, best)
+        run.fuzz_seconds = time.perf_counter() - fuzz_started
         if evaluate:
+            evaluate_started = time.perf_counter()
             run.gen_report = evaluate_suite(
                 f"Gen_{label}",
                 [(g.label, g.data) for g in best.gen_classes], harness)
             run.test_report = evaluate_suite(
                 f"Test_{label}",
                 [(g.label, g.data) for g in best.test_classes], harness)
+            run.evaluate_seconds = time.perf_counter() - evaluate_started
+        run.executor_stats = ExecutorStats()
+        for engine, earlier in zip(engines, before):
+            run.executor_stats.add(engine.stats.since(earlier))
         runs.append(run)
     return runs
 

@@ -2,13 +2,16 @@
 
 Runs each classfile on the five JVM implementations of Table 3, encodes
 the per-JVM outcomes into the 0–4 phase-code vector, and reports
-discrepancies.
+discrepancies.  All JVM executions route through a pluggable
+:class:`~repro.core.executor.Executor`, so the same harness runs serially,
+on a thread pool, or on a process pool — with identical results.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.executor import Executor, SerialExecutor
 from repro.jvm.machine import Jvm
 from repro.jvm.outcome import DifferentialResult, Outcome
 from repro.jvm.vendors import all_jvms
@@ -19,24 +22,38 @@ class DifferentialHarness:
 
     Attributes:
         jvms: the implementations under test, in report column order.
+        executor: the default execution engine (an uncached
+            :class:`SerialExecutor` unless one is supplied).
     """
 
-    def __init__(self, jvms: Optional[Sequence[Jvm]] = None):
+    def __init__(self, jvms: Optional[Sequence[Jvm]] = None,
+                 executor: Optional[Executor] = None):
         self.jvms: List[Jvm] = list(jvms) if jvms is not None else all_jvms()
+        self.executor: Executor = executor if executor is not None \
+            else SerialExecutor()
 
     @property
     def jvm_names(self) -> List[str]:
         return [jvm.name for jvm in self.jvms]
 
-    def run_one(self, data: bytes, label: str = "") -> DifferentialResult:
+    def run_one(self, data: bytes, label: str = "",
+                executor: Optional[Executor] = None) -> DifferentialResult:
         """Execute one classfile on every JVM."""
-        outcomes = [jvm.run(data) for jvm in self.jvms]
+        engine = executor if executor is not None else self.executor
+        outcomes = [engine.run_one(jvm, data) for jvm in self.jvms]
         return DifferentialResult(outcomes=outcomes, label=label)
 
-    def run_many(self, classfiles: Iterable[Tuple[str, bytes]]
+    def run_many(self, classfiles: Iterable[Tuple[str, bytes]],
+                 executor: Optional[Executor] = None
                  ) -> List[DifferentialResult]:
-        """Execute ``(label, bytes)`` pairs on every JVM."""
-        return [self.run_one(data, label) for label, data in classfiles]
+        """Execute ``(label, bytes)`` pairs on every JVM.
+
+        Results come back in input order regardless of the engine — a
+        parallel executor joins its futures in submission order, so the
+        returned sequence is bit-identical to a serial run.
+        """
+        engine = executor if executor is not None else self.executor
+        return engine.run_differential(self.jvms, classfiles)
 
     # -- analysis helpers ---------------------------------------------------------
 

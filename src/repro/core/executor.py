@@ -1,0 +1,519 @@
+"""Pluggable execution engines for JVM runs.
+
+Every JVM execution in the pipeline — the five-vendor differential runs
+of :class:`~repro.core.difftest.DifferentialHarness` and the
+coverage-collected reference runs of the fuzzing loop — routes through an
+:class:`Executor`.  Three engines share one interface:
+
+* :class:`SerialExecutor` — the in-order baseline;
+* :class:`ThreadExecutor` — a ``concurrent.futures.ThreadPoolExecutor``
+  backend (overlaps runs; bounded by the GIL for pure-Python work);
+* :class:`ProcessExecutor` — a ``ProcessPoolExecutor`` backend that ships
+  classfile bytes to worker processes for real CPU parallelism.
+
+Because ``Jvm.run(bytes)`` is a pure function of the classfile bytes and
+the vendor policy, runs can be cached content-addressed: an
+:class:`OutcomeCache` maps ``(sha256(bytes), vendor)`` to the
+:class:`~repro.jvm.outcome.Outcome`, and reference runs additionally to
+the collected :class:`~repro.coverage.tracefile.Tracefile`.  A campaign
+re-executes the same bytes often — every accepted ``TestClasses`` member
+is differential-tested once inside ``GenClasses`` and again in the test
+suite, and every algorithm primes coverage on the same seed corpus — so
+the cache turns those repeats into lookups.
+
+Determinism is part of the interface contract: for a fixed input
+sequence, every engine returns bit-identical
+:class:`~repro.jvm.outcome.DifferentialResult` sequences in submit order
+(parallel engines join futures in submission order, never completion
+order).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+import time
+from concurrent import futures
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.coverage.probes import CoverageCollector
+from repro.coverage.tracefile import Tracefile
+from repro.jvm.machine import Jvm
+from repro.jvm.outcome import DifferentialResult, Outcome
+
+
+def classfile_digest(data: bytes) -> str:
+    """The content address of a classfile: its SHA-256 hex digest."""
+    return hashlib.sha256(data).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExecutorStats:
+    """Counters and timings for one executor's lifetime.
+
+    Attributes:
+        runs: actual JVM executions performed (cache hits excluded).
+        cache_hits: differential-run outcomes served from the cache.
+        cache_misses: differential-run outcomes that had to execute.
+        trace_hits: reference runs served from the tracefile cache.
+        trace_misses: reference runs that had to execute.
+        batches: ``run_differential`` calls.
+        batch_seconds: wall-clock spent inside ``run_differential``.
+        vendor_runs: vendor name → actual executions.
+        vendor_seconds: vendor name → wall-clock spent executing.
+    """
+
+    runs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+    batches: int = 0
+    batch_seconds: float = 0.0
+    vendor_runs: Dict[str, int] = field(default_factory=dict)
+    vendor_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def record_run(self, vendor: str, seconds: float) -> None:
+        self.runs += 1
+        self.vendor_runs[vendor] = self.vendor_runs.get(vendor, 0) + 1
+        self.vendor_seconds[vendor] = \
+            self.vendor_seconds.get(vendor, 0.0) + seconds
+
+    def vendor_mean_ms(self, vendor: str) -> float:
+        """Mean per-run latency for ``vendor``, in milliseconds."""
+        runs = self.vendor_runs.get(vendor, 0)
+        if runs == 0:
+            return 0.0
+        return self.vendor_seconds.get(vendor, 0.0) / runs * 1000.0
+
+    def snapshot(self) -> "ExecutorStats":
+        """An independent copy (for before/after phase deltas)."""
+        return replace(self, vendor_runs=dict(self.vendor_runs),
+                       vendor_seconds=dict(self.vendor_seconds))
+
+    def since(self, earlier: "ExecutorStats") -> "ExecutorStats":
+        """The delta accumulated after ``earlier`` was snapshotted."""
+        delta = ExecutorStats(
+            runs=self.runs - earlier.runs,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_misses=self.cache_misses - earlier.cache_misses,
+            trace_hits=self.trace_hits - earlier.trace_hits,
+            trace_misses=self.trace_misses - earlier.trace_misses,
+            batches=self.batches - earlier.batches,
+            batch_seconds=self.batch_seconds - earlier.batch_seconds,
+        )
+        for vendor, runs in self.vendor_runs.items():
+            diff = runs - earlier.vendor_runs.get(vendor, 0)
+            if diff:
+                delta.vendor_runs[vendor] = diff
+        for vendor, seconds in self.vendor_seconds.items():
+            diff = seconds - earlier.vendor_seconds.get(vendor, 0.0)
+            if vendor in delta.vendor_runs:
+                delta.vendor_seconds[vendor] = diff
+        return delta
+
+    def add(self, other: "ExecutorStats") -> None:
+        """Fold ``other``'s counters into this one (for merging phases)."""
+        self.runs += other.runs
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.trace_hits += other.trace_hits
+        self.trace_misses += other.trace_misses
+        self.batches += other.batches
+        self.batch_seconds += other.batch_seconds
+        for vendor, runs in other.vendor_runs.items():
+            self.vendor_runs[vendor] = self.vendor_runs.get(vendor, 0) + runs
+        for vendor, seconds in other.vendor_seconds.items():
+            self.vendor_seconds[vendor] = \
+                self.vendor_seconds.get(vendor, 0.0) + seconds
+
+    def format(self) -> str:
+        """Human-readable stats block (the CLI's ``--stats`` output)."""
+        lookups = self.cache_hits + self.cache_misses
+        lines = [
+            f"runs: {self.runs}  batches: {self.batches} "
+            f"({self.batch_seconds:.2f}s)",
+            f"outcome cache: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses"
+            + (f" ({self.cache_hits / lookups:.0%} hit rate)"
+               if lookups else ""),
+            f"tracefile cache: {self.trace_hits} hits / "
+            f"{self.trace_misses} misses",
+        ]
+        if self.vendor_runs:
+            width = max(len(v) for v in self.vendor_runs)
+            lines.append(f"{'vendor'.ljust(width)}  {'runs':>8}  "
+                         f"{'total_s':>8}  {'mean_ms':>8}")
+            for vendor in sorted(self.vendor_runs):
+                lines.append(
+                    f"{vendor.ljust(width)}  "
+                    f"{self.vendor_runs[vendor]:>8}  "
+                    f"{self.vendor_seconds.get(vendor, 0.0):>8.3f}  "
+                    f"{self.vendor_mean_ms(vendor):>8.3f}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed cache
+# ---------------------------------------------------------------------------
+
+class OutcomeCache:
+    """Content-addressed cache of deterministic JVM runs.
+
+    Keys are ``(sha256(classfile bytes), vendor name)``; values are the
+    run's :class:`Outcome` (and, for reference runs, the collected
+    :class:`Tracefile`).  Safe for concurrent use.
+
+    Args:
+        max_entries: optional capacity per store; the oldest entries are
+            evicted first (insertion order).  ``None`` means unbounded.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        self.max_entries = max_entries
+        self._outcomes: Dict[Tuple[str, str], Outcome] = {}
+        self._traces: Dict[Tuple[str, str],
+                           Tuple[Outcome, Tracefile]] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._outcomes) + len(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._outcomes.clear()
+            self._traces.clear()
+
+    def get_outcome(self, digest: str, vendor: str) -> Optional[Outcome]:
+        with self._lock:
+            return self._outcomes.get((digest, vendor))
+
+    def put_outcome(self, digest: str, vendor: str,
+                    outcome: Outcome) -> None:
+        with self._lock:
+            self._evict(self._outcomes)
+            self._outcomes[(digest, vendor)] = outcome
+
+    def get_trace(self, digest: str, vendor: str
+                  ) -> Optional[Tuple[Outcome, Tracefile]]:
+        with self._lock:
+            return self._traces.get((digest, vendor))
+
+    def put_trace(self, digest: str, vendor: str, outcome: Outcome,
+                  trace: Tracefile) -> None:
+        with self._lock:
+            self._evict(self._traces)
+            self._traces[(digest, vendor)] = (outcome, trace)
+
+    def _evict(self, store: Dict) -> None:
+        if self.max_entries is not None:
+            while len(store) >= self.max_entries:
+                store.pop(next(iter(store)))
+
+
+# ---------------------------------------------------------------------------
+# The executor interface
+# ---------------------------------------------------------------------------
+
+class Executor:
+    """Interface: run classfiles on JVMs, with optional caching and stats.
+
+    Attributes:
+        cache: the content-addressed outcome/tracefile cache, or ``None``
+            when caching is disabled (the default — benchmarks and ad-hoc
+            harnesses must measure real executions unless they opt in).
+        stats: lifetime counters, thread-safe.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, cache: Optional[OutcomeCache] = None,
+                 stats: Optional[ExecutorStats] = None):
+        self.cache = cache
+        self.stats = stats if stats is not None else ExecutorStats()
+        self._stats_lock = threading.Lock()
+        self._reference_lock = threading.Lock()
+
+    # -- single runs --------------------------------------------------------------
+
+    def run_one(self, jvm: Jvm, data: bytes,
+                digest: Optional[str] = None) -> Outcome:
+        """Run one classfile on one JVM, through the cache when enabled."""
+        if self.cache is None:
+            return self._execute(jvm, data)
+        digest = digest or classfile_digest(data)
+        cached = self.cache.get_outcome(digest, jvm.name)
+        if cached is not None:
+            with self._stats_lock:
+                self.stats.cache_hits += 1
+            return cached
+        with self._stats_lock:
+            self.stats.cache_misses += 1
+        outcome = self._execute(jvm, data)
+        self.cache.put_outcome(digest, jvm.name, outcome)
+        return outcome
+
+    def run_reference(self, jvm: Jvm, data: bytes
+                      ) -> Tuple[Outcome, Tracefile]:
+        """Run on the (instrumented) reference JVM, collecting coverage.
+
+        Reference runs always execute in the calling thread — the fuzzing
+        loop is sequential by construction (each acceptance decision
+        feeds the next iteration's seed pool) — but they share the
+        content-addressed cache, so re-running the same bytes (seed
+        priming across algorithms, pool re-runs) is a lookup.
+        """
+        digest = classfile_digest(data) if self.cache is not None else ""
+        if self.cache is not None:
+            cached = self.cache.get_trace(digest, jvm.name)
+            if cached is not None:
+                with self._stats_lock:
+                    self.stats.trace_hits += 1
+                return cached
+            with self._stats_lock:
+                self.stats.trace_misses += 1
+        with self._reference_lock:
+            collector = CoverageCollector()
+            started = time.perf_counter()
+            with collector:
+                outcome = jvm.run(data)
+            elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self.stats.record_run(jvm.name, elapsed)
+        trace = collector.tracefile()
+        if self.cache is not None:
+            self.cache.put_trace(digest, jvm.name, outcome, trace)
+        return outcome, trace
+
+    # -- batched differential runs ----------------------------------------------
+
+    def run_differential(self, jvms: Sequence[Jvm],
+                         classfiles: Iterable[Tuple[str, bytes]]
+                         ) -> List[DifferentialResult]:
+        """Run every ``(label, bytes)`` pair on every JVM.
+
+        Results are returned in input order, bit-identical across
+        engines.
+        """
+        batch = list(classfiles)
+        started = time.perf_counter()
+        results = self._run_batch(list(jvms), batch)
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self.stats.batches += 1
+            self.stats.batch_seconds += elapsed
+        return results
+
+    def _run_batch(self, jvms: List[Jvm],
+                   batch: List[Tuple[str, bytes]]
+                   ) -> List[DifferentialResult]:
+        raise NotImplementedError
+
+    def _run_classfile(self, jvms: List[Jvm], label: str,
+                       data: bytes) -> DifferentialResult:
+        digest = classfile_digest(data) if self.cache is not None else None
+        return DifferentialResult(
+            outcomes=[self.run_one(jvm, data, digest) for jvm in jvms],
+            label=label)
+
+    def _execute(self, jvm: Jvm, data: bytes) -> Outcome:
+        started = time.perf_counter()
+        outcome = jvm.run(data)
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self.stats.record_run(jvm.name, elapsed)
+        return outcome
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release worker pools (no-op for pool-less engines)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """The in-order baseline engine: no pools, no concurrency."""
+
+    kind = "serial"
+
+    def _run_batch(self, jvms, batch):
+        return [self._run_classfile(jvms, label, data)
+                for label, data in batch]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool engine: one task per classfile, submit-order join.
+
+    JVM instances are shared across worker threads — ``Jvm.run`` keeps no
+    per-run state on the instance (interpreters are per-run) and coverage
+    collection is thread-local, so concurrent runs cannot interfere.
+    """
+
+    kind = "thread"
+
+    def __init__(self, jobs: Optional[int] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self._pool: Optional[futures.ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = futures.ThreadPoolExecutor(
+                max_workers=self.jobs, thread_name_prefix="repro-exec")
+        return self._pool
+
+    def _run_batch(self, jvms, batch):
+        pool = self._ensure_pool()
+        pending = [pool.submit(self._run_classfile, jvms, label, data)
+                   for label, data in batch]
+        return [task.result() for task in pending]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+# -- process backend ----------------------------------------------------------
+
+#: Per-worker JVM instances, set once by the pool initializer.
+_WORKER_JVMS: List[Jvm] = []
+
+
+def _process_worker_init(blob: bytes) -> None:
+    global _WORKER_JVMS
+    _WORKER_JVMS = pickle.loads(blob)
+
+
+def _process_worker_run(data: bytes
+                        ) -> Tuple[List[Outcome], List[float]]:
+    outcomes: List[Outcome] = []
+    timings: List[float] = []
+    for jvm in _WORKER_JVMS:
+        started = time.perf_counter()
+        outcomes.append(jvm.run(data))
+        timings.append(time.perf_counter() - started)
+    return outcomes, timings
+
+
+class ProcessExecutor(Executor):
+    """Process-pool engine: real CPU parallelism for CPU-bound runs.
+
+    The JVM list is pickled once and installed in each worker by the pool
+    initializer; tasks ship only classfile bytes and return picklable
+    outcomes plus per-vendor timings.  The pool is rebuilt when a batch
+    arrives with a different JVM configuration.
+    """
+
+    kind = "process"
+
+    def __init__(self, jobs: Optional[int] = None, **kwargs):
+        super().__init__(**kwargs)
+        self.jobs = max(1, jobs if jobs is not None
+                        else (os.cpu_count() or 1))
+        self._pool: Optional[futures.ProcessPoolExecutor] = None
+        self._pool_key: Optional[bytes] = None
+
+    def _ensure_pool(self, jvms: List[Jvm]) -> futures.ProcessPoolExecutor:
+        blob = pickle.dumps(jvms)
+        if self._pool is None or self._pool_key != blob:
+            self.close()
+            self._pool = futures.ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_process_worker_init, initargs=(blob,))
+            self._pool_key = blob
+        return self._pool
+
+    def _run_batch(self, jvms, batch):
+        pool = self._ensure_pool(jvms)
+        # (label, digest, future-or-None, cached outcomes) in submit order.
+        pending: List[Tuple[str, Optional[str],
+                            Optional[futures.Future],
+                            Optional[List[Outcome]]]] = []
+        for label, data in batch:
+            digest = cached = None
+            if self.cache is not None:
+                digest = classfile_digest(data)
+                found = [self.cache.get_outcome(digest, jvm.name)
+                         for jvm in jvms]
+                # A classfile is a hit only when every vendor outcome is
+                # present — partial entries re-run everywhere.
+                if all(outcome is not None for outcome in found):
+                    cached = found
+            with self._stats_lock:
+                if cached is not None:
+                    self.stats.cache_hits += len(jvms)
+                elif self.cache is not None:
+                    self.stats.cache_misses += len(jvms)
+            task = None if cached is not None \
+                else pool.submit(_process_worker_run, data)
+            pending.append((label, digest, task, cached))
+        results = []
+        for label, digest, task, cached in pending:
+            if cached is not None:
+                outcomes = cached
+            else:
+                outcomes, timings = task.result()
+                with self._stats_lock:
+                    for jvm, seconds in zip(jvms, timings):
+                        self.stats.record_run(jvm.name, seconds)
+                if self.cache is not None:
+                    for jvm, outcome in zip(jvms, outcomes):
+                        self.cache.put_outcome(digest, jvm.name, outcome)
+            results.append(DifferentialResult(outcomes=list(outcomes),
+                                              label=label))
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_key = None
+
+
+# ---------------------------------------------------------------------------
+# Factories
+# ---------------------------------------------------------------------------
+
+#: Backend name → engine class.
+BACKENDS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def ParallelExecutor(jobs: Optional[int] = None, backend: str = "thread",
+                     **kwargs) -> Executor:
+    """A parallel engine for ``backend`` (``"thread"`` or ``"process"``)."""
+    if backend not in ("thread", "process"):
+        raise ValueError(f"unknown parallel backend {backend!r}")
+    return BACKENDS[backend](jobs=jobs, **kwargs)
+
+
+def make_executor(jobs: int = 1, backend: str = "thread",
+                  cache: bool = True) -> Executor:
+    """Build the engine for a job count (the CLI's ``--jobs``/``--backend``).
+
+    ``jobs <= 1`` selects the serial engine.  ``cache=True`` attaches a
+    fresh :class:`OutcomeCache`.
+    """
+    outcome_cache = OutcomeCache() if cache else None
+    if jobs <= 1:
+        return SerialExecutor(cache=outcome_cache)
+    return ParallelExecutor(jobs=jobs, backend=backend,
+                            cache=outcome_cache)

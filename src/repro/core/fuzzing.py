@@ -15,19 +15,25 @@ algorithm         mutator selection     acceptance
 
 Accepted representative classfiles are fed back into the seed pool
 (Algorithm 1, lines 5 and 14).
+
+Reference-JVM coverage runs route through a pluggable
+:class:`~repro.core.executor.Executor`, whose content-addressed tracefile
+cache makes re-running identical bytes (seed priming across algorithms,
+repeated campaign phases) a lookup instead of an execution.
 """
 
 from __future__ import annotations
 
 import random
+import struct
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.classfile.writer import write_class
+from repro.core.executor import Executor, OutcomeCache, SerialExecutor
 from repro.core.mcmc import DEFAULT_P, McmcMutatorSelector, UniformMutatorSelector
 from repro.core.mutators import MUTATORS, Mutator
-from repro.coverage.probes import CoverageCollector
 from repro.coverage.tracefile import Tracefile
 from repro.coverage.uniqueness import make_criterion
 from repro.jimple.builder import add_printing_main
@@ -35,6 +41,12 @@ from repro.jimple.model import JClass
 from repro.jimple.to_classfile import JimpleCompileError, compile_class
 from repro.jvm.machine import Jvm
 from repro.jvm.vendors import reference_jvm
+
+#: Discard categories recorded on :attr:`FuzzResult.discards`.
+DISCARD_MUTATOR_ERROR = "mutator_error"    # the rewrite itself crashed
+DISCARD_INAPPLICABLE = "inapplicable"      # mutator reported not applied
+DISCARD_COMPILE_ERROR = "compile_error"    # Jimple → classfile dump failed
+DISCARD_DUMP_ERROR = "dump_error"          # classfile serialization overflow
 
 
 @dataclass
@@ -69,6 +81,10 @@ class FuzzResult:
             seeds excluded per Algorithm 1 line 19).
         mutator_report: ``(name, selected, successes, rate)`` rows.
         elapsed_seconds: wall-clock duration of the run.
+        discards: failure category → iterations discarded for that reason
+            (``mutator_error``/``inapplicable``/``compile_error``/
+            ``dump_error``), so swallowed iterations stay visible:
+            ``iterations == len(gen_classes) + sum(discards.values())``.
     """
 
     algorithm: str
@@ -79,6 +95,7 @@ class FuzzResult:
     mutator_report: List[Tuple[str, int, int, float]] = field(
         default_factory=list)
     elapsed_seconds: float = 0.0
+    discards: Dict[str, int] = field(default_factory=dict)
 
     @property
     def succ(self) -> float:
@@ -86,6 +103,11 @@ class FuzzResult:
         if self.iterations == 0:
             return 0.0
         return len(self.test_classes) / self.iterations
+
+    @property
+    def discarded(self) -> int:
+        """Total iterations that produced no classfile, across categories."""
+        return sum(self.discards.values())
 
     @property
     def seconds_per_generated(self) -> float:
@@ -119,20 +141,32 @@ class _FuzzEngine:
 
     def __init__(self, seeds: Sequence[JClass], rng: random.Random,
                  mutators: Sequence[Mutator],
-                 reference: Optional[Jvm] = None):
+                 reference: Optional[Jvm] = None,
+                 executor: Optional[Executor] = None):
         self.rng = rng
         self.pool: List[JClass] = [seed.clone() for seed in seeds]
         if not self.pool:
             raise ValueError("need at least one seed class")
         self.mutators = list(mutators)
         self.reference = reference or reference_jvm()
+        self.executor = executor if executor is not None \
+            else SerialExecutor(cache=OutcomeCache())
+        self.discards: Dict[str, int] = {}
         self._name_counter = 0
+
+    def _discard(self, category: str) -> None:
+        self.discards[category] = self.discards.get(category, 0) + 1
 
     def mutate_once(self, mutator: Mutator) -> Optional[GeneratedClass]:
         """One iteration body: mutate a random pool member and dump it.
 
         Returns ``None`` when the mutation was inapplicable or the mutant
-        could not be dumped to a classfile.
+        could not be dumped to a classfile; each discarded iteration is
+        counted under its failure category in :attr:`discards`.  Only the
+        dump failures Soot's writer exhibits — :class:`JimpleCompileError`
+        from the compiler and ``struct.error`` overflows from the binary
+        writer — are swallowed; anything else is a genuine compiler/writer
+        bug and propagates.
         """
         seed = self.rng.choice(self.pool)
         mutant = seed.clone()
@@ -141,24 +175,47 @@ class _FuzzEngine:
         try:
             applied = mutator(mutant, self.rng)
         except Exception:
-            return None  # a crashing rewrite is a failed iteration
+            # Mutators are arbitrary rewrites over arbitrary mutants; a
+            # crashing rewrite is a failed iteration, but a counted one.
+            self._discard(DISCARD_MUTATOR_ERROR)
+            return None
         if not applied:
+            self._discard(DISCARD_INAPPLICABLE)
             return None
         supplement_main(mutant)
         try:
-            data = write_class(compile_class(mutant))
-        except (JimpleCompileError, Exception):
+            compiled = compile_class(mutant)
+        except JimpleCompileError:
+            self._discard(DISCARD_COMPILE_ERROR)
+            return None
+        try:
+            data = write_class(compiled)
+        except struct.error:
+            self._discard(DISCARD_DUMP_ERROR)
             return None
         return GeneratedClass(mutant.name, mutant, data, mutator.name)
 
     def run_on_reference(self, generated: GeneratedClass) -> Tracefile:
         """Execute on the reference JVM, collecting coverage."""
-        collector = CoverageCollector()
-        with collector:
-            self.reference.run(generated.data)
-        trace = collector.tracefile()
+        _, trace = self.executor.run_reference(self.reference,
+                                               generated.data)
         generated.tracefile = trace
         return trace
+
+    def prime_pool(self):
+        """Yield ``(placeholder, trace)`` for each compilable pool seed.
+
+        Seeds the acceptance state with the seed corpus's own coverage so
+        accepted mutants are unique w.r.t. the whole suite (TestClasses
+        starts = Seeds, Algorithm 1 line 5).
+        """
+        for pooled in self.pool:
+            try:
+                data = write_class(compile_class(pooled))
+            except (JimpleCompileError, struct.error):
+                continue
+            placeholder = GeneratedClass(pooled.name, pooled, data)
+            yield placeholder, self.run_on_reference(placeholder)
 
 
 def classfuzz(seeds: Sequence[JClass], iterations: int,
@@ -166,7 +223,8 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
               p: float = DEFAULT_P,
               mutators: Sequence[Mutator] = MUTATORS,
               reference: Optional[Jvm] = None,
-              seed_feedback: bool = True) -> FuzzResult:
+              seed_feedback: bool = True,
+              executor: Optional[Executor] = None) -> FuzzResult:
     """Algorithm 1: coverage-directed generation with MCMC mutator selection.
 
     Args:
@@ -175,24 +233,21 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
         criterion: ``st``, ``stbr``, or ``tr``.
         seed: RNG seed.
         p: the geometric parameter (default 3/129).
+        reference: the coverage-instrumented reference JVM (defaults to
+            :func:`~repro.jvm.vendors.reference_jvm`).
         seed_feedback: whether accepted representative classfiles join the
             mutation pool (Algorithm 1, lines 5/14).  Disabling this is
             the §3.2 ablation of the "representative seeds breed
             representative mutants" assumption.
+        executor: the execution engine for reference runs (defaults to a
+            cached serial engine).
     """
     rng = random.Random(seed)
-    engine = _FuzzEngine(seeds, rng, mutators, reference)
+    engine = _FuzzEngine(seeds, rng, mutators, reference, executor)
     selector = McmcMutatorSelector(mutators, p=p, rng=rng)
     uniqueness = make_criterion(criterion)
-    # Seed the uniqueness index with the seeds' own coverage so accepted
-    # mutants are unique w.r.t. the whole suite (TestClasses starts = Seeds).
-    for pooled in engine.pool:
-        try:
-            data = write_class(compile_class(pooled))
-        except Exception:
-            continue
-        placeholder = GeneratedClass(pooled.name, pooled, data)
-        uniqueness.accept(engine.run_on_reference(placeholder))
+    for _, trace in engine.prime_pool():
+        uniqueness.accept(trace)
     result = FuzzResult("classfuzz", criterion, iterations)
     started = time.perf_counter()
     for _ in range(iterations):
@@ -209,24 +264,21 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
             selector.record_success(mutator)
     result.elapsed_seconds = time.perf_counter() - started
     result.mutator_report = selector.report()
+    result.discards = dict(engine.discards)
     return result
 
 
 def uniquefuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
                mutators: Sequence[Mutator] = MUTATORS,
-               reference: Optional[Jvm] = None) -> FuzzResult:
+               reference: Optional[Jvm] = None,
+               executor: Optional[Executor] = None) -> FuzzResult:
     """classfuzz minus MCMC: uniform mutator selection, [stbr] uniqueness."""
     rng = random.Random(seed)
-    engine = _FuzzEngine(seeds, rng, mutators, reference)
+    engine = _FuzzEngine(seeds, rng, mutators, reference, executor)
     selector = UniformMutatorSelector(mutators, rng=rng)
     uniqueness = make_criterion("stbr")
-    for pooled in engine.pool:
-        try:
-            data = write_class(compile_class(pooled))
-        except Exception:
-            continue
-        placeholder = GeneratedClass(pooled.name, pooled, data)
-        uniqueness.accept(engine.run_on_reference(placeholder))
+    for _, trace in engine.prime_pool():
+        uniqueness.accept(trace)
     result = FuzzResult("uniquefuzz", "stbr", iterations)
     started = time.perf_counter()
     for _ in range(iterations):
@@ -242,25 +294,21 @@ def uniquefuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
             selector.record_success(mutator)
     result.elapsed_seconds = time.perf_counter() - started
     result.mutator_report = selector.report()
+    result.discards = dict(engine.discards)
     return result
 
 
 def greedyfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
                mutators: Sequence[Mutator] = MUTATORS,
-               reference: Optional[Jvm] = None) -> FuzzResult:
+               reference: Optional[Jvm] = None,
+               executor: Optional[Executor] = None) -> FuzzResult:
     """Greedy baseline: accept only mutants growing accumulated coverage."""
     rng = random.Random(seed)
-    engine = _FuzzEngine(seeds, rng, mutators, reference)
+    engine = _FuzzEngine(seeds, rng, mutators, reference, executor)
     selector = UniformMutatorSelector(mutators, rng=rng)
     covered_statements: Set[str] = set()
     covered_branches: Set[Tuple[str, bool]] = set()
-    for pooled in engine.pool:
-        try:
-            data = write_class(compile_class(pooled))
-        except Exception:
-            continue
-        placeholder = GeneratedClass(pooled.name, pooled, data)
-        trace = engine.run_on_reference(placeholder)
+    for _, trace in engine.prime_pool():
         covered_statements |= trace.stmt_set
         covered_branches |= trace.br_set
     result = FuzzResult("greedyfuzz", None, iterations)
@@ -282,14 +330,23 @@ def greedyfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
             selector.record_success(mutator)
     result.elapsed_seconds = time.perf_counter() - started
     result.mutator_report = selector.report()
+    result.discards = dict(engine.discards)
     return result
 
 
 def randfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
-             mutators: Sequence[Mutator] = MUTATORS) -> FuzzResult:
-    """Blind baseline: every dumped mutant is a test; no coverage runs."""
+             mutators: Sequence[Mutator] = MUTATORS,
+             reference: Optional[Jvm] = None,
+             executor: Optional[Executor] = None) -> FuzzResult:
+    """Blind baseline: every dumped mutant is a test; no coverage runs.
+
+    ``reference`` and ``executor`` are accepted for signature parity with
+    the directed algorithms — callers (and :mod:`repro.core.campaign`)
+    can inject one instrumented/stub JVM and one engine uniformly across
+    all four — but randfuzz never executes the reference JVM.
+    """
     rng = random.Random(seed)
-    engine = _FuzzEngine(seeds, rng, mutators)
+    engine = _FuzzEngine(seeds, rng, mutators, reference, executor)
     selector = UniformMutatorSelector(mutators, rng=rng)
     result = FuzzResult("randfuzz", None, iterations)
     started = time.perf_counter()
@@ -304,4 +361,5 @@ def randfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
         selector.record_success(mutator)
     result.elapsed_seconds = time.perf_counter() - started
     result.mutator_report = selector.report()
+    result.discards = dict(engine.discards)
     return result

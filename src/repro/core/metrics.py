@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.difftest import DifferentialHarness
+from repro.core.executor import Executor
 from repro.jvm.outcome import DifferentialResult
 
 
@@ -62,11 +63,16 @@ class SuiteReport:
 
 
 def evaluate_suite(name: str, classfiles: Sequence[Tuple[str, bytes]],
-                   harness: Optional[DifferentialHarness] = None
-                   ) -> SuiteReport:
-    """Run a suite through the harness and summarise it (a Table 6 row)."""
+                   harness: Optional[DifferentialHarness] = None,
+                   executor: Optional[Executor] = None) -> SuiteReport:
+    """Run a suite through the harness and summarise it (a Table 6 row).
+
+    ``executor`` overrides the harness's engine for this evaluation —
+    e.g. a :func:`~repro.core.executor.ParallelExecutor` to fan the suite
+    out over workers.
+    """
     harness = harness or DifferentialHarness()
-    results = harness.run_many(classfiles)
+    results = harness.run_many(classfiles, executor=executor)
     categories = harness.distinct_discrepancies(results)
     return SuiteReport(
         name=name,

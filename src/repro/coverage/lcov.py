@@ -9,40 +9,72 @@ Probe sites map to LCOV's line records: a site ``verifier.op.iload`` is
 recorded under source file ``verifier`` at a stable synthetic line number
 derived from the site name, matching how GCOV attributes hits to
 file:line pairs.  Branch outcomes map to ``BRDA`` records.
+
+Two distinct sites within one source file can hash to the same synthetic
+line; the writer disambiguates deterministically (linear probing in
+sorted-site order) so no two sites ever share a ``(source, line)`` pair —
+colliding counts used to be merged silently.  The reader reconstructs
+sites exclusively from the ``#SITE``/``#BSITE`` comments and treats a
+missing or conflicting comment as a hard error rather than guessing.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.coverage.tracefile import Tracefile
 
+#: Synthetic line numbers live in [1, _LINE_SPACE].
+_LINE_SPACE = 1_000_000
+
 
 def _site_location(site: str) -> Tuple[str, int]:
-    """Map a probe site to a synthetic (source file, line) pair.
+    """Map a probe site to its preferred (source file, line) pair.
 
     The line number is a stable hash of the site name, so identical sites
-    always map to identical locations and distinct sites collide with
-    negligible probability within a file.
+    always map to identical locations.  Distinct sites may collide within
+    a file; :func:`_assign_lines` resolves such collisions.
     """
     source = site.split(".", 1)[0]
-    line = zlib.crc32(site.encode("utf-8")) % 1_000_000 + 1
+    line = zlib.crc32(site.encode("utf-8")) % _LINE_SPACE + 1
     return source, line
+
+
+def _assign_lines(sites: Iterable[str]) -> Dict[str, Tuple[str, int]]:
+    """Assign every site a unique (source, line), deterministically.
+
+    Sites are placed in sorted order at their hash line; a site whose
+    line is already taken within its source file probes linearly (with
+    wrap-around) to the next free line.  Sorted order makes the
+    assignment a pure function of the site set.
+    """
+    assignment: Dict[str, Tuple[str, int]] = {}
+    used: Dict[str, Set[int]] = {}
+    for site in sorted(set(sites)):
+        source, line = _site_location(site)
+        taken = used.setdefault(source, set())
+        while line in taken:
+            line = line % _LINE_SPACE + 1
+        taken.add(line)
+        assignment[site] = (source, line)
+    return assignment
 
 
 def write_lcov(trace: Tracefile, test_name: str = "") -> str:
     """Serialize ``trace`` as an LCOV ``.info`` document."""
+    branch_sites = {site for site, _ in trace.branches}
+    lines_of = _assign_lines(set(trace.statements) | branch_sites)
     by_source: Dict[str, Dict[int, int]] = {}
     site_of: Dict[Tuple[str, int], str] = {}
     for site, count in sorted(trace.statements.items()):
-        source, line = _site_location(site)
+        source, line = lines_of[site]
         by_source.setdefault(source, {})[line] = count
         site_of[(source, line)] = site
     branches_by_source: Dict[str, List[Tuple[int, str, int, int]]] = {}
     for (site, taken), count in sorted(trace.branches.items(),
                                        key=lambda kv: kv[0]):
-        source, line = _site_location(site)
+        source, line = lines_of[site]
         branches_by_source.setdefault(source, []).append(
             (line, site, 1 if taken else 0, count))
 
@@ -67,14 +99,33 @@ def write_lcov(trace: Tracefile, test_name: str = "") -> str:
 def read_lcov(text: str) -> Tracefile:
     """Parse an LCOV document produced by :func:`write_lcov`.
 
+    ``DA`` records resolve sites through ``#SITE`` comments and ``BRDA``
+    records through ``#BSITE`` comments only — a branch record is never
+    silently attributed to a statement site.
+
     Raises:
-        ValueError: on malformed records.
+        ValueError: on malformed records, on ``DA``/``BRDA`` records
+            without their site comment, and on two distinct sites
+            claiming one (source, line) pair.
     """
     statements: Dict[str, int] = {}
     branches: Dict[Tuple[str, bool], int] = {}
     current_source = ""
     line_to_site: Dict[Tuple[str, int], str] = {}
     branch_site: Dict[Tuple[str, int], str] = {}
+
+    def _bind(table: Dict[Tuple[str, int], str], record: str,
+              kind: str) -> None:
+        body = record.partition(":")[2]
+        line_text, _, site = body.partition(",")
+        key = (current_source, int(line_text))
+        bound = table.get(key)
+        if bound is not None and bound != site:
+            raise ValueError(
+                f"conflicting {kind} for {current_source}:{line_text}: "
+                f"{bound!r} vs {site!r}")
+        table[key] = site
+
     for raw in text.splitlines():
         record = raw.strip()
         if not record or record.startswith("TN:"):
@@ -82,13 +133,9 @@ def read_lcov(text: str) -> Tracefile:
         if record.startswith("SF:"):
             current_source = record[3:]
         elif record.startswith("#SITE:"):
-            body = record[len("#SITE:"):]
-            line_text, _, site = body.partition(",")
-            line_to_site[(current_source, int(line_text))] = site
+            _bind(line_to_site, record, "#SITE")
         elif record.startswith("#BSITE:"):
-            body = record[len("#BSITE:"):]
-            line_text, _, site = body.partition(",")
-            branch_site[(current_source, int(line_text))] = site
+            _bind(branch_site, record, "#BSITE")
         elif record.startswith("DA:"):
             line_text, _, count_text = record[3:].partition(",")
             key = (current_source, int(line_text))
@@ -102,7 +149,7 @@ def read_lcov(text: str) -> Tracefile:
                 raise ValueError(f"malformed BRDA record: {record}")
             line, _block_zero, block, count = parts
             key = (current_source, int(line))
-            site = branch_site.get(key) or line_to_site.get(key)
+            site = branch_site.get(key)
             if site is None:
                 raise ValueError(f"BRDA record without #BSITE: {record}")
             branches[(site, block == "1")] = \

@@ -9,17 +9,29 @@ code location in the pipeline), and every call to :func:`branch` is one
 Probes are zero-cost when no collector is active, so the four non-reference
 JVMs run uninstrumented — matching the paper, where only the reference
 HotSpot 9 build was compiled with ``--enable-native-coverage``.
+
+Collectors are *thread-local*: a collector activated in one thread never
+records probes fired by JVM runs on other threads, which is what lets a
+parallel executor run uninstrumented differential batches while a
+reference run collects coverage elsewhere.  A process-wide counter of
+active collectors keeps the no-collector fast path at a single global
+check.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Optional
 
 from repro.coverage.tracefile import Tracefile
 
-#: The currently active collector (module-level, single-threaded use).
-_ACTIVE: Optional["CoverageCollector"] = None
+#: Thread-local slot holding the thread's active collector.
+_TLS = threading.local()
+
+#: Number of active collectors across all threads (fast-path gate).
+_ACTIVE_COUNT = 0
+_COUNT_LOCK = threading.Lock()
 
 
 class CoverageCollector:
@@ -48,15 +60,20 @@ class CoverageCollector:
     # -- context management ------------------------------------------------------
 
     def __enter__(self) -> "CoverageCollector":
-        global _ACTIVE
-        if _ACTIVE is not None:
-            raise RuntimeError("a CoverageCollector is already active")
-        _ACTIVE = self
+        global _ACTIVE_COUNT
+        if getattr(_TLS, "collector", None) is not None:
+            raise RuntimeError("a CoverageCollector is already active "
+                               "in this thread")
+        _TLS.collector = self
+        with _COUNT_LOCK:
+            _ACTIVE_COUNT += 1
         return self
 
     def __exit__(self, *exc_info) -> None:
-        global _ACTIVE
-        _ACTIVE = None
+        global _ACTIVE_COUNT
+        _TLS.collector = None
+        with _COUNT_LOCK:
+            _ACTIVE_COUNT -= 1
 
     # -- results --------------------------------------------------------------------
 
@@ -67,14 +84,16 @@ class CoverageCollector:
 
 
 def active_collector() -> Optional[CoverageCollector]:
-    """The collector currently in scope, if any."""
-    return _ACTIVE
+    """The collector currently in scope on this thread, if any."""
+    return getattr(_TLS, "collector", None)
 
 
 def probe(site: str) -> None:
     """Record a statement hit at ``site`` (no-op without a collector)."""
-    if _ACTIVE is not None:
-        _ACTIVE.hit_statement(site)
+    if _ACTIVE_COUNT:
+        collector = getattr(_TLS, "collector", None)
+        if collector is not None:
+            collector.hit_statement(site)
 
 
 def branch(site: str, taken: bool) -> bool:
@@ -85,6 +104,8 @@ def branch(site: str, taken: bool) -> bool:
         if branch("linker.super_is_final", super_cls.is_final):
             raise VerifyError(...)
     """
-    if _ACTIVE is not None:
-        _ACTIVE.hit_branch(site, bool(taken))
+    if _ACTIVE_COUNT:
+        collector = getattr(_TLS, "collector", None)
+        if collector is not None:
+            collector.hit_branch(site, bool(taken))
     return taken

@@ -76,9 +76,9 @@ class TrUniqueness(UniquenessCriterion):
     name = "tr"
 
     def __init__(self) -> None:
-        self._seen: Set[Tuple[FrozenSet[str], FrozenSet[Tuple[str, bool]]]] = set()
-        #: Index by statistics pair so only same-signature candidates incur
-        #: the set comparison (the "extra cost of merging tracefiles").
+        #: The single index: statistics pair → hit-set keys with that
+        #: signature, so only same-signature candidates incur the set
+        #: comparison (the "extra cost of merging tracefiles").
         self._by_signature: Dict[Tuple[int, int], List[
             Tuple[FrozenSet[str], FrozenSet[Tuple[str, bool]]]]] = {}
 
@@ -89,7 +89,6 @@ class TrUniqueness(UniquenessCriterion):
 
     def accept(self, trace: Tracefile) -> None:
         key = (trace.stmt_set, trace.br_set)
-        self._seen.add(key)
         self._by_signature.setdefault(trace.signature, []).append(key)
 
 

@@ -114,6 +114,135 @@ class TestBaselines:
         assert len(rand.test_classes) > len(greedy.test_classes)
 
 
+class TestDiscardAccounting:
+    """Discarded iterations are counted by failure category, not swallowed."""
+
+    ALGORITHMS = (classfuzz, uniquefuzz, greedyfuzz, randfuzz)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS,
+                             ids=lambda fn: fn.__name__)
+    def test_iterations_fully_accounted(self, seeds, algorithm):
+        result = algorithm(seeds, iterations=60, seed=3)
+        assert result.iterations == \
+            len(result.gen_classes) + result.discarded
+        assert all(count > 0 for count in result.discards.values())
+
+    def test_known_categories_only(self, seeds):
+        from repro.core.fuzzing import (
+            DISCARD_COMPILE_ERROR,
+            DISCARD_DUMP_ERROR,
+            DISCARD_INAPPLICABLE,
+            DISCARD_MUTATOR_ERROR,
+        )
+
+        result = classfuzz(seeds, iterations=80, seed=3)
+        known = {DISCARD_MUTATOR_ERROR, DISCARD_INAPPLICABLE,
+                 DISCARD_COMPILE_ERROR, DISCARD_DUMP_ERROR}
+        assert set(result.discards) <= known
+
+    def test_crashing_mutator_counted_not_fatal(self, seeds):
+        from repro.core.fuzzing import _FuzzEngine
+        from repro.core.mutators import Mutator
+
+        def _crash(jclass, rng):
+            raise RuntimeError("rewrite blew up")
+
+        crasher = Mutator("crasher", "jimple", "always crashes", _crash)
+        engine = _FuzzEngine(seeds, __import__("random").Random(0),
+                             [crasher])
+        assert engine.mutate_once(crasher) is None
+        assert engine.discards == {"mutator_error": 1}
+
+    def test_unexpected_dump_failure_propagates(self, seeds):
+        # Only JimpleCompileError / struct.error are discardable; a
+        # genuine writer bug must surface, not vanish into the counters.
+        import random as _random
+
+        from repro.core.fuzzing import _FuzzEngine, supplement_main
+        from repro.core import fuzzing as fuzzing_module
+        from repro.core.mutators import Mutator
+
+        identity = Mutator("identity", "jimple", "no-op",
+                           lambda jclass, rng: True)
+        engine = _FuzzEngine(seeds, _random.Random(0), [identity])
+
+        def _boom(compiled):
+            raise KeyError("writer bug")
+
+        original = fuzzing_module.write_class
+        fuzzing_module.write_class = _boom
+        try:
+            with pytest.raises(KeyError):
+                engine.mutate_once(identity)
+        finally:
+            fuzzing_module.write_class = original
+
+
+class _StubReference:
+    """A fake reference JVM recording whether it was ever executed."""
+
+    name = "stub-ref"
+
+    def __init__(self):
+        self.calls = 0
+
+    def run(self, data):
+        from repro.jvm.vendors import reference_jvm
+
+        self.calls += 1
+        return reference_jvm().run(data)
+
+
+class TestReferenceInjection:
+    def test_randfuzz_accepts_reference(self, seeds):
+        stub = _StubReference()
+        result = randfuzz(seeds, iterations=20, seed=3, reference=stub)
+        assert result.gen_classes
+        # Parity only: randfuzz never executes the reference JVM.
+        assert stub.calls == 0
+
+    @pytest.mark.parametrize("algorithm",
+                             (classfuzz, uniquefuzz, greedyfuzz),
+                             ids=lambda fn: fn.__name__)
+    def test_directed_algorithms_use_injected_reference(self, seeds,
+                                                        algorithm):
+        stub = _StubReference()
+        result = algorithm(seeds, iterations=15, seed=3, reference=stub)
+        # Seed priming alone already runs the reference once per seed.
+        assert stub.calls >= len(seeds)
+        assert result.iterations == 15
+
+    def test_all_four_signatures_align(self):
+        import inspect
+
+        for algorithm in (classfuzz, uniquefuzz, greedyfuzz, randfuzz):
+            parameters = inspect.signature(algorithm).parameters
+            assert "reference" in parameters, algorithm.__name__
+            assert "executor" in parameters, algorithm.__name__
+
+
+class TestExecutorInjection:
+    def test_shared_executor_caches_across_algorithms(self, seeds):
+        from repro.core.executor import OutcomeCache, SerialExecutor
+
+        engine = SerialExecutor(cache=OutcomeCache())
+        uniquefuzz(seeds, iterations=10, seed=3, executor=engine)
+        misses = engine.stats.trace_misses
+        # Re-priming the same seed corpus is pure tracefile-cache hits.
+        greedyfuzz(seeds, iterations=10, seed=3, executor=engine)
+        assert engine.stats.trace_hits >= len(seeds) - 2
+        assert engine.stats.trace_misses >= misses
+
+    def test_results_identical_with_and_without_cache(self, seeds):
+        from repro.core.executor import SerialExecutor
+
+        cached = classfuzz(seeds, iterations=40, seed=9)
+        uncached = classfuzz(seeds, iterations=40, seed=9,
+                             executor=SerialExecutor())
+        assert [g.label for g in cached.test_classes] == \
+            [g.label for g in uncached.test_classes]
+
+
 class TestCampaign:
     def test_cost_model_iteration_ratios(self):
         from repro.core.campaign import (

@@ -57,6 +57,86 @@ class TestLcovRoundtrip:
         assert parsed.branches == original.branches
 
 
+class TestLcovProperties:
+    """Property-style round-trips over randomly generated tracefiles."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_roundtrip(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        sources = ["loader", "linker", "verifier", "interp"]
+        statements = {
+            f"{rng.choice(sources)}.s{rng.randrange(40)}":
+                rng.randrange(1, 50)
+            for _ in range(rng.randrange(1, 30))
+        }
+        branches = {
+            (f"{rng.choice(sources)}.b{rng.randrange(40)}",
+             rng.random() < 0.5): rng.randrange(0, 50)
+            for _ in range(rng.randrange(0, 20))
+        }
+        original = trace(statements, branches)
+        parsed = read_lcov(write_lcov(original))
+        assert parsed.statements == original.statements
+        assert parsed.branches == original.branches
+
+    def test_branch_only_sites_roundtrip(self):
+        # A site can appear in branches without ever being a statement;
+        # the old reader mis-attributed such BRDA records via the
+        # statement-site fallback.
+        original = trace({"x.stmt": 1},
+                         {("x.branch_only", True): 3,
+                          ("x.branch_only", False): 0})
+        parsed = read_lcov(write_lcov(original))
+        assert parsed.branches == original.branches
+        assert "x.branch_only" not in parsed.statements
+
+    def test_zero_count_branches_roundtrip(self):
+        original = trace({}, {("a.b", True): 0, ("a.b", False): 0})
+        parsed = read_lcov(write_lcov(original))
+        assert parsed.branches == original.branches
+
+
+class TestLcovCollisions:
+    # zlib.crc32("x.ayh") % 1_000_000 == zlib.crc32("x.cdy") % 1_000_000:
+    # both sites prefer line 809693 in source "x".
+    COLLIDING = ("x.ayh", "x.cdy")
+
+    def test_pair_actually_collides(self):
+        import zlib
+
+        first, second = self.COLLIDING
+        assert zlib.crc32(first.encode()) % 1_000_000 == \
+            zlib.crc32(second.encode()) % 1_000_000
+
+    def test_colliding_statements_roundtrip(self):
+        first, second = self.COLLIDING
+        original = trace({first: 3, second: 7})
+        parsed = read_lcov(write_lcov(original))
+        assert parsed.statements == original.statements
+
+    def test_colliding_sites_get_distinct_lines(self):
+        from repro.coverage.lcov import _assign_lines
+
+        lines = _assign_lines(self.COLLIDING)
+        assert lines[self.COLLIDING[0]] != lines[self.COLLIDING[1]]
+
+    def test_colliding_branches_roundtrip(self):
+        first, second = self.COLLIDING
+        original = trace({}, {(first, True): 1, (second, False): 2})
+        parsed = read_lcov(write_lcov(original))
+        assert parsed.branches == original.branches
+
+    def test_statement_branch_collision_roundtrip(self):
+        # One colliding site is a statement, the other only a branch.
+        first, second = self.COLLIDING
+        original = trace({first: 4}, {(second, True): 2})
+        parsed = read_lcov(write_lcov(original))
+        assert parsed.statements == original.statements
+        assert parsed.branches == original.branches
+
+
 class TestLcovErrors:
     def test_unknown_record_rejected(self):
         with pytest.raises(ValueError, match="unrecognized"):
@@ -69,6 +149,28 @@ class TestLcovErrors:
     def test_malformed_brda_rejected(self):
         with pytest.raises(ValueError, match="malformed"):
             read_lcov("SF:x\nBRDA:1,2\nend_of_record")
+
+    def test_brda_without_bsite_rejected(self):
+        # A BRDA on a line that only a #SITE claims must not fall back to
+        # the statement site.
+        with pytest.raises(ValueError, match="without #BSITE"):
+            read_lcov("SF:x\n#SITE:5,x.stmt\nDA:5,1\nBRDA:5,0,1,2\n"
+                      "end_of_record")
+
+    def test_conflicting_sites_rejected(self):
+        with pytest.raises(ValueError, match="conflicting #SITE"):
+            read_lcov("SF:x\n#SITE:5,x.one\nDA:5,1\n#SITE:5,x.two\n"
+                      "DA:5,1\nend_of_record")
+
+    def test_conflicting_branch_sites_rejected(self):
+        with pytest.raises(ValueError, match="conflicting #BSITE"):
+            read_lcov("SF:x\n#BSITE:5,x.one\nBRDA:5,0,1,1\n"
+                      "#BSITE:5,x.two\nBRDA:5,0,0,1\nend_of_record")
+
+    def test_repeated_identical_site_comment_ok(self):
+        parsed = read_lcov("SF:x\n#SITE:5,x.a\nDA:5,1\n#SITE:5,x.a\n"
+                           "DA:5,2\nend_of_record")
+        assert parsed.statements == {"x.a": 3}
 
     def test_foreign_records_tolerated(self):
         parsed = read_lcov("TN:\nSF:x\nFN:1,main\nLH:0\nLF:0\n"
