@@ -9,7 +9,13 @@ Commands mirror the paper's workflow:
 * ``difftest`` — differentially test a directory of classfiles;
 * ``reduce``   — minimise a discrepancy-triggering classfile and render
   the bug-report text;
-* ``campaign`` — the full Table 4 / Table 6 experiment at a scaled budget.
+* ``campaign`` — the full Table 4 / Table 6 experiment at a scaled budget;
+* ``observe``  — summarise, replay, or export a recorded telemetry log,
+  and validate Prometheus metric dumps.
+
+The JVM-running commands (``fuzz``, ``difftest``, ``campaign``) accept
+``--events``/``--metrics-out``/``--progress`` to record structured
+events and a metrics dump while they run.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.classfile.writer import write_class
 from repro.core.campaign import (
     ALL_ALGORITHMS,
     PAPER_BUDGET_SECONDS,
+    format_mutator_report,
     format_table4,
     run_campaign,
 )
@@ -38,6 +45,15 @@ from repro.jimple.from_classfile import lift_class
 from repro.jimple.printer import print_class
 from repro.jimple.to_classfile import compile_class_bytes
 from repro.jvm.vendors import all_jvms, jvms_by_name
+from repro.observe import make_telemetry
+from repro.observe.summary import (
+    CORE_METRIC_FAMILIES,
+    check_prometheus,
+    load_events,
+    replay_events,
+    summarize_events,
+    write_timeseries,
+)
 
 
 def _add_executor_options(command: argparse.ArgumentParser) -> None:
@@ -52,6 +68,40 @@ def _add_executor_options(command: argparse.ArgumentParser) -> None:
     command.add_argument("--stats", action="store_true",
                          help="print executor statistics (runs, cache "
                               "hits, per-vendor latency)")
+
+
+def _add_telemetry_options(command: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the JVM-running commands."""
+    command.add_argument("--events", type=Path, default=None,
+                         metavar="PATH",
+                         help="record structured events as JSONL")
+    command.add_argument("--metrics-out", type=Path, default=None,
+                         metavar="PATH",
+                         help="write a Prometheus text metrics dump "
+                              "when the run finishes")
+    command.add_argument("--progress", action="store_true",
+                         help="live progress lines on stderr")
+
+
+def _make_telemetry(args):
+    """Build the run's telemetry bundle, or ``None`` when all observability
+    flags are off (keeping the hot paths at their uninstrumented cost)."""
+    if not (args.events or args.metrics_out or args.progress):
+        return None
+    return make_telemetry(events_path=args.events, progress=args.progress)
+
+
+def _finish_telemetry(telemetry, args) -> None:
+    """Write the metrics dump (if requested) and close the sinks."""
+    if telemetry is None:
+        return
+    if args.metrics_out:
+        args.metrics_out.write_text(telemetry.render_prometheus(),
+                                    encoding="utf-8")
+        print(f"wrote metrics dump to {args.metrics_out}")
+    if args.events:
+        print(f"wrote event log to {args.events}")
+    telemetry.close()
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -89,6 +139,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="directory for accepted classfiles")
     fuzz.add_argument("--stats", action="store_true",
                       help="print executor statistics for the run")
+    fuzz.add_argument("--mutator-report", type=int, default=0,
+                      metavar="N", dest="mutator_report",
+                      help="print the top-N mutators by MCMC rank "
+                           "(the Table 5 view)")
+    _add_telemetry_options(fuzz)
 
     difftest = sub.add_parser("difftest",
                               help="differentially test classfiles")
@@ -97,6 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
     difftest.add_argument("--show", type=int, default=5,
                           help="discrepancies to print in full")
     _add_executor_options(difftest)
+    _add_telemetry_options(difftest)
 
     reduce = sub.add_parser("reduce",
                             help="minimise a discrepancy trigger")
@@ -110,7 +166,35 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=20160613)
     campaign.add_argument("--algorithms", nargs="*",
                           default=list(ALL_ALGORITHMS))
+    campaign.add_argument("--mutator-report", type=int, default=0,
+                          metavar="N", dest="mutator_report",
+                          help="print each algorithm's top-N mutators "
+                               "(the Table 5 view)")
     _add_executor_options(campaign)
+    _add_telemetry_options(campaign)
+
+    observe = sub.add_parser(
+        "observe", help="analyse recorded telemetry")
+    observe.add_argument("action",
+                         choices=("summary", "replay", "timeseries",
+                                  "check"),
+                         help="summary/replay/timeseries read a JSONL "
+                              "event log; check validates a Prometheus "
+                              "metrics dump")
+    observe.add_argument("path", type=Path,
+                         help="the events.jsonl (or metrics dump, for "
+                              "check) to analyse")
+    observe.add_argument("--out", type=Path, default=None,
+                         help="timeseries: CSV output path "
+                              "(default: stdout)")
+    observe.add_argument("--type", dest="event_type", default=None,
+                         help="replay: only this event type")
+    observe.add_argument("--limit", type=int, default=None,
+                         help="replay: stop after N lines")
+    observe.add_argument("--require", nargs="*", default=None,
+                         metavar="FAMILY",
+                         help="check: metric families that must be "
+                              "present (default: the core families)")
     return parser
 
 
@@ -156,21 +240,30 @@ def _cmd_run(args) -> int:
 def _cmd_fuzz(args) -> int:
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
                                          seed=args.seed))
-    executor = make_executor(jobs=1)
+    telemetry = _make_telemetry(args)
+    executor = make_executor(jobs=1, telemetry=telemetry)
     runners = {
         "classfuzz": lambda: classfuzz(seeds, args.iterations,
                                        criterion=args.criterion,
-                                       seed=args.seed, executor=executor),
+                                       seed=args.seed, executor=executor,
+                                       telemetry=telemetry),
         "uniquefuzz": lambda: uniquefuzz(seeds, args.iterations,
                                          seed=args.seed,
-                                         executor=executor),
+                                         executor=executor,
+                                         telemetry=telemetry),
         "greedyfuzz": lambda: greedyfuzz(seeds, args.iterations,
                                          seed=args.seed,
-                                         executor=executor),
+                                         executor=executor,
+                                         telemetry=telemetry),
         "randfuzz": lambda: randfuzz(seeds, args.iterations,
-                                     seed=args.seed, executor=executor),
+                                     seed=args.seed, executor=executor,
+                                     telemetry=telemetry),
     }
-    result = runners[args.algorithm]()
+    if telemetry is not None:
+        with telemetry.activate():
+            result = runners[args.algorithm]()
+    else:
+        result = runners[args.algorithm]()
     print(f"{result.algorithm}"
           + (f"[{result.criterion}]" if result.criterion else "")
           + f": {result.iterations} iterations, "
@@ -181,6 +274,18 @@ def _cmd_fuzz(args) -> int:
         breakdown = ", ".join(f"{category}: {count}" for category, count
                               in sorted(result.discards.items()))
         print(f"discarded {result.discarded} iterations ({breakdown})")
+    if args.mutator_report and result.mutator_report:
+        print()
+        headers = ["mutator", "selected", "successes", "succ"]
+        rows = [[name, str(selected), str(successes), f"{rate:.1%}"]
+                for name, selected, successes, rate
+                in result.mutator_report[:args.mutator_report]]
+        widths = [max(len(h), *(len(r[i]) for r in rows))
+                  for i, h in enumerate(headers)]
+        print("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        for row in rows:
+            print("  ".join(cell.ljust(widths[i])
+                            for i, cell in enumerate(row)))
     if args.stats:
         print(executor.stats.format())
     if args.out:
@@ -189,6 +294,7 @@ def _cmd_fuzz(args) -> int:
         manifest_path = save_suite(result, args.out)
         print(f"wrote {len(result.test_classes)} classfiles + traces + "
               f"{manifest_path.name} to {args.out}/")
+    _finish_telemetry(telemetry, args)
     return 0
 
 
@@ -207,10 +313,16 @@ def _cmd_difftest(args) -> int:
     if not files:
         print("no classfiles found", file=sys.stderr)
         return 2
-    executor = make_executor(jobs=args.jobs, backend=args.backend)
-    harness = DifferentialHarness(executor=executor)
+    telemetry = _make_telemetry(args)
+    executor = make_executor(jobs=args.jobs, backend=args.backend,
+                             telemetry=telemetry)
+    harness = DifferentialHarness(executor=executor, telemetry=telemetry)
     suite = [(path.stem, path.read_bytes()) for path in files]
-    report = evaluate_suite("suite", suite, harness)
+    if telemetry is not None:
+        with telemetry.activate():
+            report = evaluate_suite("suite", suite, harness)
+    else:
+        report = evaluate_suite("suite", suite, harness)
     print(format_table([report]))
     shown = 0
     for result in report.results:
@@ -223,6 +335,7 @@ def _cmd_difftest(args) -> int:
         print("=== Executor stats ===")
         print(executor.stats.format())
     executor.close()
+    _finish_telemetry(telemetry, args)
     return 0 if report.discrepancies == 0 else 1
 
 
@@ -244,10 +357,20 @@ def _cmd_campaign(args) -> int:
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
                                          seed=args.seed))
     budget = PAPER_BUDGET_SECONDS * args.budget_scale
-    executor = make_executor(jobs=args.jobs, backend=args.backend)
-    runs = run_campaign(seeds, budget, algorithms=tuple(args.algorithms),
-                        rng_seed=args.seed, evaluate=True,
-                        executor=executor)
+    telemetry = _make_telemetry(args)
+    executor = make_executor(jobs=args.jobs, backend=args.backend,
+                             telemetry=telemetry)
+    if telemetry is not None:
+        with telemetry.activate():
+            runs = run_campaign(seeds, budget,
+                                algorithms=tuple(args.algorithms),
+                                rng_seed=args.seed, evaluate=True,
+                                executor=executor, telemetry=telemetry)
+    else:
+        runs = run_campaign(seeds, budget,
+                            algorithms=tuple(args.algorithms),
+                            rng_seed=args.seed, evaluate=True,
+                            executor=executor)
     print(f"=== Table 4 (budget = {budget:.0f} modeled seconds) ===")
     print(format_table4(runs))
     print()
@@ -257,6 +380,10 @@ def _cmd_campaign(args) -> int:
         reports.append(run.gen_report)
         reports.append(run.test_report)
     print(format_table([r for r in reports if r is not None]))
+    if args.mutator_report:
+        print()
+        print("=== Table 5 (mutator selection) ===")
+        print(format_mutator_report(runs, top=args.mutator_report))
     if args.stats:
         print()
         print("=== Executor stats ===")
@@ -269,6 +396,34 @@ def _cmd_campaign(args) -> int:
         print()
         print(executor.stats.format())
     executor.close()
+    _finish_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_observe(args) -> int:
+    if args.action == "check":
+        text = args.path.read_text(encoding="utf-8")
+        required = args.require if args.require else CORE_METRIC_FAMILIES
+        problems = check_prometheus(text, required)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        print(f"OK: {len(required)} metric families present, "
+              "dump parses cleanly")
+        return 0
+    events = load_events(args.path)
+    if args.action == "summary":
+        print(summarize_events(events))
+        return 0
+    if args.action == "replay":
+        print(replay_events(events, event_type=args.event_type,
+                            limit=args.limit))
+        return 0
+    # timeseries
+    out = args.out if args.out else Path(args.path).with_suffix(".csv")
+    rows = write_timeseries(events, out)
+    print(f"wrote {rows} iteration rows to {out}")
     return 0
 
 
@@ -280,6 +435,7 @@ _COMMANDS = {
     "difftest": _cmd_difftest,
     "reduce": _cmd_reduce,
     "campaign": _cmd_campaign,
+    "observe": _cmd_observe,
 }
 
 

@@ -46,6 +46,7 @@ from repro.core.metrics import SuiteReport, evaluate_suite
 from repro.core.difftest import DifferentialHarness
 from repro.jimple.model import JClass
 from repro.jvm.machine import Jvm
+from repro.observe.tracing import NULL_SPAN
 
 #: Paper wall-clock budget: three days, in seconds.
 PAPER_BUDGET_SECONDS = 3 * 24 * 3600
@@ -102,19 +103,30 @@ class CampaignRun:
     evaluate_seconds: float = 0.0
     executor_stats: Optional[ExecutorStats] = None
 
+    def _modeled_spent_seconds(self) -> float:
+        """Total modeled seconds for this run's iterations.
+
+        Labels outside the calibrated Table 4 cost model (extension
+        algorithms, ad-hoc labels) fall back to the *measured* wall-clock
+        of the fuzzing run, so the per-classfile averages stay meaningful
+        instead of raising ``KeyError``.
+        """
+        cost = ITERATION_COST.get(self.label)
+        if cost is not None:
+            return cost * self.fuzz.iterations
+        return self.fuzz.elapsed_seconds
+
     @property
     def modeled_seconds_per_generated(self) -> float:
         if not self.fuzz.gen_classes:
             return 0.0
-        spent = ITERATION_COST[self.label] * self.fuzz.iterations
-        return spent / len(self.fuzz.gen_classes)
+        return self._modeled_spent_seconds() / len(self.fuzz.gen_classes)
 
     @property
     def modeled_seconds_per_test(self) -> float:
         if not self.fuzz.test_classes:
             return 0.0
-        spent = ITERATION_COST[self.label] * self.fuzz.iterations
-        return spent / len(self.fuzz.test_classes)
+        return self._modeled_spent_seconds() / len(self.fuzz.test_classes)
 
     def table4_row(self) -> Dict[str, object]:
         """The Table 4 row for this run."""
@@ -155,7 +167,8 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                  harness: Optional[DifferentialHarness] = None,
                  repetitions: int = 1,
                  executor: Optional[Executor] = None,
-                 reference: Optional[Jvm] = None) -> List[CampaignRun]:
+                 reference: Optional[Jvm] = None,
+                 telemetry=None) -> List[CampaignRun]:
     """Run the Table 4/6 experiment at a scaled budget.
 
     Args:
@@ -176,46 +189,89 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
         reference: the coverage-instrumented reference JVM injected into
             all four algorithms (defaults to each run constructing
             :func:`~repro.jvm.vendors.reference_jvm`).
+        telemetry: optional :class:`~repro.observe.telemetry.Telemetry`
+            threaded into every fuzzing run, the executor instruments,
+            and the differential harness; per-algorithm fuzz/evaluate
+            phases run inside ``campaign.fuzz``/``campaign.evaluate``
+            spans.
     """
     executor = executor if executor is not None \
-        else SerialExecutor(cache=OutcomeCache())
-    harness = harness or (DifferentialHarness(executor=executor)
-                          if evaluate else None)
+        else SerialExecutor(cache=OutcomeCache(), telemetry=telemetry)
+    harness = harness or (
+        DifferentialHarness(executor=executor, telemetry=telemetry)
+        if evaluate else None)
     # Stats can accrue on two engines when a caller-supplied harness
     # brings its own; per-run deltas merge both.
     engines: List[Executor] = [executor]
     if harness is not None and harness.executor is not executor:
         engines.append(harness.executor)
+    def _span(name: str, **attrs):
+        if telemetry is None:
+            return NULL_SPAN
+        return telemetry.span(name, **attrs)
+
     runs: List[CampaignRun] = []
     for label in algorithms:
         iterations = iterations_for_budget(label, budget_seconds)
         before = [engine.stats.snapshot() for engine in engines]
         fuzz_started = time.perf_counter()
         best: Optional[FuzzResult] = None
-        for repetition in range(max(1, repetitions)):
-            result = _RUNNERS[label](seeds, iterations,
-                                     rng_seed + repetition,
-                                     executor=executor,
-                                     reference=reference)
-            if best is None or len(result.test_classes) > len(
-                    best.test_classes):
-                best = result
+        with _span("campaign.fuzz", algorithm=label,
+                   iterations=iterations):
+            for repetition in range(max(1, repetitions)):
+                result = _RUNNERS[label](seeds, iterations,
+                                         rng_seed + repetition,
+                                         executor=executor,
+                                         reference=reference,
+                                         telemetry=telemetry)
+                if best is None or len(result.test_classes) > len(
+                        best.test_classes):
+                    best = result
         run = CampaignRun(label, best)
         run.fuzz_seconds = time.perf_counter() - fuzz_started
         if evaluate:
             evaluate_started = time.perf_counter()
-            run.gen_report = evaluate_suite(
-                f"Gen_{label}",
-                [(g.label, g.data) for g in best.gen_classes], harness)
-            run.test_report = evaluate_suite(
-                f"Test_{label}",
-                [(g.label, g.data) for g in best.test_classes], harness)
+            with _span("campaign.evaluate", algorithm=label):
+                run.gen_report = evaluate_suite(
+                    f"Gen_{label}",
+                    [(g.label, g.data) for g in best.gen_classes], harness)
+                run.test_report = evaluate_suite(
+                    f"Test_{label}",
+                    [(g.label, g.data) for g in best.test_classes], harness)
             run.evaluate_seconds = time.perf_counter() - evaluate_started
         run.executor_stats = ExecutorStats()
         for engine, earlier in zip(engines, before):
             run.executor_stats.add(engine.stats.since(earlier))
         runs.append(run)
     return runs
+
+
+def format_mutator_report(runs: Sequence[CampaignRun],
+                          top: int = 10) -> str:
+    """Render each run's mutator-selection report (the Table 5 view).
+
+    One block per algorithm: the ``top`` mutators in rank order with
+    their selection counts and the success rates that drive the MCMC
+    ranking.  Runs whose fuzz result carries no report are skipped.
+    """
+    headers = ["mutator", "selected", "successes", "succ"]
+    blocks: List[str] = []
+    for run in runs:
+        report = run.fuzz.mutator_report or []
+        shown = report[:max(0, top)]
+        rows = [[name, str(selected), str(successes), f"{rate:.1%}"]
+                for name, selected, successes, rate in shown]
+        widths = [max(len(h), *(len(r[i]) for r in rows)) if rows
+                  else len(h) for i, h in enumerate(headers)]
+        lines = [f"mutator report — {run.label} "
+                 f"(top {len(shown)} of {len(report)})"]
+        lines.append("  ".join(h.ljust(widths[i])
+                               for i, h in enumerate(headers)))
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks)
 
 
 def format_table4(runs: Sequence[CampaignRun]) -> str:

@@ -15,6 +15,7 @@ from repro.core.executor import Executor, SerialExecutor
 from repro.jvm.machine import Jvm
 from repro.jvm.outcome import DifferentialResult, Outcome
 from repro.jvm.vendors import all_jvms
+from repro.observe.events import DISCREPANCY_FOUND
 
 
 class DifferentialHarness:
@@ -24,24 +25,53 @@ class DifferentialHarness:
         jvms: the implementations under test, in report column order.
         executor: the default execution engine (an uncached
             :class:`SerialExecutor` unless one is supplied).
+        telemetry: optional :class:`~repro.observe.telemetry.Telemetry`;
+            when present every discrepancy increments
+            ``repro_discrepancies_total`` and emits a
+            ``discrepancy_found`` event.
     """
 
     def __init__(self, jvms: Optional[Sequence[Jvm]] = None,
-                 executor: Optional[Executor] = None):
+                 executor: Optional[Executor] = None,
+                 telemetry=None):
         self.jvms: List[Jvm] = list(jvms) if jvms is not None else all_jvms()
         self.executor: Executor = executor if executor is not None \
             else SerialExecutor()
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._tested = telemetry.registry.counter(
+                "repro_difftests_total",
+                "Classfiles run through the differential harness.")
+            self._discrepancies = telemetry.registry.counter(
+                "repro_discrepancies_total",
+                "Differential results with a non-constant code vector.")
+        else:
+            self._tested = self._discrepancies = None
 
     @property
     def jvm_names(self) -> List[str]:
         return [jvm.name for jvm in self.jvms]
+
+    def _observe(self, result: DifferentialResult) -> None:
+        self._tested.inc()
+        if not result.is_discrepancy:
+            return
+        self._discrepancies.inc()
+        bus = self.telemetry.bus
+        if bus.enabled:
+            bus.emit(DISCREPANCY_FOUND, label=result.label,
+                     codes=list(result.codes),
+                     jvms=[o.jvm_name for o in result.outcomes])
 
     def run_one(self, data: bytes, label: str = "",
                 executor: Optional[Executor] = None) -> DifferentialResult:
         """Execute one classfile on every JVM."""
         engine = executor if executor is not None else self.executor
         outcomes = [engine.run_one(jvm, data) for jvm in self.jvms]
-        return DifferentialResult(outcomes=outcomes, label=label)
+        result = DifferentialResult(outcomes=outcomes, label=label)
+        if self._tested is not None:
+            self._observe(result)
+        return result
 
     def run_many(self, classfiles: Iterable[Tuple[str, bytes]],
                  executor: Optional[Executor] = None
@@ -53,7 +83,11 @@ class DifferentialHarness:
         returned sequence is bit-identical to a serial run.
         """
         engine = executor if executor is not None else self.executor
-        return engine.run_differential(self.jvms, classfiles)
+        results = engine.run_differential(self.jvms, classfiles)
+        if self._tested is not None:
+            for result in results:
+                self._observe(result)
+        return results
 
     # -- analysis helpers ---------------------------------------------------------
 

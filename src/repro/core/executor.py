@@ -43,6 +43,7 @@ from repro.coverage.probes import CoverageCollector
 from repro.coverage.tracefile import Tracefile
 from repro.jvm.machine import Jvm
 from repro.jvm.outcome import DifferentialResult, Outcome
+from repro.observe.events import CACHE_HIT, EXECUTOR_BATCH
 
 
 def classfile_digest(data: bytes) -> str:
@@ -219,6 +220,66 @@ class OutcomeCache:
                 store.pop(next(iter(store)))
 
 
+class _ExecutorInstruments:
+    """Pre-resolved telemetry instruments for one engine's hot path.
+
+    Constructed only when an engine is handed a telemetry bundle; every
+    instrument child is resolved once here so per-run recording is a
+    plain method call, and event payloads are only built when the bus
+    has sinks.
+    """
+
+    __slots__ = ("telemetry", "bus", "_runs", "_run_seconds", "_cache",
+                 "_batches", "_batch_seconds", "_reference_seconds")
+
+    def __init__(self, telemetry, kind: str):
+        self.telemetry = telemetry
+        self.bus = telemetry.bus
+        registry = telemetry.registry
+        self._runs = registry.counter(
+            "repro_jvm_runs_total",
+            "Actual JVM executions performed (cache hits excluded).",
+            ("vendor",))
+        self._run_seconds = registry.histogram(
+            "repro_jvm_run_seconds",
+            "Latency of individual JVM executions.", ("vendor",))
+        self._cache = registry.counter(
+            "repro_cache_lookups_total",
+            "Content-addressed cache lookups by store and result.",
+            ("store", "result"))
+        self._batches = registry.counter(
+            "repro_executor_batches_total",
+            "run_differential batches executed.", ("engine",)) \
+            .labels(engine=kind)
+        self._batch_seconds = registry.histogram(
+            "repro_executor_batch_seconds",
+            "Wall-clock latency of differential batches.", ("engine",)) \
+            .labels(engine=kind)
+        self._reference_seconds = registry.histogram(
+            "repro_reference_run_seconds",
+            "Latency of coverage-collected reference runs.")
+
+    def record_run(self, vendor: str, seconds: float) -> None:
+        self._runs.labels(vendor=vendor).inc()
+        self._run_seconds.labels(vendor=vendor).observe(seconds)
+
+    def record_reference(self, seconds: float) -> None:
+        self._reference_seconds.observe(seconds)
+
+    def cache_lookup(self, store: str, hit: bool, vendor: str) -> None:
+        self._cache.labels(store=store,
+                           result="hit" if hit else "miss").inc()
+        if hit and self.bus.enabled:
+            self.bus.emit(CACHE_HIT, store=store, vendor=vendor)
+
+    def batch(self, kind: str, size: int, seconds: float) -> None:
+        self._batches.inc()
+        self._batch_seconds.observe(seconds)
+        if self.bus.enabled:
+            self.bus.emit(EXECUTOR_BATCH, engine=kind, size=size,
+                          seconds=seconds)
+
+
 # ---------------------------------------------------------------------------
 # The executor interface
 # ---------------------------------------------------------------------------
@@ -231,14 +292,22 @@ class Executor:
             when caching is disabled (the default — benchmarks and ad-hoc
             harnesses must measure real executions unless they opt in).
         stats: lifetime counters, thread-safe.
+        telemetry: optional :class:`~repro.observe.Telemetry`; when set,
+            runs, cache lookups and batches additionally feed the
+            structured metrics registry and event bus.  ``None`` (the
+            default) costs one attribute check per operation.
     """
 
     kind = "abstract"
 
     def __init__(self, cache: Optional[OutcomeCache] = None,
-                 stats: Optional[ExecutorStats] = None):
+                 stats: Optional[ExecutorStats] = None,
+                 telemetry=None):
         self.cache = cache
         self.stats = stats if stats is not None else ExecutorStats()
+        self.telemetry = telemetry
+        self._observe = _ExecutorInstruments(telemetry, self.kind) \
+            if telemetry is not None else None
         self._stats_lock = threading.Lock()
         self._reference_lock = threading.Lock()
 
@@ -254,9 +323,13 @@ class Executor:
         if cached is not None:
             with self._stats_lock:
                 self.stats.cache_hits += 1
+            if self._observe is not None:
+                self._observe.cache_lookup("outcome", True, jvm.name)
             return cached
         with self._stats_lock:
             self.stats.cache_misses += 1
+        if self._observe is not None:
+            self._observe.cache_lookup("outcome", False, jvm.name)
         outcome = self._execute(jvm, data)
         self.cache.put_outcome(digest, jvm.name, outcome)
         return outcome
@@ -277,9 +350,13 @@ class Executor:
             if cached is not None:
                 with self._stats_lock:
                     self.stats.trace_hits += 1
+                if self._observe is not None:
+                    self._observe.cache_lookup("trace", True, jvm.name)
                 return cached
             with self._stats_lock:
                 self.stats.trace_misses += 1
+            if self._observe is not None:
+                self._observe.cache_lookup("trace", False, jvm.name)
         with self._reference_lock:
             collector = CoverageCollector()
             started = time.perf_counter()
@@ -288,6 +365,9 @@ class Executor:
             elapsed = time.perf_counter() - started
         with self._stats_lock:
             self.stats.record_run(jvm.name, elapsed)
+        if self._observe is not None:
+            self._observe.record_run(jvm.name, elapsed)
+            self._observe.record_reference(elapsed)
         trace = collector.tracefile()
         if self.cache is not None:
             self.cache.put_trace(digest, jvm.name, outcome, trace)
@@ -310,6 +390,8 @@ class Executor:
         with self._stats_lock:
             self.stats.batches += 1
             self.stats.batch_seconds += elapsed
+        if self._observe is not None:
+            self._observe.batch(self.kind, len(batch), elapsed)
         return results
 
     def _run_batch(self, jvms: List[Jvm],
@@ -330,6 +412,8 @@ class Executor:
         elapsed = time.perf_counter() - started
         with self._stats_lock:
             self.stats.record_run(jvm.name, elapsed)
+        if self._observe is not None:
+            self._observe.record_run(jvm.name, elapsed)
         return outcome
 
     # -- lifecycle ----------------------------------------------------------------
@@ -459,6 +543,11 @@ class ProcessExecutor(Executor):
                     self.stats.cache_hits += len(jvms)
                 elif self.cache is not None:
                     self.stats.cache_misses += len(jvms)
+            if self._observe is not None and self.cache is not None:
+                for jvm in jvms:
+                    self._observe.cache_lookup("outcome",
+                                               cached is not None,
+                                               jvm.name)
             task = None if cached is not None \
                 else pool.submit(_process_worker_run, data)
             pending.append((label, digest, task, cached))
@@ -471,6 +560,9 @@ class ProcessExecutor(Executor):
                 with self._stats_lock:
                     for jvm, seconds in zip(jvms, timings):
                         self.stats.record_run(jvm.name, seconds)
+                if self._observe is not None:
+                    for jvm, seconds in zip(jvms, timings):
+                        self._observe.record_run(jvm.name, seconds)
                 if self.cache is not None:
                     for jvm, outcome in zip(jvms, outcomes):
                         self.cache.put_outcome(digest, jvm.name, outcome)
@@ -506,14 +598,15 @@ def ParallelExecutor(jobs: Optional[int] = None, backend: str = "thread",
 
 
 def make_executor(jobs: int = 1, backend: str = "thread",
-                  cache: bool = True) -> Executor:
+                  cache: bool = True, telemetry=None) -> Executor:
     """Build the engine for a job count (the CLI's ``--jobs``/``--backend``).
 
     ``jobs <= 1`` selects the serial engine.  ``cache=True`` attaches a
-    fresh :class:`OutcomeCache`.
+    fresh :class:`OutcomeCache`.  ``telemetry`` threads an optional
+    :class:`~repro.observe.Telemetry` into the engine.
     """
     outcome_cache = OutcomeCache() if cache else None
     if jobs <= 1:
-        return SerialExecutor(cache=outcome_cache)
+        return SerialExecutor(cache=outcome_cache, telemetry=telemetry)
     return ParallelExecutor(jobs=jobs, backend=backend,
-                            cache=outcome_cache)
+                            cache=outcome_cache, telemetry=telemetry)

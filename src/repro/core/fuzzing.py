@@ -41,6 +41,11 @@ from repro.jimple.model import JClass
 from repro.jimple.to_classfile import JimpleCompileError, compile_class
 from repro.jvm.machine import Jvm
 from repro.jvm.vendors import reference_jvm
+from repro.observe.events import (
+    ITERATION,
+    MUTANT_ACCEPTED,
+    MUTANT_DISCARDED,
+)
 
 #: Discard categories recorded on :attr:`FuzzResult.discards`.
 DISCARD_MUTATOR_ERROR = "mutator_error"    # the rewrite itself crashed
@@ -136,13 +141,105 @@ def supplement_main(jclass: JClass) -> None:
     add_printing_main(jclass, f"{jclass.name} mutant executed")
 
 
+class _FuzzObserver:
+    """Per-run telemetry instruments; a no-op shell when disabled.
+
+    The constructor pre-resolves every labeled instrument child, so the
+    per-iteration cost with telemetry enabled is a handful of counter
+    increments, and with telemetry disabled a single ``active`` check.
+    """
+
+    __slots__ = ("active", "telemetry", "algorithm", "_iterations",
+                 "_generated", "_accepted", "_discarded",
+                 "_iteration_seconds", "_pool_size", "_suite_size")
+
+    def __init__(self, telemetry, algorithm: str):
+        self.telemetry = telemetry
+        self.algorithm = algorithm
+        self.active = telemetry is not None
+        if not self.active:
+            return
+        registry = telemetry.registry
+        self._iterations = registry.counter(
+            "repro_iterations_total",
+            "Mutation iterations executed.", ("algorithm",)) \
+            .labels(algorithm=algorithm)
+        self._generated = registry.counter(
+            "repro_mutants_generated_total",
+            "Mutants successfully dumped to classfile bytes.",
+            ("algorithm",)).labels(algorithm=algorithm)
+        self._accepted = registry.counter(
+            "repro_mutants_accepted_total",
+            "Mutants accepted into the representative suite.",
+            ("algorithm",)).labels(algorithm=algorithm)
+        self._discarded = registry.counter(
+            "repro_mutants_discarded_total",
+            "Iterations that produced no classfile, by category.",
+            ("algorithm", "category"))
+        self._iteration_seconds = registry.histogram(
+            "repro_iteration_seconds",
+            "Wall-clock latency of one mutation iteration.",
+            ("algorithm",)).labels(algorithm=algorithm)
+        self._pool_size = registry.gauge(
+            "repro_seed_pool_size", "Current mutation seed pool size.",
+            ("algorithm",)).labels(algorithm=algorithm)
+        self._suite_size = registry.gauge(
+            "repro_test_suite_size",
+            "Accepted representative suite size (TestClasses).",
+            ("algorithm",)).labels(algorithm=algorithm)
+
+    def discarded(self, category: str, mutator: Optional[str]) -> None:
+        if not self.active:
+            return
+        self._discarded.labels(algorithm=self.algorithm,
+                               category=category).inc()
+        if self.telemetry.bus.enabled:
+            self.telemetry.bus.emit(MUTANT_DISCARDED,
+                                    algorithm=self.algorithm,
+                                    category=category, mutator=mutator)
+
+    def accepted(self, generated: GeneratedClass, tests: int) -> None:
+        if not self.active:
+            return
+        self._accepted.inc()
+        if self.telemetry.bus.enabled:
+            self.telemetry.bus.emit(MUTANT_ACCEPTED,
+                                    algorithm=self.algorithm,
+                                    label=generated.label,
+                                    mutator=generated.mutator,
+                                    tests=tests)
+
+    def iteration(self, index: int, mutator: Mutator,
+                  generated: Optional[GeneratedClass], accepted: bool,
+                  tests: int, pool: int, seconds: float) -> None:
+        if not self.active:
+            return
+        self._iterations.inc()
+        if generated is not None:
+            self._generated.inc()
+        self._iteration_seconds.observe(seconds)
+        self._pool_size.set(pool)
+        self._suite_size.set(tests)
+        if self.telemetry.bus.enabled:
+            self.telemetry.bus.emit(
+                ITERATION, algorithm=self.algorithm, index=index,
+                mutator=mutator.name, generated=generated is not None,
+                accepted=accepted, tests=tests, pool=pool,
+                seconds=seconds)
+
+
+#: The shared disabled observer (``telemetry=None`` path).
+_NULL_OBSERVER = _FuzzObserver(None, "")
+
+
 class _FuzzEngine:
     """Shared mutation loop for all four algorithms."""
 
     def __init__(self, seeds: Sequence[JClass], rng: random.Random,
                  mutators: Sequence[Mutator],
                  reference: Optional[Jvm] = None,
-                 executor: Optional[Executor] = None):
+                 executor: Optional[Executor] = None,
+                 observer: _FuzzObserver = _NULL_OBSERVER):
         self.rng = rng
         self.pool: List[JClass] = [seed.clone() for seed in seeds]
         if not self.pool:
@@ -151,11 +248,14 @@ class _FuzzEngine:
         self.reference = reference or reference_jvm()
         self.executor = executor if executor is not None \
             else SerialExecutor(cache=OutcomeCache())
+        self.observer = observer
         self.discards: Dict[str, int] = {}
         self._name_counter = 0
 
-    def _discard(self, category: str) -> None:
+    def _discard(self, category: str,
+                 mutator: Optional[str] = None) -> None:
         self.discards[category] = self.discards.get(category, 0) + 1
+        self.observer.discarded(category, mutator)
 
     def mutate_once(self, mutator: Mutator) -> Optional[GeneratedClass]:
         """One iteration body: mutate a random pool member and dump it.
@@ -177,21 +277,21 @@ class _FuzzEngine:
         except Exception:
             # Mutators are arbitrary rewrites over arbitrary mutants; a
             # crashing rewrite is a failed iteration, but a counted one.
-            self._discard(DISCARD_MUTATOR_ERROR)
+            self._discard(DISCARD_MUTATOR_ERROR, mutator.name)
             return None
         if not applied:
-            self._discard(DISCARD_INAPPLICABLE)
+            self._discard(DISCARD_INAPPLICABLE, mutator.name)
             return None
         supplement_main(mutant)
         try:
             compiled = compile_class(mutant)
         except JimpleCompileError:
-            self._discard(DISCARD_COMPILE_ERROR)
+            self._discard(DISCARD_COMPILE_ERROR, mutator.name)
             return None
         try:
             data = write_class(compiled)
         except struct.error:
-            self._discard(DISCARD_DUMP_ERROR)
+            self._discard(DISCARD_DUMP_ERROR, mutator.name)
             return None
         return GeneratedClass(mutant.name, mutant, data, mutator.name)
 
@@ -224,7 +324,8 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
               mutators: Sequence[Mutator] = MUTATORS,
               reference: Optional[Jvm] = None,
               seed_feedback: bool = True,
-              executor: Optional[Executor] = None) -> FuzzResult:
+              executor: Optional[Executor] = None,
+              telemetry=None) -> FuzzResult:
     """Algorithm 1: coverage-directed generation with MCMC mutator selection.
 
     Args:
@@ -241,27 +342,41 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
             representative mutants" assumption.
         executor: the execution engine for reference runs (defaults to a
             cached serial engine).
+        telemetry: optional :class:`~repro.observe.Telemetry`; records
+            per-iteration metrics and emits ``iteration`` /
+            ``mutant_accepted`` / ``mutant_discarded`` /
+            ``mcmc_transition`` events.
     """
     rng = random.Random(seed)
-    engine = _FuzzEngine(seeds, rng, mutators, reference, executor)
-    selector = McmcMutatorSelector(mutators, p=p, rng=rng)
-    uniqueness = make_criterion(criterion)
+    observer = _FuzzObserver(telemetry, f"classfuzz[{criterion}]")
+    engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
+                         observer)
+    selector = McmcMutatorSelector(mutators, p=p, rng=rng,
+                                   telemetry=telemetry)
+    uniqueness = make_criterion(criterion, telemetry=telemetry)
     for _, trace in engine.prime_pool():
         uniqueness.accept(trace)
     result = FuzzResult("classfuzz", criterion, iterations)
     started = time.perf_counter()
-    for _ in range(iterations):
+    for index in range(iterations):
+        iter_started = time.perf_counter() if observer.active else 0.0
         mutator = selector.next_mutator()
         generated = engine.mutate_once(mutator)
-        if generated is None:
-            continue
-        result.gen_classes.append(generated)
-        trace = engine.run_on_reference(generated)
-        if uniqueness.check_and_accept(trace):
-            result.test_classes.append(generated)
-            if seed_feedback:
-                engine.pool.append(generated.jclass)
-            selector.record_success(mutator)
+        accepted = False
+        if generated is not None:
+            result.gen_classes.append(generated)
+            trace = engine.run_on_reference(generated)
+            if uniqueness.check_and_accept(trace):
+                accepted = True
+                result.test_classes.append(generated)
+                if seed_feedback:
+                    engine.pool.append(generated.jclass)
+                selector.record_success(mutator)
+                observer.accepted(generated, len(result.test_classes))
+        observer.iteration(
+            index, mutator, generated, accepted,
+            len(result.test_classes), len(engine.pool),
+            time.perf_counter() - iter_started if observer.active else 0.0)
     result.elapsed_seconds = time.perf_counter() - started
     result.mutator_report = selector.report()
     result.discards = dict(engine.discards)
@@ -271,27 +386,37 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
 def uniquefuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
                mutators: Sequence[Mutator] = MUTATORS,
                reference: Optional[Jvm] = None,
-               executor: Optional[Executor] = None) -> FuzzResult:
+               executor: Optional[Executor] = None,
+               telemetry=None) -> FuzzResult:
     """classfuzz minus MCMC: uniform mutator selection, [stbr] uniqueness."""
     rng = random.Random(seed)
-    engine = _FuzzEngine(seeds, rng, mutators, reference, executor)
+    observer = _FuzzObserver(telemetry, "uniquefuzz")
+    engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
+                         observer)
     selector = UniformMutatorSelector(mutators, rng=rng)
-    uniqueness = make_criterion("stbr")
+    uniqueness = make_criterion("stbr", telemetry=telemetry)
     for _, trace in engine.prime_pool():
         uniqueness.accept(trace)
     result = FuzzResult("uniquefuzz", "stbr", iterations)
     started = time.perf_counter()
-    for _ in range(iterations):
+    for index in range(iterations):
+        iter_started = time.perf_counter() if observer.active else 0.0
         mutator = selector.next_mutator()
         generated = engine.mutate_once(mutator)
-        if generated is None:
-            continue
-        result.gen_classes.append(generated)
-        trace = engine.run_on_reference(generated)
-        if uniqueness.check_and_accept(trace):
-            result.test_classes.append(generated)
-            engine.pool.append(generated.jclass)
-            selector.record_success(mutator)
+        accepted = False
+        if generated is not None:
+            result.gen_classes.append(generated)
+            trace = engine.run_on_reference(generated)
+            if uniqueness.check_and_accept(trace):
+                accepted = True
+                result.test_classes.append(generated)
+                engine.pool.append(generated.jclass)
+                selector.record_success(mutator)
+                observer.accepted(generated, len(result.test_classes))
+        observer.iteration(
+            index, mutator, generated, accepted,
+            len(result.test_classes), len(engine.pool),
+            time.perf_counter() - iter_started if observer.active else 0.0)
     result.elapsed_seconds = time.perf_counter() - started
     result.mutator_report = selector.report()
     result.discards = dict(engine.discards)
@@ -301,10 +426,13 @@ def uniquefuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
 def greedyfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
                mutators: Sequence[Mutator] = MUTATORS,
                reference: Optional[Jvm] = None,
-               executor: Optional[Executor] = None) -> FuzzResult:
+               executor: Optional[Executor] = None,
+               telemetry=None) -> FuzzResult:
     """Greedy baseline: accept only mutants growing accumulated coverage."""
     rng = random.Random(seed)
-    engine = _FuzzEngine(seeds, rng, mutators, reference, executor)
+    observer = _FuzzObserver(telemetry, "greedyfuzz")
+    engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
+                         observer)
     selector = UniformMutatorSelector(mutators, rng=rng)
     covered_statements: Set[str] = set()
     covered_branches: Set[Tuple[str, bool]] = set()
@@ -313,21 +441,28 @@ def greedyfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
         covered_branches |= trace.br_set
     result = FuzzResult("greedyfuzz", None, iterations)
     started = time.perf_counter()
-    for _ in range(iterations):
+    for index in range(iterations):
+        iter_started = time.perf_counter() if observer.active else 0.0
         mutator = selector.next_mutator()
         generated = engine.mutate_once(mutator)
-        if generated is None:
-            continue
-        result.gen_classes.append(generated)
-        trace = engine.run_on_reference(generated)
-        new_statements = trace.stmt_set - covered_statements
-        new_branches = trace.br_set - covered_branches
-        if new_statements or new_branches:
-            covered_statements |= trace.stmt_set
-            covered_branches |= trace.br_set
-            result.test_classes.append(generated)
-            engine.pool.append(generated.jclass)
-            selector.record_success(mutator)
+        accepted = False
+        if generated is not None:
+            result.gen_classes.append(generated)
+            trace = engine.run_on_reference(generated)
+            new_statements = trace.stmt_set - covered_statements
+            new_branches = trace.br_set - covered_branches
+            if new_statements or new_branches:
+                accepted = True
+                covered_statements |= trace.stmt_set
+                covered_branches |= trace.br_set
+                result.test_classes.append(generated)
+                engine.pool.append(generated.jclass)
+                selector.record_success(mutator)
+                observer.accepted(generated, len(result.test_classes))
+        observer.iteration(
+            index, mutator, generated, accepted,
+            len(result.test_classes), len(engine.pool),
+            time.perf_counter() - iter_started if observer.active else 0.0)
     result.elapsed_seconds = time.perf_counter() - started
     result.mutator_report = selector.report()
     result.discards = dict(engine.discards)
@@ -337,7 +472,8 @@ def greedyfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
 def randfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
              mutators: Sequence[Mutator] = MUTATORS,
              reference: Optional[Jvm] = None,
-             executor: Optional[Executor] = None) -> FuzzResult:
+             executor: Optional[Executor] = None,
+             telemetry=None) -> FuzzResult:
     """Blind baseline: every dumped mutant is a test; no coverage runs.
 
     ``reference`` and ``executor`` are accepted for signature parity with
@@ -346,19 +482,28 @@ def randfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
     all four — but randfuzz never executes the reference JVM.
     """
     rng = random.Random(seed)
-    engine = _FuzzEngine(seeds, rng, mutators, reference, executor)
+    observer = _FuzzObserver(telemetry, "randfuzz")
+    engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
+                         observer)
     selector = UniformMutatorSelector(mutators, rng=rng)
     result = FuzzResult("randfuzz", None, iterations)
     started = time.perf_counter()
-    for _ in range(iterations):
+    for index in range(iterations):
+        iter_started = time.perf_counter() if observer.active else 0.0
         mutator = selector.next_mutator()
         generated = engine.mutate_once(mutator)
-        if generated is None:
-            continue
-        result.gen_classes.append(generated)
-        result.test_classes.append(generated)
-        engine.pool.append(generated.jclass)
-        selector.record_success(mutator)
+        accepted = False
+        if generated is not None:
+            accepted = True
+            result.gen_classes.append(generated)
+            result.test_classes.append(generated)
+            engine.pool.append(generated.jclass)
+            selector.record_success(mutator)
+            observer.accepted(generated, len(result.test_classes))
+        observer.iteration(
+            index, mutator, generated, accepted,
+            len(result.test_classes), len(engine.pool),
+            time.perf_counter() - iter_started if observer.active else 0.0)
     result.elapsed_seconds = time.perf_counter() - started
     result.mutator_report = selector.report()
     result.discards = dict(engine.discards)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mutators.base import Mutator
+from repro.observe.events import MCMC_TRANSITION
 
 #: The paper's choice: p = 3/129 ≈ 0.023, inside the valid (0.022, 0.025).
 DEFAULT_P = 3 / 129
@@ -90,13 +91,25 @@ class McmcMutatorSelector:
 
     def __init__(self, mutators: Sequence[Mutator],
                  p: float = DEFAULT_P,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 telemetry=None):
         if not mutators:
             raise ValueError("need at least one mutator")
         if not 0.0 < p < 1.0:
             raise ValueError(f"p must be in (0, 1), got {p}")
         self.p = p
         self.rng = rng or random.Random()
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._transitions = telemetry.registry.counter(
+                "repro_mcmc_transitions_total",
+                "Accepted Metropolis-Hastings chain steps.")
+            self._proposals = telemetry.registry.counter(
+                "repro_mcmc_proposals_total",
+                "Proposals drawn by the Metropolis-Hastings chain "
+                "(including rejected ones).")
+        else:
+            self._transitions = self._proposals = None
         #: Mutators sorted by descending success rate.  Ties are ordered
         #: randomly at every resort so the all-zero cold start (and any
         #: later tie group) carries no registry-order bias in the
@@ -121,9 +134,12 @@ class McmcMutatorSelector:
         mutator is always accepted; a worse one with geometrically
         decaying probability.
         """
-        k1 = self._index[self.current.name]
+        previous = self.current.name
+        k1 = self._index[previous]
+        proposals = 0
         while True:
             proposal = self.rng.choice(self.ranked)
+            proposals += 1
             k2 = self._index[proposal.name]
             if k2 <= k1:
                 break  # A = 1: better (or equal) rank always accepted
@@ -131,6 +147,15 @@ class McmcMutatorSelector:
                 break
         self.current = proposal
         self.stats[proposal.name].selected += 1
+        if self.telemetry is not None:
+            self._transitions.inc()
+            self._proposals.inc(proposals)
+            if self.telemetry.bus.enabled:
+                self.telemetry.bus.emit(
+                    MCMC_TRANSITION, frm=previous, to=proposal.name,
+                    from_rank=k1 + 1, to_rank=k2 + 1,
+                    proposals=proposals,
+                    success_rate=self.stats[proposal.name].success_rate)
         return proposal
 
     def acceptance_probability(self, current: Mutator,

@@ -4,6 +4,12 @@ A candidate classfile is *representative* w.r.t. the current test suite
 when its tracefile is distinguishable from every accepted classfile's
 tracefile under the chosen criterion.  Each criterion maintains the index
 it needs so acceptance checks stay O(1)/O(set-size) rather than O(suite).
+
+Acceptance bookkeeping lives in the base class: every criterion counts
+its accepted suite (``accepted_count``) and, when handed a telemetry
+bundle, feeds the ``repro_uniqueness_checks_total{criterion,outcome}``
+counter and the ``repro_unique_traces{criterion}`` gauge — the raw
+material of the coverage-growth time series.
 """
 
 from __future__ import annotations
@@ -14,25 +20,56 @@ from repro.coverage.tracefile import Tracefile
 
 
 class UniquenessCriterion:
-    """Interface: decide whether a tracefile is unique w.r.t. the suite."""
+    """Interface: decide whether a tracefile is unique w.r.t. the suite.
+
+    Subclasses implement :meth:`is_unique` and :meth:`_record`; the
+    public :meth:`accept`/:meth:`check_and_accept` wrappers keep the
+    acceptance count and telemetry in one place.
+    """
 
     #: Short name used in tables ("st", "stbr", "tr").
     name = "abstract"
+
+    def __init__(self, telemetry=None) -> None:
+        self.accepted_count = 0
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._checks = telemetry.registry.counter(
+                "repro_uniqueness_checks_total",
+                "Uniqueness decisions by criterion and outcome.",
+                ("criterion", "outcome"))
+            self._unique = telemetry.registry.gauge(
+                "repro_unique_traces",
+                "Accepted coverage-unique traces (suite size).",
+                ("criterion",)).labels(criterion=self.name)
+        else:
+            self._checks = self._unique = None
 
     def is_unique(self, trace: Tracefile) -> bool:
         """Whether ``trace`` is distinguishable from every accepted trace."""
         raise NotImplementedError
 
+    def _record(self, trace: Tracefile) -> None:
+        """Index ``trace`` as part of the accepted suite."""
+        raise NotImplementedError
+
     def accept(self, trace: Tracefile) -> None:
         """Record ``trace`` as accepted into the suite."""
-        raise NotImplementedError
+        self._record(trace)
+        self.accepted_count += 1
+        if self._unique is not None:
+            self._unique.set(self.accepted_count)
 
     def check_and_accept(self, trace: Tracefile) -> bool:
         """Accept ``trace`` if unique; returns whether it was accepted."""
-        if self.is_unique(trace):
+        unique = self.is_unique(trace)
+        if unique:
             self.accept(trace)
-            return True
-        return False
+        if self._checks is not None:
+            self._checks.labels(
+                criterion=self.name,
+                outcome="accepted" if unique else "rejected").inc()
+        return unique
 
 
 class StUniqueness(UniquenessCriterion):
@@ -40,13 +77,14 @@ class StUniqueness(UniquenessCriterion):
 
     name = "st"
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry=None) -> None:
+        super().__init__(telemetry)
         self._seen: Set[int] = set()
 
     def is_unique(self, trace: Tracefile) -> bool:
         return trace.stmt not in self._seen
 
-    def accept(self, trace: Tracefile) -> None:
+    def _record(self, trace: Tracefile) -> None:
         self._seen.add(trace.stmt)
 
 
@@ -55,13 +93,14 @@ class StBrUniqueness(UniquenessCriterion):
 
     name = "stbr"
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry=None) -> None:
+        super().__init__(telemetry)
         self._seen: Set[Tuple[int, int]] = set()
 
     def is_unique(self, trace: Tracefile) -> bool:
         return trace.signature not in self._seen
 
-    def accept(self, trace: Tracefile) -> None:
+    def _record(self, trace: Tracefile) -> None:
         self._seen.add(trace.signature)
 
 
@@ -75,7 +114,8 @@ class TrUniqueness(UniquenessCriterion):
 
     name = "tr"
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry=None) -> None:
+        super().__init__(telemetry)
         #: The single index: statistics pair → hit-set keys with that
         #: signature, so only same-signature candidates incur the set
         #: comparison (the "extra cost of merging tracefiles").
@@ -87,7 +127,7 @@ class TrUniqueness(UniquenessCriterion):
         candidates = self._by_signature.get(trace.signature, [])
         return key not in candidates
 
-    def accept(self, trace: Tracefile) -> None:
+    def _record(self, trace: Tracefile) -> None:
         key = (trace.stmt_set, trace.br_set)
         self._by_signature.setdefault(trace.signature, []).append(key)
 
@@ -100,9 +140,9 @@ UNIQUENESS_CRITERIA = {
 }
 
 
-def make_criterion(name: str) -> UniquenessCriterion:
+def make_criterion(name: str, telemetry=None) -> UniquenessCriterion:
     """Instantiate a criterion by table name (``st``/``stbr``/``tr``)."""
     try:
-        return UNIQUENESS_CRITERIA[name]()
+        return UNIQUENESS_CRITERIA[name](telemetry)
     except KeyError:
         raise ValueError(f"unknown uniqueness criterion {name!r}") from None

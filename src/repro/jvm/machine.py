@@ -29,6 +29,7 @@ from repro.jvm.linker import Linker
 from repro.jvm.loader import Loader
 from repro.jvm.outcome import Outcome, Phase
 from repro.jvm.policy import JvmPolicy
+from repro.observe.tracing import ambient_phase_span
 from repro.runtime.environment import JreEnvironment
 
 
@@ -61,38 +62,45 @@ class Jvm:
         :class:`Outcome`.
         """
         probe("machine.run")
+        # Each startup phase runs inside an ambient telemetry span (a
+        # shared no-op object when no telemetry is active), so per-phase
+        # latency histograms and jvm_phase events fall out of every run.
         # Phase 1: creation & loading (includes resolving the direct
         # superclass and superinterfaces, per JVMS §5.3.5).
-        try:
-            classfile = self.loader.load(data)
-            self.linker.resolve_hierarchy(classfile)
-        except JavaError as exc:
-            return self._rejected(Phase.LOADING, exc)
+        with ambient_phase_span(self.name, "loading"):
+            try:
+                classfile = self.loader.load(data)
+                self.linker.resolve_hierarchy(classfile)
+            except JavaError as exc:
+                return self._rejected(Phase.LOADING, exc)
         # Phase 2: linking.
-        try:
-            if self.policy.member_checks_at_linking:
-                self.loader.run_format_checks(classfile)
-            self.linker.link(classfile)
-        except JavaError as exc:
-            return self._rejected(Phase.LINKING, exc)
+        with ambient_phase_span(self.name, "linking"):
+            try:
+                if self.policy.member_checks_at_linking:
+                    self.loader.run_format_checks(classfile)
+                self.linker.link(classfile)
+            except JavaError as exc:
+                return self._rejected(Phase.LINKING, exc)
         interpreter = Interpreter(
             classfile, self.policy, self.environment,
             on_demand_verify=self._on_demand_verify())
         # Phase 3: initialization.
-        try:
-            output = self._initialize(classfile, interpreter)
-        except JavaError as exc:
-            return self._rejected(Phase.INITIALIZATION, exc,
-                                  tuple(interpreter.output))
+        with ambient_phase_span(self.name, "initialization"):
+            try:
+                output = self._initialize(classfile, interpreter)
+            except JavaError as exc:
+                return self._rejected(Phase.INITIALIZATION, exc,
+                                      tuple(interpreter.output))
         # Phase 4: invocation & execution.
-        try:
-            main = self._find_main(classfile)
-            interpreter.invoke_method(main, [list(args or [])])
-        except _SystemExitRequested:
-            probe("machine.system_exit")
-        except JavaError as exc:
-            return self._rejected(Phase.RUNTIME, exc,
-                                  tuple(interpreter.output))
+        with ambient_phase_span(self.name, "execution"):
+            try:
+                main = self._find_main(classfile)
+                interpreter.invoke_method(main, [list(args or [])])
+            except _SystemExitRequested:
+                probe("machine.system_exit")
+            except JavaError as exc:
+                return self._rejected(Phase.RUNTIME, exc,
+                                      tuple(interpreter.output))
         probe("machine.invoked_ok")
         return Outcome(Phase.INVOKED, output=tuple(interpreter.output),
                        jvm_name=self.name)

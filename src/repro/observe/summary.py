@@ -1,0 +1,296 @@
+"""Offline analysis of recorded telemetry: summarise, replay, export.
+
+This is the backend of the ``repro observe`` CLI command.  It consumes
+the JSONL event logs written by :class:`~repro.observe.events.JsonlSink`
+and the Prometheus text dumps written by
+:meth:`~repro.observe.registry.MetricsRegistry.render_prometheus`:
+
+* :func:`summarize_events` — the campaign post-mortem: per-algorithm
+  acceptance rates (overall and per quartile, so coverage-growth stalls
+  are visible), per-phase JVM latency, executor batches, MCMC traffic;
+* :func:`replay_events` — a human-readable line-per-event replay;
+* :func:`write_timeseries` — the coverage-growth / acceptance-rate
+  time series as CSV, one row per recorded iteration;
+* :func:`parse_prometheus` / :func:`check_prometheus` — validate a
+  metrics dump and assert the core counter families exist (the CI
+  smoke-job contract).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.observe.events import (
+    DISCREPANCY_FOUND,
+    EVENT_TYPES,
+    EXECUTOR_BATCH,
+    ITERATION,
+    JVM_PHASE,
+    MCMC_TRANSITION,
+    Event,
+    read_events,
+)
+
+#: Metric families every instrumented campaign run must expose (the CI
+#: contract checked by ``repro observe check``).
+CORE_METRIC_FAMILIES = (
+    "repro_iterations_total",
+    "repro_mutants_accepted_total",
+    "repro_jvm_runs_total",
+    "repro_jvm_phase_seconds",
+    "repro_executor_batches_total",
+    "repro_cache_lookups_total",
+)
+
+#: The four JVM startup phases, in pipeline order.
+STARTUP_PHASES = ("loading", "linking", "initialization", "execution")
+
+
+def load_events(path: Union[str, Path]) -> List[Event]:
+    """Read a JSONL event log fully into memory."""
+    return list(read_events(path))
+
+
+def _render_rows(headers: Sequence[str],
+                 rows: Sequence[Sequence[str]]) -> List[str]:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return lines
+
+
+def _quantile(values: Sequence[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[index]
+
+
+def summarize_events(events: Sequence[Event]) -> str:
+    """Render the post-mortem summary of a recorded event log."""
+    if not events:
+        return "no events recorded"
+    lines: List[str] = []
+    span = max(e.ts for e in events) - min(e.ts for e in events)
+    lines.append(f"{len(events)} events over {span:.2f}s wall-clock")
+    lines.append("")
+
+    # Event census.
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.type] = counts.get(event.type, 0) + 1
+    lines.append("=== Event counts ===")
+    rows = [[name, str(counts[name])]
+            for name in EVENT_TYPES if name in counts]
+    rows.extend([name, str(count)] for name, count in sorted(counts.items())
+                if name not in EVENT_TYPES)
+    lines.extend(_render_rows(["event", "count"], rows))
+
+    iteration_events = [e for e in events if e.type == ITERATION]
+    if iteration_events:
+        lines.append("")
+        lines.append("=== Acceptance rate (per algorithm, by quartile) ===")
+        by_algorithm: Dict[str, List[Event]] = {}
+        for event in iteration_events:
+            by_algorithm.setdefault(
+                str(event.fields.get("algorithm", "?")), []).append(event)
+        rows = []
+        for algorithm in sorted(by_algorithm):
+            run = by_algorithm[algorithm]
+            accepted = sum(1 for e in run if e.fields.get("accepted"))
+            quartiles = []
+            for quarter in range(4):
+                lo = quarter * len(run) // 4
+                hi = (quarter + 1) * len(run) // 4
+                window = run[lo:hi]
+                hits = sum(1 for e in window if e.fields.get("accepted"))
+                quartiles.append(f"{hits / len(window):.1%}"
+                                 if window else "-")
+            rows.append([algorithm, str(len(run)), str(accepted),
+                         f"{accepted / len(run):.1%}"] + quartiles)
+        lines.extend(_render_rows(
+            ["algorithm", "iterations", "accepted", "rate",
+             "q1", "q2", "q3", "q4"], rows))
+
+    phase_events = [e for e in events if e.type == JVM_PHASE]
+    if phase_events:
+        lines.append("")
+        lines.append("=== JVM phase latency ===")
+        by_phase: Dict[str, List[float]] = {}
+        for event in phase_events:
+            by_phase.setdefault(str(event.fields.get("phase", "?")),
+                                []).append(float(
+                                    event.fields.get("seconds", 0.0)))
+        rows = []
+        ordered = [p for p in STARTUP_PHASES if p in by_phase]
+        ordered += sorted(set(by_phase) - set(STARTUP_PHASES))
+        for phase in ordered:
+            samples = by_phase[phase]
+            mean_ms = sum(samples) / len(samples) * 1000.0
+            p95_ms = _quantile(samples, 0.95) * 1000.0
+            rows.append([phase, str(len(samples)),
+                         f"{sum(samples):.3f}", f"{mean_ms:.3f}",
+                         f"{p95_ms:.3f}"])
+        lines.extend(_render_rows(
+            ["phase", "spans", "total_s", "mean_ms", "p95_ms"], rows))
+
+    batch_events = [e for e in events if e.type == EXECUTOR_BATCH]
+    if batch_events:
+        lines.append("")
+        lines.append("=== Executor batches ===")
+        sizes = [int(e.fields.get("size", 0)) for e in batch_events]
+        seconds = [float(e.fields.get("seconds", 0.0))
+                   for e in batch_events]
+        lines.append(f"{len(batch_events)} batches, "
+                     f"{sum(sizes)} classfiles, "
+                     f"mean {sum(sizes) / len(sizes):.1f}/batch, "
+                     f"{sum(seconds):.2f}s total")
+
+    transitions = [e for e in events if e.type == MCMC_TRANSITION]
+    if transitions:
+        lines.append("")
+        lines.append("=== MCMC chain ===")
+        targets: Dict[str, int] = {}
+        proposals = 0
+        for event in transitions:
+            targets[str(event.fields.get("to", "?"))] = \
+                targets.get(str(event.fields.get("to", "?")), 0) + 1
+            proposals += int(event.fields.get("proposals", 1))
+        lines.append(f"{len(transitions)} transitions, "
+                     f"{proposals} proposals "
+                     f"({proposals / len(transitions):.2f} per step)")
+        top = sorted(targets.items(), key=lambda kv: -kv[1])[:5]
+        lines.extend(_render_rows(
+            ["mutator", "visits"],
+            [[name, str(count)] for name, count in top]))
+
+    discrepancies = [e for e in events if e.type == DISCREPANCY_FOUND]
+    if discrepancies:
+        lines.append("")
+        lines.append(f"=== {len(discrepancies)} discrepancies ===")
+        for event in discrepancies[:10]:
+            lines.append(f"  {event.fields.get('label', '?')}: "
+                         f"codes={event.fields.get('codes')}")
+        if len(discrepancies) > 10:
+            lines.append(f"  ... and {len(discrepancies) - 10} more")
+
+    return "\n".join(lines)
+
+
+def replay_events(events: Iterable[Event],
+                  event_type: Optional[str] = None,
+                  limit: Optional[int] = None) -> str:
+    """One human-readable line per event, optionally filtered/truncated."""
+    lines = []
+    for event in events:
+        if event_type is not None and event.type != event_type:
+            continue
+        payload = " ".join(f"{key}={event.fields[key]}"
+                           for key in sorted(event.fields))
+        lines.append(f"#{event.seq:<6d} {event.type:18s} {payload}")
+        if limit is not None and len(lines) >= limit:
+            lines.append("...")
+            break
+    return "\n".join(lines) if lines else "no matching events"
+
+
+def write_timeseries(events: Sequence[Event],
+                     path: Union[str, Path]) -> int:
+    """Write the acceptance/coverage-growth time series as CSV.
+
+    One row per ``iteration`` event:
+    ``algorithm,iteration,accepted,accepted_total,acceptance_rate,
+    tests,pool``.  Returns the number of data rows written.
+    """
+    header = ("algorithm,iteration,accepted,accepted_total,"
+              "acceptance_rate,tests,pool")
+    rows = [header]
+    totals: Dict[str, Tuple[int, int]] = {}  # algorithm -> (seen, accepted)
+    for event in events:
+        if event.type != ITERATION:
+            continue
+        algorithm = str(event.fields.get("algorithm", "?"))
+        seen, accepted_total = totals.get(algorithm, (0, 0))
+        seen += 1
+        accepted = 1 if event.fields.get("accepted") else 0
+        accepted_total += accepted
+        totals[algorithm] = (seen, accepted_total)
+        rows.append(",".join([
+            algorithm,
+            str(event.fields.get("index", seen - 1)),
+            str(accepted),
+            str(accepted_total),
+            f"{accepted_total / seen:.4f}",
+            str(event.fields.get("tests", "")),
+            str(event.fields.get("pool", "")),
+        ]))
+    Path(path).write_text("\n".join(rows) + "\n", encoding="utf-8")
+    return len(rows) - 1
+
+
+# -- Prometheus dump validation ---------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+"
+    r"(?P<value>[-+]?[0-9.eE+naninf]+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus(text: str) -> Dict[str, List[
+        Tuple[Dict[str, str], float]]]:
+    """Parse a Prometheus text dump into ``{metric: [(labels, value)]}``.
+
+    Raises ``ValueError`` on a malformed sample line, so the CI check
+    fails loudly rather than silently accepting garbage.
+    """
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample at line {lineno}: {line!r}")
+        labels = {}
+        if match.group("labels"):
+            labels = {name: value for name, value
+                      in _LABEL_RE.findall(match.group("labels"))}
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"malformed value at line {lineno}: {line!r}") from None
+        samples.setdefault(match.group("name"), []).append((labels, value))
+    return samples
+
+
+def check_prometheus(text: str,
+                     required: Sequence[str] = CORE_METRIC_FAMILIES
+                     ) -> List[str]:
+    """Validate a metrics dump; returns a list of problems (empty = OK).
+
+    A histogram family ``f`` is matched by any of its ``f_bucket``/
+    ``f_sum``/``f_count`` series.
+    """
+    try:
+        samples = parse_prometheus(text)
+    except ValueError as exc:
+        return [str(exc)]
+    problems = []
+    for family in required:
+        present = any(name == family or
+                      name in (f"{family}_bucket", f"{family}_sum",
+                               f"{family}_count")
+                      for name in samples)
+        if not present:
+            problems.append(f"missing metric family: {family}")
+    return problems

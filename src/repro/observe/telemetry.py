@@ -1,0 +1,145 @@
+"""The telemetry bundle threaded through the pipeline.
+
+One :class:`Telemetry` couples the three layers of ``repro.observe``:
+
+* a :class:`~repro.observe.registry.MetricsRegistry` (counters, gauges,
+  latency histograms);
+* an :class:`~repro.observe.events.EventBus` with pluggable sinks;
+* a :class:`~repro.observe.tracing.Tracer` for span-based timing.
+
+Every instrumented entry point (the fuzzing algorithms, the execution
+engines, the differential harness, the campaign orchestrator) takes an
+optional ``telemetry`` argument defaulting to ``None`` — the disabled
+state costs one ``is None`` check per site.  :meth:`Telemetry.activate`
+additionally installs the bundle as the process-wide ambient telemetry
+so the JVM startup phases (which no campaign object reaches directly)
+trace themselves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.observe.events import JVM_PHASE, EventBus, JsonlSink, \
+    RingBufferSink, StderrProgressSink
+from repro.observe.registry import MetricsRegistry
+from repro.observe.tracing import NULL_SPAN, Span, Tracer, \
+    install_ambient, uninstall_ambient
+
+
+class Telemetry:
+    """Registry + event bus + tracer, as one pluggable unit.
+
+    Attributes:
+        registry: the metrics registry every instrument records into.
+        bus: the structured event bus (disabled until a sink attaches).
+        tracer: the span factory bound to both.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 bus: Optional[EventBus] = None):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.bus = bus if bus is not None else EventBus()
+        self.tracer = Tracer(self.registry, self.bus)
+        self._jvm_phase_seconds = self.registry.histogram(
+            "repro_jvm_phase_seconds",
+            "Latency of the four JVM startup phases.",
+            ("vendor", "phase"))
+
+    # -- events --------------------------------------------------------------
+
+    def emit(self, event_type: str, **fields) -> None:
+        """Emit a structured event (no-op when the bus has no sinks)."""
+        self.bus.emit(event_type, **fields)
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, event_type: Optional[str] = None,
+             **attrs) -> Span:
+        return self.tracer.span(name, event_type, **attrs)
+
+    def jvm_phase_span(self, vendor: str, phase: str) -> Span:
+        """A span for one JVM startup phase (loading/linking/init/exec).
+
+        Feeds both the generic span histogram and the dedicated
+        ``repro_jvm_phase_seconds{vendor,phase}`` family, and emits a
+        ``jvm_phase`` event when the bus is live.
+        """
+        span = self.tracer.span(f"jvm.{phase}", event_type=JVM_PHASE,
+                                vendor=vendor, phase=phase)
+        hist = self._jvm_phase_seconds.labels(vendor=vendor, phase=phase)
+        return _PhaseSpan(span, hist)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def activate(self) -> "_ActiveTelemetry":
+        """Install as the process-wide ambient telemetry (context manager)."""
+        return _ActiveTelemetry(self)
+
+    def close(self) -> None:
+        """Flush and close every attached sink."""
+        self.bus.close()
+
+    def render_prometheus(self) -> str:
+        return self.registry.render_prometheus()
+
+
+class _PhaseSpan:
+    """Wraps a span to also record the vendor/phase latency histogram."""
+
+    __slots__ = ("_span", "_hist")
+
+    def __init__(self, span: Span, hist):
+        self._span = span
+        self._hist = hist
+
+    def note(self, **attrs) -> None:
+        self._span.note(**attrs)
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._span.__exit__(*exc_info)
+        self._hist.observe(self._span.seconds)
+        return False
+
+
+class _ActiveTelemetry:
+    """Context manager installing/uninstalling the ambient telemetry."""
+
+    def __init__(self, telemetry: Telemetry):
+        self.telemetry = telemetry
+
+    def __enter__(self) -> Telemetry:
+        install_ambient(self.telemetry)
+        return self.telemetry
+
+    def __exit__(self, *exc_info) -> bool:
+        uninstall_ambient(self.telemetry)
+        return False
+
+
+def make_telemetry(events_path: Optional[Union[str, Path]] = None,
+                   ring_capacity: Optional[int] = None,
+                   progress: bool = False,
+                   progress_every: int = 100) -> Telemetry:
+    """Build a telemetry bundle from the CLI-flag surface.
+
+    Args:
+        events_path: attach a :class:`JsonlSink` writing here.
+        ring_capacity: attach a :class:`RingBufferSink` of this size.
+        progress: attach the live stderr progress sink.
+        progress_every: progress line interval, in iteration events.
+    """
+    telemetry = Telemetry()
+    if events_path is not None:
+        telemetry.bus.add_sink(JsonlSink(events_path))
+    if ring_capacity is not None:
+        telemetry.bus.add_sink(RingBufferSink(ring_capacity))
+    if progress:
+        telemetry.bus.add_sink(StderrProgressSink(every=progress_every))
+    return telemetry

@@ -7,10 +7,13 @@ from repro.core.campaign import (
     ITERATION_COST,
     PAPER_BUDGET_SECONDS,
     CampaignRun,
+    format_mutator_report,
     format_table4,
     iterations_for_budget,
     run_campaign,
 )
+from repro.core.fuzzing import FuzzResult, GeneratedClass
+from repro.core.metrics import format_table
 from repro.corpus import CorpusConfig, generate_corpus
 
 
@@ -85,3 +88,69 @@ class TestCampaign:
 
     def test_all_algorithms_constant(self):
         assert set(ALL_ALGORITHMS) == set(ITERATION_COST)
+
+
+def _fake_result(label, generated=4, accepted=2, iterations=10,
+                 elapsed=1.0):
+    result = FuzzResult(label, None, iterations)
+    for index in range(generated):
+        item = GeneratedClass(f"M{index}", None, b"")
+        result.gen_classes.append(item)
+        if index < accepted:
+            result.test_classes.append(item)
+    result.elapsed_seconds = elapsed
+    return result
+
+
+class TestModeledCostFallback:
+    def test_unknown_label_uses_measured_wall_clock(self):
+        # Labels outside the Table 4 cost model (extension algorithms)
+        # must not raise KeyError; they average measured wall-clock.
+        run = CampaignRun("versionfuzz", _fake_result(
+            "versionfuzz", generated=4, accepted=2, elapsed=8.0))
+        assert run.modeled_seconds_per_generated == pytest.approx(2.0)
+        assert run.modeled_seconds_per_test == pytest.approx(4.0)
+        assert run.table4_row()["sec_per_generated"] == "2.0"
+
+    def test_known_label_still_uses_cost_model(self):
+        run = CampaignRun("randfuzz", _fake_result(
+            "randfuzz", generated=5, accepted=5, iterations=10,
+            elapsed=0.001))
+        expected = ITERATION_COST["randfuzz"] * 10 / 5
+        assert run.modeled_seconds_per_generated == pytest.approx(expected)
+
+    def test_empty_suites_stay_zero(self):
+        run = CampaignRun("nope", _fake_result("nope", generated=0,
+                                               accepted=0))
+        assert run.modeled_seconds_per_generated == 0.0
+        assert run.modeled_seconds_per_test == 0.0
+
+
+class TestMutatorReport:
+    def test_renders_top_rows_per_run(self):
+        result = _fake_result("randfuzz")
+        result.mutator_report = [("m.best", 5, 4, 0.8),
+                                 ("m.mid", 3, 1, 1 / 3),
+                                 ("m.worst", 2, 0, 0.0)]
+        text = format_mutator_report([CampaignRun("randfuzz", result)],
+                                     top=2)
+        assert "mutator report — randfuzz (top 2 of 3)" in text
+        assert "m.best" in text and "80.0%" in text
+        assert "m.worst" not in text
+
+    def test_run_without_report_renders_empty_block(self):
+        text = format_mutator_report(
+            [CampaignRun("randfuzz", _fake_result("randfuzz"))])
+        assert "top 0 of 0" in text
+
+
+class TestEmptyTables:
+    def test_format_table4_empty(self):
+        table = format_table4([])
+        assert table.splitlines() == [table]  # header only, no crash
+        assert "algorithm" in table
+
+    def test_format_table_empty(self):
+        table = format_table([])
+        assert "suite" in table
+        assert len(table.splitlines()) == 1

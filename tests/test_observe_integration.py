@@ -1,0 +1,218 @@
+"""Integration tests: telemetry threaded through the real pipeline.
+
+Exercises classfuzz/randfuzz with a live telemetry bundle, the ambient
+JVM phase spans, discrepancy events from the differential harness, the
+registry under the thread-pool executor, and the ``--events`` /
+``--metrics-out`` / ``repro observe`` CLI surface end to end.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.campaign import run_campaign
+from repro.core.difftest import DifferentialHarness
+from repro.core.executor import OutcomeCache, SerialExecutor, ThreadExecutor
+from repro.core.fuzzing import classfuzz, randfuzz
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.jimple.to_classfile import compile_class_bytes
+from repro.observe import RingBufferSink, Telemetry
+from repro.observe.events import (
+    CACHE_HIT,
+    DISCREPANCY_FOUND,
+    EXECUTOR_BATCH,
+    ITERATION,
+    JVM_PHASE,
+    MCMC_TRANSITION,
+    MUTANT_ACCEPTED,
+)
+from repro.observe.summary import check_prometheus
+
+
+@pytest.fixture(scope="module")
+def seeds():
+    return generate_corpus(CorpusConfig(count=15, seed=7))
+
+
+def _telemetry_with_ring():
+    telemetry = Telemetry()
+    ring = RingBufferSink(capacity=100000)
+    telemetry.bus.add_sink(ring)
+    return telemetry, ring
+
+
+class TestFuzzingTelemetry:
+    def test_classfuzz_emits_iteration_and_mcmc_events(self, seeds):
+        telemetry, ring = _telemetry_with_ring()
+        executor = SerialExecutor(cache=OutcomeCache(),
+                                  telemetry=telemetry)
+        with telemetry.activate():
+            result = classfuzz(seeds, iterations=15, seed=2,
+                               executor=executor, telemetry=telemetry)
+        iterations = ring.events(ITERATION)
+        assert len(iterations) == 15
+        assert all(e.fields["algorithm"] == "classfuzz[stbr]"
+                   for e in iterations)
+        accepted = [e for e in iterations if e.fields["accepted"]]
+        assert len(accepted) == len(result.test_classes)
+        assert len(ring.events(MUTANT_ACCEPTED)) == \
+            len(result.test_classes)
+        assert len(ring.events(MCMC_TRANSITION)) == 15
+        # The reference-JVM coverage runs traced their startup phases.
+        phases = {e.fields["phase"] for e in ring.events(JVM_PHASE)}
+        assert "loading" in phases
+        registry = telemetry.registry
+        assert registry.get("repro_iterations_total") \
+            .labels(algorithm="classfuzz[stbr]").value == 15
+
+    def test_randfuzz_without_telemetry_is_unchanged(self, seeds):
+        plain = randfuzz(seeds, iterations=20, seed=1)
+        observed_tel, ring = _telemetry_with_ring()
+        observed = randfuzz(seeds, iterations=20, seed=1,
+                            telemetry=observed_tel)
+        assert [g.label for g in plain.gen_classes] == \
+            [g.label for g in observed.gen_classes]
+        assert len(ring.events(ITERATION)) == 20
+
+    def test_disabled_telemetry_emits_nothing(self, seeds):
+        telemetry = Telemetry()          # registry only; bus disabled
+        sink = RingBufferSink()
+        # Deliberately NOT attached to the bus.
+        randfuzz(seeds, iterations=5, seed=0, telemetry=telemetry)
+        assert len(sink) == 0
+        assert telemetry.registry.get("repro_iterations_total") \
+            .labels(algorithm="randfuzz").value == 5
+
+
+class TestHarnessTelemetry:
+    def test_discrepancy_events(self, seeds):
+        telemetry, ring = _telemetry_with_ring()
+        harness = DifferentialHarness(telemetry=telemetry)
+        suite = [(jclass.name, compile_class_bytes(jclass))
+                 for jclass in seeds]
+        results = harness.run_many(suite)
+        found = [r for r in results if r.is_discrepancy]
+        events = ring.events(DISCREPANCY_FOUND)
+        assert len(events) == len(found)
+        registry = telemetry.registry
+        assert registry.get("repro_difftests_total").value == len(suite)
+        assert registry.get("repro_discrepancies_total").value == \
+            len(found)
+        for event in events:
+            assert len(event.fields["codes"]) == len(harness.jvms)
+
+    def test_executor_batch_and_cache_events(self, seeds):
+        telemetry, ring = _telemetry_with_ring()
+        executor = SerialExecutor(cache=OutcomeCache(),
+                                  telemetry=telemetry)
+        harness = DifferentialHarness(executor=executor)
+        suite = [(jclass.name, compile_class_bytes(jclass))
+                 for jclass in seeds[:4]]
+        harness.run_many(suite)
+        harness.run_many(suite)  # second pass: pure cache hits
+        batches = ring.events(EXECUTOR_BATCH)
+        assert len(batches) == 2
+        assert batches[0].fields["size"] == 4
+        assert len(ring.events(CACHE_HIT)) >= \
+            4 * len(harness.jvms)
+
+    def test_thread_executor_records_concurrently(self, seeds):
+        telemetry, _ = _telemetry_with_ring()
+        executor = ThreadExecutor(jobs=4, cache=OutcomeCache(),
+                                  telemetry=telemetry)
+        harness = DifferentialHarness(executor=executor)
+        suite = [(jclass.name, compile_class_bytes(jclass))
+                 for jclass in seeds]
+        with telemetry.activate():
+            harness.run_many(suite)
+        executor.close()
+        runs = telemetry.registry.get("repro_jvm_runs_total")
+        total = sum(child.value for _, child in runs.children())
+        assert total == len(suite) * len(harness.jvms)
+        # Ambient phase spans fired from the worker threads too.
+        phases = telemetry.registry.get("repro_jvm_phase_seconds")
+        assert sum(child.count for _, child in phases.children()) > 0
+
+
+class TestCampaignTelemetry:
+    def test_campaign_run_with_telemetry(self, seeds):
+        telemetry, ring = _telemetry_with_ring()
+        with telemetry.activate():
+            run_campaign(seeds, budget_seconds=1500.0,
+                         algorithms=("classfuzz[stbr]", "randfuzz"),
+                         evaluate=True, telemetry=telemetry)
+        types = {event.type for event in ring.events()}
+        assert {ITERATION, MCMC_TRANSITION, JVM_PHASE,
+                EXECUTOR_BATCH} <= types
+        spans = telemetry.registry.get("repro_span_seconds")
+        names = {key[0] for key, _ in spans.children()}
+        assert "campaign.fuzz" in names
+        assert "campaign.evaluate" in names
+        problems = check_prometheus(telemetry.render_prometheus())
+        assert problems == []
+
+
+class TestObserveCli:
+    def test_campaign_events_metrics_and_observe(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        code = main(["campaign", "--budget-scale", "0.002",
+                     "--seed-count", "20",
+                     "--algorithms", "classfuzz[stbr]", "randfuzz",
+                     "--mutator-report", "3",
+                     "--events", str(events),
+                     "--metrics-out", str(metrics)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Table 5 (mutator selection)" in output
+        assert "wrote metrics dump" in output
+
+        recorded = {json.loads(line)["type"]
+                    for line in events.read_text().splitlines()}
+        assert {"iteration", "mcmc_transition", "jvm_phase",
+                "executor_batch"} <= recorded
+
+        assert main(["observe", "check", str(metrics)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        assert main(["observe", "summary", str(events)]) == 0
+        summary = capsys.readouterr().out
+        assert "Acceptance rate" in summary
+        assert "JVM phase latency" in summary
+
+        out_csv = tmp_path / "ts.csv"
+        assert main(["observe", "timeseries", str(events),
+                     "--out", str(out_csv)]) == 0
+        capsys.readouterr()
+        assert out_csv.read_text().startswith("algorithm,iteration")
+
+        assert main(["observe", "replay", str(events),
+                     "--type", "mcmc_transition", "--limit", "2"]) == 0
+        replay = capsys.readouterr().out
+        assert "mcmc_transition" in replay
+
+    def test_observe_check_fails_on_missing_family(self, tmp_path, capsys):
+        dump = tmp_path / "partial.prom"
+        dump.write_text("repro_iterations_total 3\n")
+        assert main(["observe", "check", str(dump)]) == 1
+        assert "missing metric family" in capsys.readouterr().err
+
+    def test_observe_check_custom_requirements(self, tmp_path, capsys):
+        dump = tmp_path / "one.prom"
+        dump.write_text("my_metric 1\n")
+        assert main(["observe", "check", str(dump),
+                     "--require", "my_metric"]) == 0
+        capsys.readouterr()
+
+    def test_fuzz_with_events(self, tmp_path, capsys):
+        events = tmp_path / "fuzz.jsonl"
+        code = main(["fuzz", "--algorithm", "randfuzz",
+                     "--iterations", "10", "--seed-count", "15",
+                     "--mutator-report", "2",
+                     "--events", str(events)])
+        assert code == 0
+        capsys.readouterr()
+        types = {json.loads(line)["type"]
+                 for line in events.read_text().splitlines()}
+        assert "iteration" in types
