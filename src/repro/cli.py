@@ -133,6 +133,18 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="stbr")
     fuzz.add_argument("--iterations", type=int, default=500)
     fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--batch", type=int, default=1,
+                      help="speculative batch size: reference coverage "
+                           "runs fan out across the executor workers in "
+                           "rounds of this many mutants, with acceptance "
+                           "replayed deterministically (1 = serial loop)")
+    fuzz.add_argument("--jobs", type=int, default=1,
+                      help="worker count for batched reference runs "
+                           "(1 = serial)")
+    fuzz.add_argument("--backend", choices=("thread", "process"),
+                      default="thread",
+                      help="parallel backend when --jobs > 1 "
+                           "(process gives real CPU parallelism)")
     fuzz.add_argument("--seed-count", type=int, default=200,
                       help="synthetic seed corpus size")
     fuzz.add_argument("--out", type=Path, default=None,
@@ -166,6 +178,9 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=20160613)
     campaign.add_argument("--algorithms", nargs="*",
                           default=list(ALL_ALGORITHMS))
+    campaign.add_argument("--batch", type=int, default=1,
+                          help="speculative batch size for every fuzzing "
+                               "run (1 = serial Algorithm 1 loop)")
     campaign.add_argument("--mutator-report", type=int, default=0,
                           metavar="N", dest="mutator_report",
                           help="print each algorithm's top-N mutators "
@@ -241,23 +256,28 @@ def _cmd_fuzz(args) -> int:
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
                                          seed=args.seed))
     telemetry = _make_telemetry(args)
-    executor = make_executor(jobs=1, telemetry=telemetry)
+    executor = make_executor(jobs=args.jobs, backend=args.backend,
+                             telemetry=telemetry)
     runners = {
         "classfuzz": lambda: classfuzz(seeds, args.iterations,
                                        criterion=args.criterion,
                                        seed=args.seed, executor=executor,
-                                       telemetry=telemetry),
+                                       telemetry=telemetry,
+                                       batch=args.batch),
         "uniquefuzz": lambda: uniquefuzz(seeds, args.iterations,
                                          seed=args.seed,
                                          executor=executor,
-                                         telemetry=telemetry),
+                                         telemetry=telemetry,
+                                         batch=args.batch),
         "greedyfuzz": lambda: greedyfuzz(seeds, args.iterations,
                                          seed=args.seed,
                                          executor=executor,
-                                         telemetry=telemetry),
+                                         telemetry=telemetry,
+                                         batch=args.batch),
         "randfuzz": lambda: randfuzz(seeds, args.iterations,
                                      seed=args.seed, executor=executor,
-                                     telemetry=telemetry),
+                                     telemetry=telemetry,
+                                     batch=args.batch),
     }
     if telemetry is not None:
         with telemetry.activate():
@@ -294,6 +314,7 @@ def _cmd_fuzz(args) -> int:
         manifest_path = save_suite(result, args.out)
         print(f"wrote {len(result.test_classes)} classfiles + traces + "
               f"{manifest_path.name} to {args.out}/")
+    executor.close()
     _finish_telemetry(telemetry, args)
     return 0
 
@@ -365,12 +386,13 @@ def _cmd_campaign(args) -> int:
             runs = run_campaign(seeds, budget,
                                 algorithms=tuple(args.algorithms),
                                 rng_seed=args.seed, evaluate=True,
-                                executor=executor, telemetry=telemetry)
+                                executor=executor, telemetry=telemetry,
+                                batch=args.batch)
     else:
         runs = run_campaign(seeds, budget,
                             algorithms=tuple(args.algorithms),
                             rng_seed=args.seed, evaluate=True,
-                            executor=executor)
+                            executor=executor, batch=args.batch)
     print(f"=== Table 4 (budget = {budget:.0f} modeled seconds) ===")
     print(format_table4(runs))
     print()

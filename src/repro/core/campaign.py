@@ -168,7 +168,7 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                  repetitions: int = 1,
                  executor: Optional[Executor] = None,
                  reference: Optional[Jvm] = None,
-                 telemetry=None) -> List[CampaignRun]:
+                 telemetry=None, batch: int = 1) -> List[CampaignRun]:
     """Run the Table 4/6 experiment at a scaled budget.
 
     Args:
@@ -194,6 +194,9 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
             and the differential harness; per-algorithm fuzz/evaluate
             phases run inside ``campaign.fuzz``/``campaign.evaluate``
             spans.
+        batch: speculative batch size handed to every fuzzing run
+            (``1`` = the serial Algorithm 1 loop; larger batches fan the
+            reference coverage runs out across the executor's workers).
     """
     executor = executor if executor is not None \
         else SerialExecutor(cache=OutcomeCache(), telemetry=telemetry)
@@ -223,7 +226,8 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                                          rng_seed + repetition,
                                          executor=executor,
                                          reference=reference,
-                                         telemetry=telemetry)
+                                         telemetry=telemetry,
+                                         batch=batch)
                 if best is None or len(result.test_classes) > len(
                         best.test_classes):
                     best = result

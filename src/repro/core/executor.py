@@ -67,6 +67,8 @@ class ExecutorStats:
         trace_misses: reference runs that had to execute.
         batches: ``run_differential`` calls.
         batch_seconds: wall-clock spent inside ``run_differential``.
+        ref_batches: ``run_reference_many`` calls.
+        ref_batch_seconds: wall-clock spent inside ``run_reference_many``.
         vendor_runs: vendor name → actual executions.
         vendor_seconds: vendor name → wall-clock spent executing.
     """
@@ -78,6 +80,8 @@ class ExecutorStats:
     trace_misses: int = 0
     batches: int = 0
     batch_seconds: float = 0.0
+    ref_batches: int = 0
+    ref_batch_seconds: float = 0.0
     vendor_runs: Dict[str, int] = field(default_factory=dict)
     vendor_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -109,6 +113,9 @@ class ExecutorStats:
             trace_misses=self.trace_misses - earlier.trace_misses,
             batches=self.batches - earlier.batches,
             batch_seconds=self.batch_seconds - earlier.batch_seconds,
+            ref_batches=self.ref_batches - earlier.ref_batches,
+            ref_batch_seconds=self.ref_batch_seconds
+            - earlier.ref_batch_seconds,
         )
         for vendor, runs in self.vendor_runs.items():
             diff = runs - earlier.vendor_runs.get(vendor, 0)
@@ -129,6 +136,8 @@ class ExecutorStats:
         self.trace_misses += other.trace_misses
         self.batches += other.batches
         self.batch_seconds += other.batch_seconds
+        self.ref_batches += other.ref_batches
+        self.ref_batch_seconds += other.ref_batch_seconds
         for vendor, runs in other.vendor_runs.items():
             self.vendor_runs[vendor] = self.vendor_runs.get(vendor, 0) + runs
         for vendor, seconds in other.vendor_seconds.items():
@@ -148,6 +157,9 @@ class ExecutorStats:
             f"tracefile cache: {self.trace_hits} hits / "
             f"{self.trace_misses} misses",
         ]
+        if self.ref_batches:
+            lines.append(f"reference batches: {self.ref_batches} "
+                         f"({self.ref_batch_seconds:.2f}s)")
         if self.vendor_runs:
             width = max(len(v) for v in self.vendor_runs)
             lines.append(f"{'vendor'.ljust(width)}  {'runs':>8}  "
@@ -230,7 +242,8 @@ class _ExecutorInstruments:
     """
 
     __slots__ = ("telemetry", "bus", "_runs", "_run_seconds", "_cache",
-                 "_batches", "_batch_seconds", "_reference_seconds")
+                 "_batches", "_batch_seconds", "_ref_batches",
+                 "_ref_batch_seconds", "_reference_seconds")
 
     def __init__(self, telemetry, kind: str):
         self.telemetry = telemetry
@@ -247,14 +260,18 @@ class _ExecutorInstruments:
             "repro_cache_lookups_total",
             "Content-addressed cache lookups by store and result.",
             ("store", "result"))
-        self._batches = registry.counter(
+        batches = registry.counter(
             "repro_executor_batches_total",
-            "run_differential batches executed.", ("engine",)) \
-            .labels(engine=kind)
-        self._batch_seconds = registry.histogram(
+            "run_differential / run_reference_many batches executed.",
+            ("engine",))
+        batch_seconds = registry.histogram(
             "repro_executor_batch_seconds",
-            "Wall-clock latency of differential batches.", ("engine",)) \
-            .labels(engine=kind)
+            "Wall-clock latency of executor batches.", ("engine",))
+        self._batches = batches.labels(engine=kind)
+        self._batch_seconds = batch_seconds.labels(engine=kind)
+        self._ref_batches = batches.labels(engine=f"{kind}.reference")
+        self._ref_batch_seconds = \
+            batch_seconds.labels(engine=f"{kind}.reference")
         self._reference_seconds = registry.histogram(
             "repro_reference_run_seconds",
             "Latency of coverage-collected reference runs.")
@@ -278,6 +295,14 @@ class _ExecutorInstruments:
         if self.bus.enabled:
             self.bus.emit(EXECUTOR_BATCH, engine=kind, size=size,
                           seconds=seconds)
+
+    def reference_batch(self, kind: str, size: int,
+                        seconds: float) -> None:
+        self._ref_batches.inc()
+        self._ref_batch_seconds.observe(seconds)
+        if self.bus.enabled:
+            self.bus.emit(EXECUTOR_BATCH, engine=f"{kind}.reference",
+                          size=size, seconds=seconds)
 
 
 # ---------------------------------------------------------------------------
@@ -358,20 +383,113 @@ class Executor:
             if self._observe is not None:
                 self._observe.cache_lookup("trace", False, jvm.name)
         with self._reference_lock:
-            collector = CoverageCollector()
-            started = time.perf_counter()
-            with collector:
-                outcome = jvm.run(data)
-            elapsed = time.perf_counter() - started
+            outcome, trace, elapsed = self._reference_execute(jvm, data)
         with self._stats_lock:
             self.stats.record_run(jvm.name, elapsed)
         if self._observe is not None:
             self._observe.record_run(jvm.name, elapsed)
             self._observe.record_reference(elapsed)
-        trace = collector.tracefile()
         if self.cache is not None:
             self.cache.put_trace(digest, jvm.name, outcome, trace)
         return outcome, trace
+
+    @staticmethod
+    def _reference_execute(jvm: Jvm, data: bytes
+                           ) -> Tuple[Outcome, Tracefile, float]:
+        """One instrumented run: collector scope + timing, no bookkeeping.
+
+        Static (no engine state) so worker threads can call it
+        concurrently — coverage collectors are thread-local, so parallel
+        instrumented runs never mix probes.
+        """
+        collector = CoverageCollector()
+        started = time.perf_counter()
+        with collector:
+            outcome = jvm.run(data)
+        elapsed = time.perf_counter() - started
+        return outcome, collector.tracefile(), elapsed
+
+    def run_reference_many(self, jvm: Jvm, batch: Sequence[bytes]
+                           ) -> List[Tuple[Outcome, Tracefile]]:
+        """Run a batch of classfiles on the reference JVM, in input order.
+
+        The bulk counterpart of :meth:`run_reference` for the speculative
+        fuzzing pipeline: every item is first short-circuited through the
+        content-addressed tracefile cache, and only the misses are handed
+        to the backend's :meth:`_run_reference_batch` fan-out (worker
+        threads for the thread engine, a dedicated reference worker pool
+        for the process engine, an in-order loop for the serial one).
+
+        Results are deterministic and bit-identical across engines for a
+        fixed input batch — ``Jvm.run`` is a pure function of the bytes,
+        and results are stitched back in submit order.
+        """
+        items = list(batch)
+        started = time.perf_counter()
+        results: List[Optional[Tuple[Outcome, Tracefile]]] = \
+            [None] * len(items)
+        misses: List[Tuple[int, str, bytes]] = []
+        if self.cache is not None:
+            hits = 0
+            for position, data in enumerate(items):
+                digest = classfile_digest(data)
+                cached = self.cache.get_trace(digest, jvm.name)
+                if cached is not None:
+                    results[position] = cached
+                    hits += 1
+                else:
+                    misses.append((position, digest, data))
+            with self._stats_lock:
+                self.stats.trace_hits += hits
+                self.stats.trace_misses += len(misses)
+            if self._observe is not None:
+                for _ in range(hits):
+                    self._observe.cache_lookup("trace", True, jvm.name)
+                for _ in misses:
+                    self._observe.cache_lookup("trace", False, jvm.name)
+        else:
+            misses = [(position, "", data)
+                      for position, data in enumerate(items)]
+        if misses:
+            executed = self._run_reference_batch(
+                jvm, [data for _, _, data in misses])
+            for (position, digest, _), (outcome, trace, seconds) in zip(
+                    misses, executed):
+                with self._stats_lock:
+                    self.stats.record_run(jvm.name, seconds)
+                if self._observe is not None:
+                    self._observe.record_run(jvm.name, seconds)
+                    self._observe.record_reference(seconds)
+                if self.cache is not None:
+                    self.cache.put_trace(digest, jvm.name, outcome, trace)
+                results[position] = (outcome, trace)
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self.stats.ref_batches += 1
+            self.stats.ref_batch_seconds += elapsed
+        if self._observe is not None:
+            self._observe.reference_batch(self.kind, len(items), elapsed)
+        return results
+
+    def _run_reference_batch(self, jvm: Jvm, batch: List[bytes]
+                             ) -> List[Tuple[Outcome, Tracefile, float]]:
+        """Execute the cache-missing items; in-order serial fallback."""
+        with self._reference_lock:
+            return [self._reference_execute(jvm, data) for data in batch]
+
+    # -- generic CPU-bound fan-out ------------------------------------------------
+
+    def map_many(self, fn, items: Sequence) -> List:
+        """Apply a pure function to every item, returning input order.
+
+        The generic fan-out hook for the speculative pipeline's
+        CPU-bound non-JVM stages (mutant compile + classfile dump).
+        ``fn`` must be a module-level, side-effect-free function of one
+        argument, with both argument and result picklable — backends are
+        free to run it on worker threads or processes.  The serial
+        fallback is an in-order loop.
+        """
+        return [fn(item) for item in items]
 
     # -- batched differential runs ----------------------------------------------
 
@@ -466,6 +584,19 @@ class ThreadExecutor(Executor):
                    for label, data in batch]
         return [task.result() for task in pending]
 
+    def _run_reference_batch(self, jvm, batch):
+        # Instrumented runs are safe to overlap: coverage collectors are
+        # thread-local, so each worker records only its own run's probes.
+        pool = self._ensure_pool()
+        pending = [pool.submit(self._reference_execute, jvm, data)
+                   for data in batch]
+        return [task.result() for task in pending]
+
+    def map_many(self, fn, items):
+        pool = self._ensure_pool()
+        pending = [pool.submit(fn, item) for item in items]
+        return [task.result() for task in pending]
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -476,6 +607,9 @@ class ThreadExecutor(Executor):
 
 #: Per-worker JVM instances, set once by the pool initializer.
 _WORKER_JVMS: List[Jvm] = []
+
+#: Per-worker reference JVM, set once by the reference-pool initializer.
+_WORKER_REF_JVM: Optional[Jvm] = None
 
 
 def _process_worker_init(blob: bytes) -> None:
@@ -492,6 +626,22 @@ def _process_worker_run(data: bytes
         outcomes.append(jvm.run(data))
         timings.append(time.perf_counter() - started)
     return outcomes, timings
+
+
+def _process_reference_init(blob: bytes) -> None:
+    global _WORKER_REF_JVM
+    _WORKER_REF_JVM = pickle.loads(blob)
+
+
+def _process_reference_run(data: bytes
+                           ) -> Tuple[Outcome, Tracefile, float]:
+    """One instrumented reference run inside a worker process.
+
+    The returned :class:`Tracefile` drops its interned-id caches on
+    pickling, so ids never leak between the worker's and the parent's
+    process-local interners.
+    """
+    return Executor._reference_execute(_WORKER_REF_JVM, data)
 
 
 class ProcessExecutor(Executor):
@@ -511,6 +661,9 @@ class ProcessExecutor(Executor):
                         else (os.cpu_count() or 1))
         self._pool: Optional[futures.ProcessPoolExecutor] = None
         self._pool_key: Optional[bytes] = None
+        self._ref_pool: Optional[futures.ProcessPoolExecutor] = None
+        self._ref_pool_key: Optional[bytes] = None
+        self._map_pool: Optional[futures.ProcessPoolExecutor] = None
 
     def _ensure_pool(self, jvms: List[Jvm]) -> futures.ProcessPoolExecutor:
         blob = pickle.dumps(jvms)
@@ -570,11 +723,45 @@ class ProcessExecutor(Executor):
                                               label=label))
         return results
 
+    def _ensure_ref_pool(self, jvm: Jvm) -> futures.ProcessPoolExecutor:
+        blob = pickle.dumps(jvm)
+        if self._ref_pool is None or self._ref_pool_key != blob:
+            if self._ref_pool is not None:
+                self._ref_pool.shutdown(wait=True)
+            self._ref_pool = futures.ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_process_reference_init, initargs=(blob,))
+            self._ref_pool_key = blob
+        return self._ref_pool
+
+    def _run_reference_batch(self, jvm, batch):
+        pool = self._ensure_ref_pool(jvm)
+        pending = [pool.submit(_process_reference_run, data)
+                   for data in batch]
+        return [task.result() for task in pending]
+
+    def map_many(self, fn, items):
+        # A dedicated initializer-free pool: the differential and
+        # reference pools are keyed on pickled JVM configurations, and a
+        # generic fan-out must not force either into existence.
+        if self._map_pool is None:
+            self._map_pool = futures.ProcessPoolExecutor(
+                max_workers=self.jobs)
+        pending = [self._map_pool.submit(fn, item) for item in items]
+        return [task.result() for task in pending]
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_key = None
+        if self._ref_pool is not None:
+            self._ref_pool.shutdown(wait=True)
+            self._ref_pool = None
+            self._ref_pool_key = None
+        if self._map_pool is not None:
+            self._map_pool.shutdown(wait=True)
+            self._map_pool = None
 
 
 # ---------------------------------------------------------------------------

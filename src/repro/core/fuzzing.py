@@ -16,10 +16,29 @@ algorithm         mutator selection     acceptance
 Accepted representative classfiles are fed back into the seed pool
 (Algorithm 1, lines 5 and 14).
 
-Reference-JVM coverage runs route through a pluggable
-:class:`~repro.core.executor.Executor`, whose content-addressed tracefile
-cache makes re-running identical bytes (seed priming across algorithms,
-repeated campaign phases) a lookup instead of an execution.
+Since this module was restructured around the **batched speculative
+pipeline**, every algorithm runs in rounds of ``batch`` iterations:
+
+1. *speculate* — draw ``batch`` mutator selections from the selector and
+   apply them against the round's (frozen) seed pool (the only
+   RNG-consuming stage, so it stays sequential);
+2. *fan out* — compile and dump the round's mutant drafts through
+   :meth:`~repro.core.executor.Executor.map_many`, then run the
+   resulting classfiles on the reference JVM in one
+   :meth:`~repro.core.executor.Executor.run_reference_many` bulk call,
+   which short-circuits per item through the content-addressed tracefile
+   cache and parallelises the misses on thread/process backends;
+3. *replay acceptance* — uniqueness checks, seed-pool feedback, MCMC
+   ``record_success`` and telemetry fire sequentially in batch-index
+   order.
+
+The replay step makes results reproducible for a fixed ``(seed, batch)``
+on every backend, and ``batch=1`` consumes the RNG in exactly the
+original serial order, so its output is bit-identical to the historical
+loop.  At ``batch>1`` the selector and seed pool are *boundedly stale*:
+an accepted mutant only influences selections and mutations from the
+next round on (the throughput/feedback-latency trade the pipeline makes
+deliberately).
 """
 
 from __future__ import annotations
@@ -42,6 +61,7 @@ from repro.jimple.to_classfile import JimpleCompileError, compile_class
 from repro.jvm.machine import Jvm
 from repro.jvm.vendors import reference_jvm
 from repro.observe.events import (
+    BATCH_ROUND,
     ITERATION,
     MUTANT_ACCEPTED,
     MUTANT_DISCARDED,
@@ -86,6 +106,8 @@ class FuzzResult:
             seeds excluded per Algorithm 1 line 19).
         mutator_report: ``(name, selected, successes, rate)`` rows.
         elapsed_seconds: wall-clock duration of the run.
+        batch: the speculative batch size the run used (1 = the serial
+            Algorithm 1 loop).
         discards: failure category → iterations discarded for that reason
             (``mutator_error``/``inapplicable``/``compile_error``/
             ``dump_error``), so swallowed iterations stay visible:
@@ -100,6 +122,7 @@ class FuzzResult:
     mutator_report: List[Tuple[str, int, int, float]] = field(
         default_factory=list)
     elapsed_seconds: float = 0.0
+    batch: int = 1
     discards: Dict[str, int] = field(default_factory=dict)
 
     @property
@@ -128,6 +151,13 @@ class FuzzResult:
             return 0.0
         return self.elapsed_seconds / len(self.test_classes)
 
+    @property
+    def mutants_per_second(self) -> float:
+        """Generated-classfile throughput (the pipeline's headline rate)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return len(self.gen_classes) / self.elapsed_seconds
+
 
 def supplement_main(jclass: JClass) -> None:
     """Add the §2.2.1 supplemented ``main`` when the mutant lacks one.
@@ -141,6 +171,28 @@ def supplement_main(jclass: JClass) -> None:
     add_printing_main(jclass, f"{jclass.name} mutant executed")
 
 
+def _dump_mutant(mutant: JClass
+                 ) -> Tuple[Optional[str], Optional[bytes]]:
+    """Compile and serialize one mutant: ``(None, bytes)`` on success,
+    ``(discard category, None)`` on failure.
+
+    A pure module-level function of the draft alone, so the speculative
+    pipeline can fan it out through ``Executor.map_many`` (including to
+    worker processes).  Only the dump failures Soot's writer exhibits —
+    :class:`JimpleCompileError` from the compiler and ``struct.error``
+    overflows from the binary writer — are swallowed; anything else is a
+    genuine compiler/writer bug and propagates.
+    """
+    try:
+        compiled = compile_class(mutant)
+    except JimpleCompileError:
+        return DISCARD_COMPILE_ERROR, None
+    try:
+        return None, write_class(compiled)
+    except struct.error:
+        return DISCARD_DUMP_ERROR, None
+
+
 class _FuzzObserver:
     """Per-run telemetry instruments; a no-op shell when disabled.
 
@@ -151,7 +203,8 @@ class _FuzzObserver:
 
     __slots__ = ("active", "telemetry", "algorithm", "_iterations",
                  "_generated", "_accepted", "_discarded",
-                 "_iteration_seconds", "_pool_size", "_suite_size")
+                 "_iteration_seconds", "_pool_size", "_suite_size",
+                 "_rounds", "_round_seconds")
 
     def __init__(self, telemetry, algorithm: str):
         self.telemetry = telemetry
@@ -186,6 +239,14 @@ class _FuzzObserver:
         self._suite_size = registry.gauge(
             "repro_test_suite_size",
             "Accepted representative suite size (TestClasses).",
+            ("algorithm",)).labels(algorithm=algorithm)
+        self._rounds = registry.counter(
+            "repro_fuzz_rounds_total",
+            "Speculative batch rounds executed.", ("algorithm",)) \
+            .labels(algorithm=algorithm)
+        self._round_seconds = registry.histogram(
+            "repro_fuzz_round_seconds",
+            "Wall-clock latency of one speculative batch round.",
             ("algorithm",)).labels(algorithm=algorithm)
 
     def discarded(self, category: str, mutator: Optional[str]) -> None:
@@ -227,13 +288,25 @@ class _FuzzObserver:
                 accepted=accepted, tests=tests, pool=pool,
                 seconds=seconds)
 
+    def batch_round(self, round_index: int, size: int, generated: int,
+                    accepted: int, seconds: float) -> None:
+        if not self.active:
+            return
+        self._rounds.inc()
+        self._round_seconds.observe(seconds)
+        if self.telemetry.bus.enabled:
+            self.telemetry.bus.emit(
+                BATCH_ROUND, algorithm=self.algorithm, round=round_index,
+                size=size, generated=generated, accepted=accepted,
+                seconds=seconds)
+
 
 #: The shared disabled observer (``telemetry=None`` path).
 _NULL_OBSERVER = _FuzzObserver(None, "")
 
 
 class _FuzzEngine:
-    """Shared mutation loop for all four algorithms."""
+    """Shared mutation machinery for all four algorithms."""
 
     def __init__(self, seeds: Sequence[JClass], rng: random.Random,
                  mutators: Sequence[Mutator],
@@ -257,16 +330,13 @@ class _FuzzEngine:
         self.discards[category] = self.discards.get(category, 0) + 1
         self.observer.discarded(category, mutator)
 
-    def mutate_once(self, mutator: Mutator) -> Optional[GeneratedClass]:
-        """One iteration body: mutate a random pool member and dump it.
+    def mutate_draft(self, mutator: Mutator) -> Optional[JClass]:
+        """The RNG-consuming half of one iteration: clone and rewrite.
 
-        Returns ``None`` when the mutation was inapplicable or the mutant
-        could not be dumped to a classfile; each discarded iteration is
-        counted under its failure category in :attr:`discards`.  Only the
-        dump failures Soot's writer exhibits — :class:`JimpleCompileError`
-        from the compiler and ``struct.error`` overflows from the binary
-        writer — are swallowed; anything else is a genuine compiler/writer
-        bug and propagates.
+        Returns the mutated (not yet compiled) class, or ``None`` when
+        the rewrite crashed or reported itself inapplicable — both
+        discard categories are recorded here, sequentially, so their
+        ordering is deterministic.
         """
         seed = self.rng.choice(self.pool)
         mutant = seed.clone()
@@ -283,17 +353,50 @@ class _FuzzEngine:
             self._discard(DISCARD_INAPPLICABLE, mutator.name)
             return None
         supplement_main(mutant)
-        try:
-            compiled = compile_class(mutant)
-        except JimpleCompileError:
-            self._discard(DISCARD_COMPILE_ERROR, mutator.name)
+        return mutant
+
+    def dump_drafts(self, drafts: List[Tuple[Mutator, Optional[JClass]]]
+                    ) -> List[Optional[GeneratedClass]]:
+        """Compile and dump one round of drafts, aligned with the input.
+
+        The pure (RNG-free) half of the iterations: live drafts fan out
+        through the executor's :meth:`~repro.core.executor.Executor.map_many`
+        — worker processes on the process backend — and compile/dump
+        failures are recorded in batch-index order when the results are
+        stitched back, keeping discard bookkeeping deterministic.
+        """
+        pending = [(position, mutator, draft)
+                   for position, (mutator, draft) in enumerate(drafts)
+                   if draft is not None]
+        results: List[Optional[GeneratedClass]] = [None] * len(drafts)
+        if not pending:
+            return results
+        dumped = self.executor.map_many(
+            _dump_mutant, [draft for _, _, draft in pending])
+        for (position, mutator, draft), (category, data) in zip(pending,
+                                                                dumped):
+            if data is None:
+                self._discard(category, mutator.name)
+            else:
+                results[position] = GeneratedClass(draft.name, draft,
+                                                   data, mutator.name)
+        return results
+
+    def mutate_once(self, mutator: Mutator) -> Optional[GeneratedClass]:
+        """One full iteration body: mutate a pool member and dump it.
+
+        Returns ``None`` when the mutation was inapplicable or the mutant
+        could not be dumped to a classfile; each discarded iteration is
+        counted under its failure category in :attr:`discards`.
+        """
+        draft = self.mutate_draft(mutator)
+        if draft is None:
             return None
-        try:
-            data = write_class(compiled)
-        except struct.error:
-            self._discard(DISCARD_DUMP_ERROR, mutator.name)
+        category, data = _dump_mutant(draft)
+        if data is None:
+            self._discard(category, mutator.name)
             return None
-        return GeneratedClass(mutant.name, mutant, data, mutator.name)
+        return GeneratedClass(draft.name, draft, data, mutator.name)
 
     def run_on_reference(self, generated: GeneratedClass) -> Tracefile:
         """Execute on the reference JVM, collecting coverage."""
@@ -301,6 +404,16 @@ class _FuzzEngine:
                                                generated.data)
         generated.tracefile = trace
         return trace
+
+    def collect_coverage(self, batch: List[GeneratedClass]) -> None:
+        """Fan the batch's reference-JVM coverage runs out in one bulk
+        call, attaching each tracefile to its mutant (input order)."""
+        if not batch:
+            return
+        results = self.executor.run_reference_many(
+            self.reference, [generated.data for generated in batch])
+        for generated, (_, trace) in zip(batch, results):
+            generated.tracefile = trace
 
     def prime_pool(self):
         """Yield ``(placeholder, trace)`` for each compilable pool seed.
@@ -318,6 +431,152 @@ class _FuzzEngine:
             yield placeholder, self.run_on_reference(placeholder)
 
 
+# ---------------------------------------------------------------------------
+# Acceptance policies (the per-algorithm accept step, replayed in order)
+# ---------------------------------------------------------------------------
+
+class _AcceptancePolicy:
+    """Interface: the sequential accept decision of one algorithm.
+
+    ``consider`` is only ever called during the deterministic replay
+    phase, in batch-index order, so policies may keep mutable state
+    without any synchronisation.
+    """
+
+    #: Whether mutants need a reference coverage run before replay.
+    needs_coverage = True
+
+    def prime(self, trace: Tracefile) -> None:
+        """Absorb one seed-corpus trace (Algorithm 1 line 5)."""
+        raise NotImplementedError
+
+    def consider(self, generated: GeneratedClass) -> bool:
+        """Whether ``generated`` joins TestClasses; updates state."""
+        raise NotImplementedError
+
+
+class _UniquenessAcceptance(_AcceptancePolicy):
+    """classfuzz/uniquefuzz: coverage-uniqueness under a criterion."""
+
+    def __init__(self, criterion) -> None:
+        self.criterion = criterion
+
+    def prime(self, trace: Tracefile) -> None:
+        self.criterion.accept(trace)
+
+    def consider(self, generated: GeneratedClass) -> bool:
+        return self.criterion.check_and_accept(generated.tracefile)
+
+
+class _GreedyAcceptance(_AcceptancePolicy):
+    """greedyfuzz: accept only mutants growing accumulated coverage.
+
+    Operates on interned-id sets, so the per-mutant subset checks are
+    integer set operations.
+    """
+
+    def __init__(self) -> None:
+        self.covered_statements: Set[int] = set()
+        self.covered_branches: Set[int] = set()
+
+    def prime(self, trace: Tracefile) -> None:
+        self.covered_statements |= trace.stmt_ids
+        self.covered_branches |= trace.br_ids
+
+    def consider(self, generated: GeneratedClass) -> bool:
+        trace = generated.tracefile
+        if trace.stmt_ids <= self.covered_statements and \
+                trace.br_ids <= self.covered_branches:
+            return False
+        self.covered_statements |= trace.stmt_ids
+        self.covered_branches |= trace.br_ids
+        return True
+
+
+class _AcceptAllAcceptance(_AcceptancePolicy):
+    """randfuzz: every dumped mutant is a test; no coverage runs."""
+
+    needs_coverage = False
+
+    def prime(self, trace: Tracefile) -> None:  # pragma: no cover
+        pass
+
+    def consider(self, generated: GeneratedClass) -> bool:
+        return True
+
+
+# ---------------------------------------------------------------------------
+# The batched speculative driver
+# ---------------------------------------------------------------------------
+
+def _run_pipeline(result: FuzzResult, engine: _FuzzEngine, selector,
+                  policy: _AcceptancePolicy, observer: _FuzzObserver,
+                  iterations: int, batch: int,
+                  seed_feedback: bool = True) -> FuzzResult:
+    """Run ``iterations`` through the speculate → fan-out → replay loop.
+
+    Determinism contract: for a fixed ``(seeds, rng seed, batch)`` the
+    result is identical on every executor backend, because the RNG is
+    only consumed in the speculate and replay phases (both sequential)
+    and the fan-out preserves input order.  At ``batch=1`` the RNG
+    consumption order is exactly the historical serial loop's:
+    select → mutate → run → accept, one iteration at a time.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    if policy.needs_coverage:
+        for _, trace in engine.prime_pool():
+            policy.prime(trace)
+    started = time.perf_counter()
+    index = 0
+    round_index = 0
+    while index < iterations:
+        size = min(batch, iterations - index)
+        round_started = time.perf_counter()
+        # Speculate: the whole round selects and mutates against the
+        # pool/ranking as of the previous round's replay.  Only this
+        # stage consumes the RNG, so it stays sequential.
+        mutators = selector.next_mutators(size)
+        drafts = [(mutator, engine.mutate_draft(mutator))
+                  for mutator in mutators]
+        # Fan out the pure compile/dump stage, then the reference
+        # coverage runs (bulk, cache-aware).
+        items = list(zip(mutators, engine.dump_drafts(drafts)))
+        if policy.needs_coverage:
+            engine.collect_coverage(
+                [generated for _, generated in items
+                 if generated is not None])
+        share = (time.perf_counter() - round_started) / size
+        # Replay acceptance sequentially in batch-index order.
+        round_generated = round_accepted = 0
+        for offset, (mutator, generated) in enumerate(items):
+            accepted = False
+            if generated is not None:
+                round_generated += 1
+                result.gen_classes.append(generated)
+                if policy.consider(generated):
+                    accepted = True
+                    round_accepted += 1
+                    result.test_classes.append(generated)
+                    if seed_feedback:
+                        engine.pool.append(generated.jclass)
+                    selector.record_success(mutator)
+                    observer.accepted(generated,
+                                      len(result.test_classes))
+            observer.iteration(
+                index + offset, mutator, generated, accepted,
+                len(result.test_classes), len(engine.pool), share)
+        observer.batch_round(round_index, size, round_generated,
+                             round_accepted,
+                             time.perf_counter() - round_started)
+        index += size
+        round_index += 1
+    result.elapsed_seconds = time.perf_counter() - started
+    result.mutator_report = selector.report()
+    result.discards = dict(engine.discards)
+    return result
+
+
 def classfuzz(seeds: Sequence[JClass], iterations: int,
               criterion: str = "stbr", seed: int = 0,
               p: float = DEFAULT_P,
@@ -325,7 +584,7 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
               reference: Optional[Jvm] = None,
               seed_feedback: bool = True,
               executor: Optional[Executor] = None,
-              telemetry=None) -> FuzzResult:
+              telemetry=None, batch: int = 1) -> FuzzResult:
     """Algorithm 1: coverage-directed generation with MCMC mutator selection.
 
     Args:
@@ -345,7 +604,11 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
         telemetry: optional :class:`~repro.observe.Telemetry`; records
             per-iteration metrics and emits ``iteration`` /
             ``mutant_accepted`` / ``mutant_discarded`` /
-            ``mcmc_transition`` events.
+            ``mcmc_transition`` / ``batch_round`` events.
+        batch: speculative batch size (1 = the exact serial Algorithm 1
+            loop; larger batches amortise reference runs across the
+            executor's workers at the cost of intra-round staleness of
+            the seed pool and MCMC chain).
     """
     rng = random.Random(seed)
     observer = _FuzzObserver(telemetry, f"classfuzz[{criterion}]")
@@ -353,127 +616,54 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
                          observer)
     selector = McmcMutatorSelector(mutators, p=p, rng=rng,
                                    telemetry=telemetry)
-    uniqueness = make_criterion(criterion, telemetry=telemetry)
-    for _, trace in engine.prime_pool():
-        uniqueness.accept(trace)
-    result = FuzzResult("classfuzz", criterion, iterations)
-    started = time.perf_counter()
-    for index in range(iterations):
-        iter_started = time.perf_counter() if observer.active else 0.0
-        mutator = selector.next_mutator()
-        generated = engine.mutate_once(mutator)
-        accepted = False
-        if generated is not None:
-            result.gen_classes.append(generated)
-            trace = engine.run_on_reference(generated)
-            if uniqueness.check_and_accept(trace):
-                accepted = True
-                result.test_classes.append(generated)
-                if seed_feedback:
-                    engine.pool.append(generated.jclass)
-                selector.record_success(mutator)
-                observer.accepted(generated, len(result.test_classes))
-        observer.iteration(
-            index, mutator, generated, accepted,
-            len(result.test_classes), len(engine.pool),
-            time.perf_counter() - iter_started if observer.active else 0.0)
-    result.elapsed_seconds = time.perf_counter() - started
-    result.mutator_report = selector.report()
-    result.discards = dict(engine.discards)
-    return result
+    result = FuzzResult("classfuzz", criterion, iterations, batch=batch)
+    return _run_pipeline(
+        result, engine, selector,
+        _UniquenessAcceptance(make_criterion(criterion,
+                                             telemetry=telemetry)),
+        observer, iterations, batch, seed_feedback=seed_feedback)
 
 
 def uniquefuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
                mutators: Sequence[Mutator] = MUTATORS,
                reference: Optional[Jvm] = None,
                executor: Optional[Executor] = None,
-               telemetry=None) -> FuzzResult:
+               telemetry=None, batch: int = 1) -> FuzzResult:
     """classfuzz minus MCMC: uniform mutator selection, [stbr] uniqueness."""
     rng = random.Random(seed)
     observer = _FuzzObserver(telemetry, "uniquefuzz")
     engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
                          observer)
     selector = UniformMutatorSelector(mutators, rng=rng)
-    uniqueness = make_criterion("stbr", telemetry=telemetry)
-    for _, trace in engine.prime_pool():
-        uniqueness.accept(trace)
-    result = FuzzResult("uniquefuzz", "stbr", iterations)
-    started = time.perf_counter()
-    for index in range(iterations):
-        iter_started = time.perf_counter() if observer.active else 0.0
-        mutator = selector.next_mutator()
-        generated = engine.mutate_once(mutator)
-        accepted = False
-        if generated is not None:
-            result.gen_classes.append(generated)
-            trace = engine.run_on_reference(generated)
-            if uniqueness.check_and_accept(trace):
-                accepted = True
-                result.test_classes.append(generated)
-                engine.pool.append(generated.jclass)
-                selector.record_success(mutator)
-                observer.accepted(generated, len(result.test_classes))
-        observer.iteration(
-            index, mutator, generated, accepted,
-            len(result.test_classes), len(engine.pool),
-            time.perf_counter() - iter_started if observer.active else 0.0)
-    result.elapsed_seconds = time.perf_counter() - started
-    result.mutator_report = selector.report()
-    result.discards = dict(engine.discards)
-    return result
+    result = FuzzResult("uniquefuzz", "stbr", iterations, batch=batch)
+    return _run_pipeline(
+        result, engine, selector,
+        _UniquenessAcceptance(make_criterion("stbr",
+                                             telemetry=telemetry)),
+        observer, iterations, batch)
 
 
 def greedyfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
                mutators: Sequence[Mutator] = MUTATORS,
                reference: Optional[Jvm] = None,
                executor: Optional[Executor] = None,
-               telemetry=None) -> FuzzResult:
+               telemetry=None, batch: int = 1) -> FuzzResult:
     """Greedy baseline: accept only mutants growing accumulated coverage."""
     rng = random.Random(seed)
     observer = _FuzzObserver(telemetry, "greedyfuzz")
     engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
                          observer)
     selector = UniformMutatorSelector(mutators, rng=rng)
-    covered_statements: Set[str] = set()
-    covered_branches: Set[Tuple[str, bool]] = set()
-    for _, trace in engine.prime_pool():
-        covered_statements |= trace.stmt_set
-        covered_branches |= trace.br_set
-    result = FuzzResult("greedyfuzz", None, iterations)
-    started = time.perf_counter()
-    for index in range(iterations):
-        iter_started = time.perf_counter() if observer.active else 0.0
-        mutator = selector.next_mutator()
-        generated = engine.mutate_once(mutator)
-        accepted = False
-        if generated is not None:
-            result.gen_classes.append(generated)
-            trace = engine.run_on_reference(generated)
-            new_statements = trace.stmt_set - covered_statements
-            new_branches = trace.br_set - covered_branches
-            if new_statements or new_branches:
-                accepted = True
-                covered_statements |= trace.stmt_set
-                covered_branches |= trace.br_set
-                result.test_classes.append(generated)
-                engine.pool.append(generated.jclass)
-                selector.record_success(mutator)
-                observer.accepted(generated, len(result.test_classes))
-        observer.iteration(
-            index, mutator, generated, accepted,
-            len(result.test_classes), len(engine.pool),
-            time.perf_counter() - iter_started if observer.active else 0.0)
-    result.elapsed_seconds = time.perf_counter() - started
-    result.mutator_report = selector.report()
-    result.discards = dict(engine.discards)
-    return result
+    result = FuzzResult("greedyfuzz", None, iterations, batch=batch)
+    return _run_pipeline(result, engine, selector, _GreedyAcceptance(),
+                         observer, iterations, batch)
 
 
 def randfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
              mutators: Sequence[Mutator] = MUTATORS,
              reference: Optional[Jvm] = None,
              executor: Optional[Executor] = None,
-             telemetry=None) -> FuzzResult:
+             telemetry=None, batch: int = 1) -> FuzzResult:
     """Blind baseline: every dumped mutant is a test; no coverage runs.
 
     ``reference`` and ``executor`` are accepted for signature parity with
@@ -486,25 +676,7 @@ def randfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
     engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
                          observer)
     selector = UniformMutatorSelector(mutators, rng=rng)
-    result = FuzzResult("randfuzz", None, iterations)
-    started = time.perf_counter()
-    for index in range(iterations):
-        iter_started = time.perf_counter() if observer.active else 0.0
-        mutator = selector.next_mutator()
-        generated = engine.mutate_once(mutator)
-        accepted = False
-        if generated is not None:
-            accepted = True
-            result.gen_classes.append(generated)
-            result.test_classes.append(generated)
-            engine.pool.append(generated.jclass)
-            selector.record_success(mutator)
-            observer.accepted(generated, len(result.test_classes))
-        observer.iteration(
-            index, mutator, generated, accepted,
-            len(result.test_classes), len(engine.pool),
-            time.perf_counter() - iter_started if observer.active else 0.0)
-    result.elapsed_seconds = time.perf_counter() - started
-    result.mutator_report = selector.report()
-    result.discards = dict(engine.discards)
-    return result
+    result = FuzzResult("randfuzz", None, iterations, batch=batch)
+    return _run_pipeline(result, engine, selector,
+                         _AcceptAllAcceptance(), observer, iterations,
+                         batch)

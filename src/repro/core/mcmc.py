@@ -148,15 +148,30 @@ class McmcMutatorSelector:
         self.current = proposal
         self.stats[proposal.name].selected += 1
         if self.telemetry is not None:
-            self._transitions.inc()
-            self._proposals.inc(proposals)
-            if self.telemetry.bus.enabled:
-                self.telemetry.bus.emit(
-                    MCMC_TRANSITION, frm=previous, to=proposal.name,
-                    from_rank=k1 + 1, to_rank=k2 + 1,
-                    proposals=proposals,
-                    success_rate=self.stats[proposal.name].success_rate)
+            self._record_transition(previous, proposal, k1, k2, proposals)
         return proposal
+
+    def _record_transition(self, previous: str, proposal: Mutator,
+                           k1: int, k2: int, proposals: int) -> None:
+        self._transitions.inc()
+        self._proposals.inc(proposals)
+        if self.telemetry.bus.enabled:
+            self.telemetry.bus.emit(
+                MCMC_TRANSITION, frm=previous, to=proposal.name,
+                from_rank=k1 + 1, to_rank=k2 + 1,
+                proposals=proposals,
+                success_rate=self.stats[proposal.name].success_rate)
+
+    def next_mutators(self, count: int) -> List[Mutator]:
+        """Draw ``count`` consecutive chain samples (one batch round).
+
+        The speculative pipeline draws a whole batch of selections before
+        any acceptance feedback arrives, so all ``count`` draws walk the
+        chain against the *same* ranking — the bounded staleness the
+        batched pipeline trades for throughput.  At ``count=1`` this is
+        exactly one :meth:`next_mutator` call.
+        """
+        return [self.next_mutator() for _ in range(count)]
 
     def acceptance_probability(self, current: Mutator,
                                proposal: Mutator) -> float:
@@ -210,6 +225,10 @@ class UniformMutatorSelector:
         mutator = self.rng.choice(self.mutators)
         self.stats[mutator.name].selected += 1
         return mutator
+
+    def next_mutators(self, count: int) -> List[Mutator]:
+        """Draw ``count`` uniform selections (one batch round)."""
+        return [self.next_mutator() for _ in range(count)]
 
     def record_success(self, mutator: Mutator) -> None:
         self.stats[mutator.name].successes += 1

@@ -1,5 +1,6 @@
 """Coverage instrumentation of the reference JVM (GCOV/LCOV substitute)."""
 
+from repro.coverage.interner import GLOBAL_INTERNER, SiteInterner
 from repro.coverage.probes import CoverageCollector, active_collector, probe, branch
 from repro.coverage.tracefile import Tracefile, merge
 from repro.coverage.uniqueness import (
@@ -13,6 +14,8 @@ from repro.coverage.uniqueness import (
 
 __all__ = [
     "CoverageCollector",
+    "GLOBAL_INTERNER",
+    "SiteInterner",
     "StBrUniqueness",
     "StUniqueness",
     "TrUniqueness",

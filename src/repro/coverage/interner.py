@@ -1,0 +1,72 @@
+"""Process-global interning of coverage sites to dense integer ids.
+
+The uniqueness criteria and the greedy accumulated-coverage check spend
+their time on set algebra over coverage sites.  Sites are strings
+(``"verifier.op.iadd"``) and branch outcomes are ``(site, taken)``
+tuples; hashing and comparing them repeatedly is the dominant constant
+factor of every acceptance decision once tracefiles are cached.
+
+A :class:`SiteInterner` maps each distinct statement site and branch
+outcome to a small ``int`` exactly once, so the hot-path set operations
+(`frozenset` union/difference/equality in ``TrUniqueness`` and
+``greedyfuzz``) run over machine integers instead of strings.
+
+Ids are **process-local**: two processes intern sites in whatever order
+they first observe them, so interned sets must never cross a process
+boundary.  :class:`~repro.coverage.tracefile.Tracefile` enforces this by
+dropping its cached interned sets on pickling and re-interning lazily on
+first use in the receiving process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+
+class SiteInterner:
+    """Thread-safe site → dense-int interning, one namespace per kind.
+
+    Statement sites and branch outcomes get independent id spaces (both
+    starting at 0) because they never meet in the same set.
+    """
+
+    def __init__(self) -> None:
+        self._statements: Dict[str, int] = {}
+        self._branches: Dict[Tuple[str, bool], int] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._statements) + len(self._branches)
+
+    def statement_ids(self, sites: Iterable[str]) -> FrozenSet[int]:
+        """Intern every statement site, returning the id set."""
+        sites = tuple(sites)
+        table = self._statements
+        missing = [site for site in sites if site not in table]
+        if missing:
+            with self._lock:
+                for site in missing:
+                    if site not in table:
+                        table[site] = len(table)
+        return frozenset(table[site] for site in sites)
+
+    def branch_ids(self, outcomes: Iterable[Tuple[str, bool]]
+                   ) -> FrozenSet[int]:
+        """Intern every branch outcome, returning the id set."""
+        outcomes = tuple(outcomes)
+        table = self._branches
+        missing = [key for key in outcomes if key not in table]
+        if missing:
+            with self._lock:
+                for key in missing:
+                    if key not in table:
+                        table[key] = len(table)
+        return frozenset(table[key] for key in outcomes)
+
+
+#: The process-global interner every :class:`Tracefile` shares.  All
+#: tracefiles in one process agree on ids, so their interned sets are
+#: directly comparable.
+GLOBAL_INTERNER = SiteInterner()

@@ -5,12 +5,23 @@ reference JVM a classfile hit, with frequencies.  The paper compares
 tracefiles either by their summary *coverage statistics* (``tr.stmt`` and
 ``tr.br`` counts) or by their hit *sets* (criterion [tr], which uses the
 merge operator ⊕).
+
+Tracefiles are immutable once constructed, so the derived views the
+acceptance hot path keeps asking for — the hit sets, the statistics
+signature, and the interned-id sets used for cheap set algebra — are
+computed once and cached on the instance rather than rebuilt on every
+property access.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Tuple
+
+from repro.coverage.interner import GLOBAL_INTERNER
+
+#: Sentinel distinguishing "never computed" from any computed value.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -20,10 +31,22 @@ class Tracefile:
     Attributes:
         statements: statement site → hit count.
         branches: (branch site, outcome) → hit count.
+
+    Derived views (``stmt_set``, ``br_set``, ``signature``, ``stmt_ids``,
+    ``br_ids``) are cached on first access via ``object.__setattr__`` —
+    legal on a frozen dataclass and safe because the underlying dicts are
+    never mutated after construction.
     """
 
     statements: Dict[str, int] = field(default_factory=dict)
     branches: Dict[Tuple[str, bool], int] = field(default_factory=dict)
+
+    def _cached(self, slot: str, compute):
+        value = self.__dict__.get(slot, _UNSET)
+        if value is _UNSET:
+            value = compute()
+            object.__setattr__(self, slot, value)
+        return value
 
     @property
     def stmt(self) -> int:
@@ -39,18 +62,37 @@ class Tracefile:
 
     @property
     def stmt_set(self) -> FrozenSet[str]:
-        """The set of statement sites hit."""
-        return frozenset(self.statements)
+        """The set of statement sites hit (cached)."""
+        return self._cached("_stmt_set",
+                            lambda: frozenset(self.statements))
 
     @property
     def br_set(self) -> FrozenSet[Tuple[str, bool]]:
-        """The set of branch outcomes hit."""
-        return frozenset(self.branches)
+        """The set of branch outcomes hit (cached)."""
+        return self._cached("_br_set", lambda: frozenset(self.branches))
+
+    @property
+    def stmt_ids(self) -> FrozenSet[int]:
+        """The statement hit set as process-local interned ids (cached).
+
+        Same-process tracefiles share one interner, so these sets are
+        directly comparable — the cheap currency of [tr] uniqueness and
+        greedy coverage-growth checks.
+        """
+        return self._cached(
+            "_stmt_ids",
+            lambda: GLOBAL_INTERNER.statement_ids(self.statements))
+
+    @property
+    def br_ids(self) -> FrozenSet[int]:
+        """The branch hit set as process-local interned ids (cached)."""
+        return self._cached(
+            "_br_ids", lambda: GLOBAL_INTERNER.branch_ids(self.branches))
 
     @property
     def signature(self) -> Tuple[int, int]:
         """The ``(stmt, br)`` coverage-statistics pair."""
-        return self.stmt, self.br
+        return len(self.statements), len(self.branches)
 
     def total_hits(self) -> int:
         """Total statement executions (frequency-weighted)."""
@@ -59,6 +101,16 @@ class Tracefile:
     def __or__(self, other: "Tracefile") -> "Tracefile":
         """The ⊕ merge operator: union coverage of two runs."""
         return merge(self, other)
+
+    # Interned ids are process-local, so the cached derived views must
+    # not travel: pickle only the raw dicts and re-derive lazily in the
+    # receiving process.
+    def __getstate__(self):
+        return {"statements": self.statements, "branches": self.branches}
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "statements", state["statements"])
+        object.__setattr__(self, "branches", state["branches"])
 
 
 def merge(first: Tracefile, second: Tracefile) -> Tracefile:
@@ -81,13 +133,13 @@ def same_statement_sets(first: Tracefile, second: Tracefile) -> bool:
     """Whether the two runs hit exactly the same statement sites.
 
     Implements the paper's ``tr_cl.stmt = tr_t.stmt = (tr_cl ⊕ tr_t).stmt``
-    — equal statistics that survive merging means equal sets.
+    — equal statistics that survive merging means equal sets.  Because
+    ``|A| = |B| = |A ∪ B|`` holds exactly when ``A = B``, the key views
+    are compared directly instead of materialising the merged tracefile.
     """
-    merged = merge(first, second)
-    return first.stmt == second.stmt == merged.stmt
+    return first.statements.keys() == second.statements.keys()
 
 
 def same_branch_sets(first: Tracefile, second: Tracefile) -> bool:
     """Branch-set analogue of :func:`same_statement_sets`."""
-    merged = merge(first, second)
-    return first.br == second.br == merged.br
+    return first.branches.keys() == second.branches.keys()

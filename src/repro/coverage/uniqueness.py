@@ -14,7 +14,7 @@ material of the coverage-growth time series.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, Set, Tuple
 
 from repro.coverage.tracefile import Tracefile
 
@@ -118,18 +118,22 @@ class TrUniqueness(UniquenessCriterion):
         super().__init__(telemetry)
         #: The single index: statistics pair → hit-set keys with that
         #: signature, so only same-signature candidates incur the set
-        #: comparison (the "extra cost of merging tracefiles").
-        self._by_signature: Dict[Tuple[int, int], List[
-            Tuple[FrozenSet[str], FrozenSet[Tuple[str, bool]]]]] = {}
+        #: comparison (the "extra cost of merging tracefiles").  Keys are
+        #: interned-id frozensets held in a per-bucket ``set``, so a
+        #: same-signature membership test is one hash lookup over int
+        #: sets instead of O(bucket) frozenset-of-string comparisons.
+        self._by_signature: Dict[Tuple[int, int], Set[
+            Tuple[FrozenSet[int], FrozenSet[int]]]] = {}
 
     def is_unique(self, trace: Tracefile) -> bool:
-        key = (trace.stmt_set, trace.br_set)
-        candidates = self._by_signature.get(trace.signature, [])
-        return key not in candidates
+        candidates = self._by_signature.get(trace.signature)
+        if candidates is None:
+            return True
+        return (trace.stmt_ids, trace.br_ids) not in candidates
 
     def _record(self, trace: Tracefile) -> None:
-        key = (trace.stmt_set, trace.br_set)
-        self._by_signature.setdefault(trace.signature, []).append(key)
+        key = (trace.stmt_ids, trace.br_ids)
+        self._by_signature.setdefault(trace.signature, set()).add(key)
 
 
 #: Criterion name → factory.

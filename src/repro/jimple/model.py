@@ -9,11 +9,10 @@ combinations a strict JVM must reject.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
-from repro.jimple.statements import Stmt
+from repro.jimple.statements import Stmt, Trap, clone_stmt
 from repro.jimple.types import JType, VOID
 
 #: Modifier strings meaningful on a class.
@@ -95,6 +94,11 @@ class JField:
     def signature(self) -> FieldSignature:
         return FieldSignature(self.name, self.jtype)
 
+    def clone(self) -> "JField":
+        """An independently mutable copy (constant values are literals)."""
+        return JField(self.name, self.jtype, list(self.modifiers),
+                      self.constant_value)
+
 
 @dataclass
 class JMethod:
@@ -156,6 +160,29 @@ class JMethod:
             if local.name == name:
                 return local
         return None
+
+    def clone(self) -> "JMethod":
+        """An independently mutable copy of the declaration and body.
+
+        ``raw_code`` is carried by reference: it is an opaque
+        pre-compiled blob the pipeline only re-emits verbatim, never
+        rewrites.
+        """
+        return JMethod(
+            name=self.name,
+            return_type=self.return_type,
+            parameter_types=list(self.parameter_types),
+            modifiers=list(self.modifiers),
+            thrown=list(self.thrown),
+            locals=[JLocal(local.name, local.jtype)
+                    for local in self.locals],
+            body=None if self.body is None
+            else [clone_stmt(stmt) for stmt in self.body],
+            raw_code=self.raw_code,
+            traps=[Trap(trap.begin_label, trap.end_label,
+                        trap.handler_label, trap.exception,
+                        trap.handler_local) for trap in self.traps],
+        )
 
 
 @dataclass
@@ -224,5 +251,25 @@ class JClass:
         return names
 
     def clone(self) -> "JClass":
-        """A deep copy, safe to mutate independently."""
-        return copy.deepcopy(self)
+        """A copy safe to mutate independently of the original.
+
+        Structurally rebuilds every mutable layer — member lists, field
+        and method declarations, locals, traps, statements and their
+        invoke/case containers — while sharing the immutable leaves
+        (types, refs, constants, raw code blobs).  Equivalent to
+        ``copy.deepcopy(self)`` for every rewrite the mutators perform,
+        at a fraction of the cost: the clone sits on the fuzzing loop's
+        hottest path (two per iteration — seed copy plus pool
+        feedback).
+        """
+        return JClass(
+            name=self.name,
+            superclass=self.superclass,
+            interfaces=list(self.interfaces),
+            modifiers=list(self.modifiers),
+            fields=[field_decl.clone() for field_decl in self.fields],
+            methods=[method.clone() for method in self.methods],
+            major_version=self.major_version,
+            minor_version=self.minor_version,
+            source_file=self.source_file,
+        )

@@ -10,6 +10,7 @@ assignments, and returns.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple, Union
 
@@ -431,3 +432,26 @@ class Trap:
 
 #: Statement classes that end a method body path.
 TERMINAL_STMTS = (ReturnStmt, ThrowStmt, GotoStmt, SwitchStmt)
+
+
+def clone_stmt(stmt: Stmt) -> Stmt:
+    """An independently mutable copy of one statement.
+
+    Statements are flat dataclasses whose operands are either immutable
+    (strings, :class:`Constant`, :class:`MethodRef`, :class:`FieldRef`,
+    :class:`JType` — all frozen) or one level of mutable container:
+    :class:`InvokeExpr` (whose ``args`` list mutators reassign and whose
+    ``base`` they rewrite) and :class:`SwitchStmt.cases`.  A shallow copy
+    plus fresh copies of those two containers is therefore a full
+    isolation boundary, without ``copy.deepcopy``'s recursive memo
+    walk over every shared frozen operand.
+    """
+    if isinstance(stmt, (InvokeStmt, AssignInvokeStmt)):
+        dup = copy.copy(stmt)
+        invoke = stmt.invoke
+        dup.invoke = InvokeExpr(invoke.kind, invoke.method, invoke.base,
+                                list(invoke.args))
+        return dup
+    if isinstance(stmt, SwitchStmt):
+        return SwitchStmt(stmt.local, list(stmt.cases), stmt.default)
+    return copy.copy(stmt)

@@ -13,6 +13,7 @@ type               emitted by
 ``mutant_discarded`` the mutation engine, when an iteration produced
                    no classfile (with the discard category)
 ``mcmc_transition``  the Metropolis–Hastings chain, per accepted proposal
+``batch_round``    the speculative fuzzing pipeline, per batch round
 ``jvm_phase``      the JVM startup pipeline, per phase span
 ``executor_batch`` the execution engine, per differential batch
 ``cache_hit``      the execution engine, per content-addressed cache hit
@@ -41,6 +42,7 @@ ITERATION = "iteration"
 MUTANT_ACCEPTED = "mutant_accepted"
 MUTANT_DISCARDED = "mutant_discarded"
 MCMC_TRANSITION = "mcmc_transition"
+BATCH_ROUND = "batch_round"
 JVM_PHASE = "jvm_phase"
 EXECUTOR_BATCH = "executor_batch"
 CACHE_HIT = "cache_hit"
@@ -48,8 +50,8 @@ DISCREPANCY_FOUND = "discrepancy_found"
 
 #: Every event type the pipeline emits.
 EVENT_TYPES = (ITERATION, MUTANT_ACCEPTED, MUTANT_DISCARDED,
-               MCMC_TRANSITION, JVM_PHASE, EXECUTOR_BATCH, CACHE_HIT,
-               DISCREPANCY_FOUND)
+               MCMC_TRANSITION, BATCH_ROUND, JVM_PHASE, EXECUTOR_BATCH,
+               CACHE_HIT, DISCREPANCY_FOUND)
 
 
 @dataclass(frozen=True)

@@ -1,7 +1,17 @@
 """Unit tests for the Jimple class model and builders."""
 
+import copy
+
 from repro.jimple import ClassBuilder, JClass, JMethod, MethodBuilder
 from repro.jimple.model import FieldSignature, JField, JLocal, MethodSignature
+from repro.jimple.statements import (
+    InvokeExpr,
+    InvokeStmt,
+    MethodRef,
+    ReturnStmt,
+    SwitchStmt,
+    Trap,
+)
 from repro.jimple.types import INT, JType, STRING, VOID
 
 
@@ -56,6 +66,44 @@ class TestJClass:
         clone.methods[0].modifiers.append("static")
         assert original.fields[0].name == "a"
         assert "static" not in original.methods[0].modifiers
+
+    def test_clone_matches_deepcopy_and_isolates_body(self):
+        # A class exercising every mutable container the structural
+        # clone must rebuild: invoke args, switch cases, traps, locals.
+        ref = MethodRef("java.io.PrintStream", "println", VOID, (INT,))
+        method = JMethod(
+            "m", modifiers=["public", "static"],
+            thrown=["java.lang.Exception"],
+            locals=[JLocal("x", INT)],
+            body=[
+                InvokeStmt(InvokeExpr("virtual", ref, "r0", ["x"])),
+                SwitchStmt("x", [(1, "L1"), (2, "L2")], "L3"),
+                ReturnStmt(),
+            ],
+            traps=[Trap("L1", "L2", "L3", "java.lang.Exception", "e")])
+        original = JClass("X", fields=[JField("a", INT, ["static"])],
+                          methods=[method])
+        clone = original.clone()
+        assert clone == copy.deepcopy(original)
+
+        cloned = clone.methods[0]
+        cloned.locals[0].name = "y"
+        cloned.body[0].invoke.args.append("x")
+        cloned.body[0].invoke.base = "r9"
+        cloned.body[1].cases.append((3, "L3"))
+        cloned.traps[0].handler_local = "f"
+        cloned.thrown.append("java.lang.Error")
+        assert method.locals[0].name == "x"
+        assert method.body[0].invoke.args == ["x"]
+        assert method.body[0].invoke.base == "r0"
+        assert method.body[1].cases == [(1, "L1"), (2, "L2")]
+        assert method.traps[0].handler_local == "e"
+        assert method.thrown == ["java.lang.Exception"]
+
+    def test_clone_shares_raw_code_blob(self):
+        blob = object()
+        original = JClass("X", methods=[JMethod("m", raw_code=blob)])
+        assert original.clone().methods[0].raw_code is blob
 
     def test_concrete_methods(self):
         builder = ClassBuilder("X")

@@ -253,6 +253,9 @@ class TestEventBus:
             "mutant_discarded": {"category": "compile_error",
                                  "mutator": None},
             "mcmc_transition": {"frm": "a", "to": "b", "proposals": 2},
+            "batch_round": {"algorithm": "classfuzz[stbr]", "round": 2,
+                            "size": 8, "generated": 7, "accepted": 1,
+                            "seconds": 0.05},
             "jvm_phase": {"vendor": "hotspot8", "phase": "linking",
                           "seconds": 0.001},
             "executor_batch": {"engine": "serial", "size": 10},
