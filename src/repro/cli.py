@@ -10,12 +10,18 @@ Commands mirror the paper's workflow:
 * ``reduce``   — minimise a discrepancy-triggering classfile and render
   the bug-report text;
 * ``campaign`` — the full Table 4 / Table 6 experiment at a scaled budget;
+* ``distill``  — shrink a saved suite to a minimal subset covering the
+  same interned statement/branch sites (greedy set cover);
 * ``observe``  — summarise, replay, or export a recorded telemetry log,
   and validate Prometheus metric dumps.
 
 The JVM-running commands (``fuzz``, ``difftest``, ``campaign``) accept
 ``--events``/``--metrics-out``/``--progress`` to record structured
-events and a metrics dump while they run.
+events and a metrics dump while they run.  ``fuzz`` and ``campaign``
+also accept the corpus-subsystem flags: ``--seed-schedule`` picks the
+seed-scheduling policy, and ``--checkpoint-dir``/``--checkpoint-every``/
+``--resume`` make runs crash-durable (a killed run resumed with
+``--resume`` reproduces the uninterrupted run's suite exactly).
 """
 
 from __future__ import annotations
@@ -81,6 +87,28 @@ def _add_telemetry_options(command: argparse.ArgumentParser) -> None:
                               "when the run finishes")
     command.add_argument("--progress", action="store_true",
                          help="live progress lines on stderr")
+
+
+def _add_corpus_options(command: argparse.ArgumentParser) -> None:
+    """Corpus-subsystem flags shared by ``fuzz`` and ``campaign``."""
+    from repro.corpus.schedule import DEFAULT_SCHEDULE, SCHEDULERS
+
+    command.add_argument("--seed-schedule", dest="seed_schedule",
+                         choices=sorted(SCHEDULERS),
+                         default=DEFAULT_SCHEDULE,
+                         help="seed-scheduling policy for mutation picks "
+                              "(default: the paper's uniform policy)")
+    command.add_argument("--checkpoint-dir", dest="checkpoint_dir",
+                         type=Path, default=None, metavar="DIR",
+                         help="periodically checkpoint the run's state "
+                              "here so it can be resumed after a kill")
+    command.add_argument("--checkpoint-every", dest="checkpoint_every",
+                         type=int, default=50, metavar="N",
+                         help="iterations between checkpoints "
+                              "(default: 50)")
+    command.add_argument("--resume", action="store_true",
+                         help="resume from --checkpoint-dir's latest "
+                              "checkpoint (fresh start when none exists)")
 
 
 def _make_telemetry(args):
@@ -155,6 +183,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="N", dest="mutator_report",
                       help="print the top-N mutators by MCMC rank "
                            "(the Table 5 view)")
+    _add_corpus_options(fuzz)
     _add_telemetry_options(fuzz)
 
     difftest = sub.add_parser("difftest",
@@ -185,8 +214,20 @@ def _build_parser() -> argparse.ArgumentParser:
                           metavar="N", dest="mutator_report",
                           help="print each algorithm's top-N mutators "
                                "(the Table 5 view)")
+    _add_corpus_options(campaign)
     _add_executor_options(campaign)
     _add_telemetry_options(campaign)
+
+    distill = sub.add_parser(
+        "distill", help="shrink a saved suite, preserving its coverage")
+    distill.add_argument("suite", type=Path,
+                         help="a suite directory written by fuzz --out")
+    distill.add_argument("--out", type=Path, default=None,
+                         help="write the distilled suite (classfiles, "
+                              "traces, manifest) to this directory")
+    distill.add_argument("--bucket", default="tests",
+                         choices=("tests", "gen"),
+                         help="which suite bucket to distill")
 
     observe = sub.add_parser(
         "observe", help="analyse recorded telemetry")
@@ -253,43 +294,62 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_fuzz(args) -> int:
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
                                          seed=args.seed))
     telemetry = _make_telemetry(args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
                              telemetry=telemetry)
+    corpus_kw = dict(schedule=args.seed_schedule,
+                     checkpoint_dir=args.checkpoint_dir,
+                     checkpoint_every=args.checkpoint_every,
+                     resume=args.resume)
     runners = {
         "classfuzz": lambda: classfuzz(seeds, args.iterations,
                                        criterion=args.criterion,
                                        seed=args.seed, executor=executor,
                                        telemetry=telemetry,
-                                       batch=args.batch),
+                                       batch=args.batch, **corpus_kw),
         "uniquefuzz": lambda: uniquefuzz(seeds, args.iterations,
                                          seed=args.seed,
                                          executor=executor,
                                          telemetry=telemetry,
-                                         batch=args.batch),
+                                         batch=args.batch, **corpus_kw),
         "greedyfuzz": lambda: greedyfuzz(seeds, args.iterations,
                                          seed=args.seed,
                                          executor=executor,
                                          telemetry=telemetry,
-                                         batch=args.batch),
+                                         batch=args.batch, **corpus_kw),
         "randfuzz": lambda: randfuzz(seeds, args.iterations,
                                      seed=args.seed, executor=executor,
                                      telemetry=telemetry,
-                                     batch=args.batch),
+                                     batch=args.batch, **corpus_kw),
     }
-    if telemetry is not None:
-        with telemetry.activate():
+    try:
+        if telemetry is not None:
+            with telemetry.activate():
+                result = runners[args.algorithm]()
+        else:
             result = runners[args.algorithm]()
-    else:
-        result = runners[args.algorithm]()
+    except KeyboardInterrupt:
+        print(f"interrupted; latest checkpoint kept in "
+              f"{args.checkpoint_dir} (resume with --resume)",
+              file=sys.stderr)
+        executor.close()
+        _finish_telemetry(telemetry, args)
+        return 130
     print(f"{result.algorithm}"
           + (f"[{result.criterion}]" if result.criterion else "")
           + f": {result.iterations} iterations, "
           f"{len(result.gen_classes)} generated, "
           f"{len(result.test_classes)} accepted "
           f"(succ {result.succ:.1%}) in {result.elapsed_seconds:.1f}s")
+    if result.scheduler != "uniform":
+        print(f"seed schedule: {result.scheduler} "
+              f"({len(result.seed_stats)} active pool entries)")
     if result.discards:
         breakdown = ", ".join(f"{category}: {count}" for category, count
                               in sorted(result.discards.items()))
@@ -375,24 +435,42 @@ def _cmd_reduce(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
                                          seed=args.seed))
     budget = PAPER_BUDGET_SECONDS * args.budget_scale
     telemetry = _make_telemetry(args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
                              telemetry=telemetry)
-    if telemetry is not None:
-        with telemetry.activate():
+    corpus_kw = dict(schedule=args.seed_schedule,
+                     checkpoint_dir=args.checkpoint_dir,
+                     checkpoint_every=args.checkpoint_every,
+                     resume=args.resume)
+    try:
+        if telemetry is not None:
+            with telemetry.activate():
+                runs = run_campaign(seeds, budget,
+                                    algorithms=tuple(args.algorithms),
+                                    rng_seed=args.seed, evaluate=True,
+                                    executor=executor,
+                                    telemetry=telemetry,
+                                    batch=args.batch, **corpus_kw)
+        else:
             runs = run_campaign(seeds, budget,
                                 algorithms=tuple(args.algorithms),
                                 rng_seed=args.seed, evaluate=True,
-                                executor=executor, telemetry=telemetry,
-                                batch=args.batch)
-    else:
-        runs = run_campaign(seeds, budget,
-                            algorithms=tuple(args.algorithms),
-                            rng_seed=args.seed, evaluate=True,
-                            executor=executor, batch=args.batch)
+                                executor=executor, batch=args.batch,
+                                **corpus_kw)
+    except KeyboardInterrupt:
+        print(f"interrupted; latest checkpoints kept under "
+              f"{args.checkpoint_dir} (resume with --resume)",
+              file=sys.stderr)
+        executor.close()
+        _finish_telemetry(telemetry, args)
+        return 130
     print(f"=== Table 4 (budget = {budget:.0f} modeled seconds) ===")
     print(format_table4(runs))
     print()
@@ -419,6 +497,24 @@ def _cmd_campaign(args) -> int:
         print(executor.stats.format())
     executor.close()
     _finish_telemetry(telemetry, args)
+    return 0
+
+
+def _cmd_distill(args) -> int:
+    from repro.corpus.distill import distill_suite
+
+    try:
+        result = distill_suite(args.suite, out=args.out,
+                               bucket=args.bucket)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if result.dropped:
+        print(f"dropped (redundant coverage): "
+              f"{', '.join(result.dropped)}")
+    if args.out:
+        print(f"wrote distilled suite to {args.out}/")
     return 0
 
 
@@ -457,6 +553,7 @@ _COMMANDS = {
     "difftest": _cmd_difftest,
     "reduce": _cmd_reduce,
     "campaign": _cmd_campaign,
+    "distill": _cmd_distill,
     "observe": _cmd_observe,
 }
 

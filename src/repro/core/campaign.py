@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.executor import (
@@ -160,6 +161,12 @@ _RUNNERS: Dict[str, Callable[..., FuzzResult]] = {
 ALL_ALGORITHMS = tuple(_RUNNERS)
 
 
+def _checkpoint_subdir(label: str, repetition: int) -> str:
+    """A filesystem-safe checkpoint subdirectory for one campaign leg."""
+    safe = label.replace("[", "-").replace("]", "")
+    return f"{safe}-r{repetition}"
+
+
 def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                  algorithms: Sequence[str] = ALL_ALGORITHMS,
                  rng_seed: int = 0,
@@ -168,7 +175,10 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                  repetitions: int = 1,
                  executor: Optional[Executor] = None,
                  reference: Optional[Jvm] = None,
-                 telemetry=None, batch: int = 1) -> List[CampaignRun]:
+                 telemetry=None, batch: int = 1,
+                 schedule=None, checkpoint_dir=None,
+                 checkpoint_every: int = 50,
+                 resume: bool = False) -> List[CampaignRun]:
     """Run the Table 4/6 experiment at a scaled budget.
 
     Args:
@@ -197,6 +207,16 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
         batch: speculative batch size handed to every fuzzing run
             (``1`` = the serial Algorithm 1 loop; larger batches fan the
             reference coverage runs out across the executor's workers).
+        schedule: seed-schedule name (or scheduler instance) handed to
+            every fuzzing run (default: the paper's uniform pick).
+        checkpoint_dir: when given, each ``(algorithm, repetition)`` leg
+            checkpoints into its own subdirectory here every
+            ``checkpoint_every`` iterations.
+        checkpoint_every: iteration interval between checkpoints.
+        resume: restore each leg's latest checkpoint and continue — legs
+            that already completed return their checkpointed result
+            immediately, so a killed campaign re-runs only the
+            interrupted and unstarted legs.
     """
     executor = executor if executor is not None \
         else SerialExecutor(cache=OutcomeCache(), telemetry=telemetry)
@@ -222,12 +242,20 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
         with _span("campaign.fuzz", algorithm=label,
                    iterations=iterations):
             for repetition in range(max(1, repetitions)):
+                leg_dir = None
+                if checkpoint_dir is not None:
+                    leg_dir = Path(checkpoint_dir) / _checkpoint_subdir(
+                        label, repetition)
                 result = _RUNNERS[label](seeds, iterations,
                                          rng_seed + repetition,
                                          executor=executor,
                                          reference=reference,
                                          telemetry=telemetry,
-                                         batch=batch)
+                                         batch=batch,
+                                         schedule=schedule,
+                                         checkpoint_dir=leg_dir,
+                                         checkpoint_every=checkpoint_every,
+                                         resume=resume)
                 if best is None or len(result.test_classes) > len(
                         best.test_classes):
                     best = result

@@ -1,0 +1,261 @@
+"""Resumable campaign checkpoints: crash-durable fuzzing-run state.
+
+A long campaign that dies used to lose everything — ``repro.core.storage``
+only writes final suites.  This module periodically snapshots the whole
+deterministic state of a fuzzing run into a checkpoint directory so a
+killed run can be resumed **bit-equal**: for a fixed seed, the resumed
+run's accepted suite (labels, classfile bytes, coverage signatures)
+matches the uninterrupted run's.
+
+What a checkpoint carries (everything the speculate→fan-out→replay
+pipeline needs to continue mid-run):
+
+* the Mersenne-Twister RNG state;
+* the mutator-selector state (MCMC chain position, ranking, per-mutator
+  stats — or the uniform selector's tallies);
+* the seed pool: every member's Jimple form plus its scheduling stats;
+* the run's artefacts so far (``gen_classes``/``test_classes``, with
+  tracefiles) and the discard tallies.
+
+What it deliberately does **not** carry: interned coverage-site ids
+(process-local by contract — see :mod:`repro.coverage.interner`) and the
+acceptance-criterion indexes built from them.  Both are rebuilt on resume
+by re-priming the seed corpus and re-absorbing the accepted tracefiles —
+pure, deterministic replays of cached reference runs.
+
+Writes are atomic (temp file + ``os.replace``), one ``checkpoint.pkl``
+per directory with a human-readable ``checkpoint.json`` sidecar; a
+resumed run keeps overwriting the same pair, so the directory always
+holds exactly the latest consistent snapshot.
+
+Testing hook: when the environment variable
+``REPRO_CRASH_AFTER_CHECKPOINTS`` is set to ``N``, the process simulates
+a kill (raises ``KeyboardInterrupt``) right after the ``N``-th checkpoint
+is durably written — the deterministic way CI and the test suite exercise
+the kill → resume path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.observe.events import CHECKPOINT_WRITTEN
+
+#: Checkpoint schema version.
+CHECKPOINT_VERSION = 1
+
+#: The pickled state (the single source of truth on resume).
+STATE_FILE = "checkpoint.pkl"
+
+#: Human-readable sidecar (advisory; never read on resume).
+META_FILE = "checkpoint.json"
+
+#: Simulated-kill testing hook (see module docstring).
+CRASH_AFTER_ENV = "REPRO_CRASH_AFTER_CHECKPOINTS"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint is missing, corrupt, or incompatible with the run."""
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def has_checkpoint(directory: Union[str, Path]) -> bool:
+    """Whether ``directory`` holds a resumable checkpoint."""
+    return (Path(directory) / STATE_FILE).exists()
+
+
+def load_checkpoint(directory: Union[str, Path]) -> Dict[str, object]:
+    """Read and version-check a checkpoint's pickled state.
+
+    Raises:
+        CheckpointError: when missing, unreadable, or version-mismatched.
+    """
+    path = Path(directory) / STATE_FILE
+    if not path.exists():
+        raise CheckpointError(f"no {STATE_FILE} in {directory}")
+    try:
+        state = pickle.loads(path.read_bytes())
+    except Exception as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint {path}: {exc}") from exc
+    version = state.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version {version!r} in {path}")
+    return state
+
+
+def read_meta(directory: Union[str, Path]) -> Dict[str, object]:
+    """The advisory sidecar, for status displays (may lag the pickle)."""
+    return json.loads((Path(directory) / META_FILE).read_text())
+
+
+# ---------------------------------------------------------------------------
+# Snapshot / restore of one fuzzing run
+# ---------------------------------------------------------------------------
+
+def snapshot_run(result, engine, selector, index: int, round_index: int,
+                 elapsed: float) -> Dict[str, object]:
+    """Capture a run's full deterministic state at a round boundary."""
+    return {
+        "version": CHECKPOINT_VERSION,
+        "algorithm": result.algorithm,
+        "criterion": result.criterion,
+        "batch": result.batch,
+        "iterations": result.iterations,
+        "scheduler": engine.pool.scheduler.name,
+        "index": index,
+        "round_index": round_index,
+        "elapsed": elapsed,
+        "rng_state": engine.rng.getstate(),
+        "selector": selector.get_state(),
+        "discards": dict(engine.discards),
+        "name_counter": engine._name_counter,
+        "pool": engine.pool.get_state(),
+        "gen_classes": list(result.gen_classes),
+        "test_classes": list(result.test_classes),
+    }
+
+
+def restore_run(state: Dict[str, object], result, engine,
+                selector) -> Tuple[int, int, float]:
+    """Restore a snapshot into a freshly built run.
+
+    The caller constructs the engine/selector/result exactly as a fresh
+    run would, then this overwrites every piece of mutable state the
+    construction randomised.  Returns ``(index, round_index, elapsed)``
+    to continue from.
+
+    Raises:
+        CheckpointError: when the checkpoint belongs to a different
+            configuration (algorithm, criterion, batch, or scheduler) —
+            resuming such a run would silently diverge.
+    """
+    for key, current in (("algorithm", result.algorithm),
+                         ("criterion", result.criterion),
+                         ("batch", result.batch)):
+        if state[key] != current:
+            raise CheckpointError(
+                f"checkpoint {key} {state[key]!r} does not match this "
+                f"run's {current!r}")
+    try:
+        engine.pool.set_state(state["pool"])
+        selector.set_state(state["selector"])
+    except ValueError as exc:
+        raise CheckpointError(str(exc)) from exc
+    engine.rng.setstate(state["rng_state"])
+    engine.discards.clear()
+    engine.discards.update(state["discards"])
+    engine._name_counter = state["name_counter"]
+    result.gen_classes = list(state["gen_classes"])
+    result.test_classes = list(state["test_classes"])
+    return state["index"], state["round_index"], state["elapsed"]
+
+
+# ---------------------------------------------------------------------------
+# The periodic writer
+# ---------------------------------------------------------------------------
+
+class Checkpointer:
+    """Writes a run's checkpoints every ``every`` completed iterations.
+
+    The fuzzing pipeline calls :meth:`maybe_write` after each batch
+    round's deterministic replay, so snapshots always land on round
+    boundaries — the points where a resumed run's batching structure
+    matches the uninterrupted run's.
+
+    Attributes:
+        directory: the checkpoint directory (created on first write).
+        every: iteration interval between checkpoints.
+        written: checkpoints durably written by this instance.
+    """
+
+    def __init__(self, directory: Union[str, Path], every: int,
+                 telemetry=None, start_index: int = 0,
+                 on_written: Optional[Callable[[Path, int], None]] = None):
+        if every < 1:
+            raise ValueError(f"checkpoint interval must be >= 1, "
+                             f"got {every}")
+        self.directory = Path(directory)
+        self.every = every
+        self.written = 0
+        self.telemetry = telemetry
+        self.on_written = on_written
+        self._last_index = start_index
+        if telemetry is not None:
+            self._counter = telemetry.registry.counter(
+                "repro_checkpoints_total",
+                "Campaign checkpoints durably written.", ("algorithm",))
+            self._seconds = telemetry.registry.histogram(
+                "repro_checkpoint_write_seconds",
+                "Wall-clock latency of checkpoint writes.")
+        else:
+            self._counter = self._seconds = None
+
+    def due(self, index: int) -> bool:
+        """Whether ``index`` completed iterations warrant a checkpoint."""
+        return index - self._last_index >= self.every
+
+    def maybe_write(self, result, engine, selector, index: int,
+                    round_index: int, elapsed: float) -> Optional[Path]:
+        """Write a checkpoint when one is due; returns its path if so."""
+        if not self.due(index):
+            return None
+        return self.write(result, engine, selector, index, round_index,
+                          elapsed)
+
+    def write(self, result, engine, selector, index: int,
+              round_index: int, elapsed: float) -> Path:
+        """Unconditionally snapshot and atomically persist the run."""
+        started = time.perf_counter()
+        state = snapshot_run(result, engine, selector, index,
+                             round_index, elapsed)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / STATE_FILE
+        _atomic_write_bytes(path, pickle.dumps(state))
+        meta = {
+            "version": CHECKPOINT_VERSION,
+            "algorithm": result.algorithm,
+            "criterion": result.criterion,
+            "scheduler": engine.pool.scheduler.name,
+            "batch": result.batch,
+            "index": index,
+            "iterations": result.iterations,
+            "generated": len(result.gen_classes),
+            "accepted": len(result.test_classes),
+            "pool_size": len(engine.pool),
+            "written_at": time.time(),
+        }
+        _atomic_write_bytes(self.directory / META_FILE,
+                            json.dumps(meta, indent=2).encode("utf-8"))
+        self._last_index = index
+        self.written += 1
+        seconds = time.perf_counter() - started
+        if self.telemetry is not None:
+            self._counter.labels(algorithm=result.algorithm).inc()
+            self._seconds.observe(seconds)
+            if self.telemetry.bus.enabled:
+                self.telemetry.bus.emit(
+                    CHECKPOINT_WRITTEN, algorithm=result.algorithm,
+                    index=index, iterations=result.iterations,
+                    accepted=len(result.test_classes),
+                    pool=len(engine.pool), path=str(path),
+                    seconds=seconds)
+        if self.on_written is not None:
+            self.on_written(path, self.written)
+        crash_after = os.environ.get(CRASH_AFTER_ENV)
+        if crash_after and self.written >= int(crash_after):
+            raise KeyboardInterrupt(
+                f"simulated kill after checkpoint {self.written} "
+                f"({CRASH_AFTER_ENV}={crash_after})")
+        return path

@@ -39,6 +39,21 @@ loop.  At ``batch>1`` the selector and seed pool are *boundedly stale*:
 an accepted mutant only influences selections and mutations from the
 next round on (the throughput/feedback-latency trade the pipeline makes
 deliberately).
+
+Two orthogonal corpus-subsystem hooks ride on the pipeline:
+
+* **seed scheduling** — the engine keeps its seeds in a
+  :class:`~repro.corpus.pool.SeedPool` whose pluggable
+  :class:`~repro.corpus.schedule.SeedScheduler` decides which pool
+  member each iteration mutates (default: the paper's uniform policy,
+  byte-identical to the historical ``rng.choice``), and per-seed
+  pick/acceptance/novelty statistics flow into
+  :attr:`FuzzResult.seed_stats` and the v2 suite manifest;
+* **checkpointing** — pass ``checkpoint_dir`` to snapshot the run's
+  full deterministic state every ``checkpoint_every`` iterations (at
+  round boundaries) via :mod:`repro.core.checkpoint`; ``resume=True``
+  restores the latest snapshot so a killed run continues bit-equal to
+  the uninterrupted one.
 """
 
 from __future__ import annotations
@@ -50,9 +65,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.classfile.writer import write_class
+from repro.core.checkpoint import (
+    Checkpointer,
+    has_checkpoint,
+    load_checkpoint,
+    restore_run,
+)
 from repro.core.executor import Executor, OutcomeCache, SerialExecutor
 from repro.core.mcmc import DEFAULT_P, McmcMutatorSelector, UniformMutatorSelector
 from repro.core.mutators import MUTATORS, Mutator
+from repro.corpus.pool import SeedEntry, SeedPool
+from repro.corpus.schedule import SeedScheduler, make_scheduler
 from repro.coverage.tracefile import Tracefile
 from repro.coverage.uniqueness import make_criterion
 from repro.jimple.builder import add_printing_main
@@ -65,7 +88,11 @@ from repro.observe.events import (
     ITERATION,
     MUTANT_ACCEPTED,
     MUTANT_DISCARDED,
+    SEED_SCHEDULED,
 )
+
+#: Default iteration interval between campaign checkpoints.
+DEFAULT_CHECKPOINT_EVERY = 50
 
 #: Discard categories recorded on :attr:`FuzzResult.discards`.
 DISCARD_MUTATOR_ERROR = "mutator_error"    # the rewrite itself crashed
@@ -84,6 +111,8 @@ class GeneratedClass:
         data: the classfile bytes as run on the JVMs.
         mutator: name of the mutator that produced it (``None`` for seeds).
         tracefile: reference-JVM coverage, when collected.
+        parent: label of the pool seed this mutant was mutated from
+            (``None`` for corpus seeds) — the manifest's lineage edge.
     """
 
     label: str
@@ -91,6 +120,7 @@ class GeneratedClass:
     data: bytes
     mutator: Optional[str] = None
     tracefile: Optional[Tracefile] = None
+    parent: Optional[str] = None
 
 
 @dataclass
@@ -112,6 +142,10 @@ class FuzzResult:
             (``mutator_error``/``inapplicable``/``compile_error``/
             ``dump_error``), so swallowed iterations stay visible:
             ``iterations == len(gen_classes) + sum(discards.values())``.
+        scheduler: registry name of the seed schedule the run used.
+        seed_stats: per-seed scheduling rows (label, origin, size, picks,
+            accepted, novelty) for every pool member that was picked,
+            credited, or fed back — the v2 manifest's ``seed_stats``.
     """
 
     algorithm: str
@@ -124,6 +158,8 @@ class FuzzResult:
     elapsed_seconds: float = 0.0
     batch: int = 1
     discards: Dict[str, int] = field(default_factory=dict)
+    scheduler: str = "uniform"
+    seed_stats: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def succ(self) -> float:
@@ -204,7 +240,7 @@ class _FuzzObserver:
     __slots__ = ("active", "telemetry", "algorithm", "_iterations",
                  "_generated", "_accepted", "_discarded",
                  "_iteration_seconds", "_pool_size", "_suite_size",
-                 "_rounds", "_round_seconds")
+                 "_rounds", "_round_seconds", "_scheduled", "_novelty")
 
     def __init__(self, telemetry, algorithm: str):
         self.telemetry = telemetry
@@ -248,6 +284,32 @@ class _FuzzObserver:
             "repro_fuzz_round_seconds",
             "Wall-clock latency of one speculative batch round.",
             ("algorithm",)).labels(algorithm=algorithm)
+        self._scheduled = registry.counter(
+            "repro_seeds_scheduled_total",
+            "Mutation seeds scheduled from the pool, by entry origin.",
+            ("algorithm", "origin"))
+        self._novelty = registry.counter(
+            "repro_seed_novelty_total",
+            "Interned coverage sites first opened by accepted mutants, "
+            "credited back to the seeds they were mutated from.",
+            ("algorithm",)).labels(algorithm=algorithm)
+
+    def scheduled(self, entry: "SeedEntry") -> None:
+        if not self.active:
+            return
+        self._scheduled.labels(algorithm=self.algorithm,
+                               origin=entry.origin).inc()
+        if self.telemetry.bus.enabled:
+            self.telemetry.bus.emit(SEED_SCHEDULED,
+                                    algorithm=self.algorithm,
+                                    label=entry.label,
+                                    origin=entry.origin,
+                                    picks=entry.picks)
+
+    def credited(self, novelty: int) -> None:
+        if not self.active or novelty <= 0:
+            return
+        self._novelty.inc(novelty)
 
     def discarded(self, category: str, mutator: Optional[str]) -> None:
         if not self.active:
@@ -305,6 +367,15 @@ class _FuzzObserver:
 _NULL_OBSERVER = _FuzzObserver(None, "")
 
 
+@dataclass
+class _Draft:
+    """One speculated mutation: the rewritten class plus its lineage."""
+
+    jclass: JClass
+    parent_index: int
+    parent_label: str
+
+
 class _FuzzEngine:
     """Shared mutation machinery for all four algorithms."""
 
@@ -312,11 +383,10 @@ class _FuzzEngine:
                  mutators: Sequence[Mutator],
                  reference: Optional[Jvm] = None,
                  executor: Optional[Executor] = None,
-                 observer: _FuzzObserver = _NULL_OBSERVER):
+                 observer: _FuzzObserver = _NULL_OBSERVER,
+                 scheduler: Optional[SeedScheduler] = None):
         self.rng = rng
-        self.pool: List[JClass] = [seed.clone() for seed in seeds]
-        if not self.pool:
-            raise ValueError("need at least one seed class")
+        self.pool = SeedPool(seeds, scheduler=scheduler)
         self.mutators = list(mutators)
         self.reference = reference or reference_jvm()
         self.executor = executor if executor is not None \
@@ -330,16 +400,20 @@ class _FuzzEngine:
         self.discards[category] = self.discards.get(category, 0) + 1
         self.observer.discarded(category, mutator)
 
-    def mutate_draft(self, mutator: Mutator) -> Optional[JClass]:
-        """The RNG-consuming half of one iteration: clone and rewrite.
+    def mutate_draft(self, mutator: Mutator) -> Optional[_Draft]:
+        """The RNG-consuming half of one iteration: schedule, clone, rewrite.
 
-        Returns the mutated (not yet compiled) class, or ``None`` when
-        the rewrite crashed or reported itself inapplicable — both
-        discard categories are recorded here, sequentially, so their
-        ordering is deterministic.
+        The seed pool's scheduler picks which member to mutate (the
+        default uniform policy consumes the RNG exactly like the
+        historical ``rng.choice``).  Returns the mutated (not yet
+        compiled) draft with its parent lineage, or ``None`` when the
+        rewrite crashed or reported itself inapplicable — both discard
+        categories are recorded here, sequentially, so their ordering is
+        deterministic.
         """
-        seed = self.rng.choice(self.pool)
-        mutant = seed.clone()
+        parent_index, entry = self.pool.pick(self.rng)
+        self.observer.scheduled(entry)
+        mutant = entry.jclass.clone()
         self._name_counter += 1
         mutant.name = f"M{1433900000 + self._name_counter}"
         try:
@@ -353,9 +427,9 @@ class _FuzzEngine:
             self._discard(DISCARD_INAPPLICABLE, mutator.name)
             return None
         supplement_main(mutant)
-        return mutant
+        return _Draft(mutant, parent_index, entry.label)
 
-    def dump_drafts(self, drafts: List[Tuple[Mutator, Optional[JClass]]]
+    def dump_drafts(self, drafts: List[Tuple[Mutator, Optional[_Draft]]]
                     ) -> List[Optional[GeneratedClass]]:
         """Compile and dump one round of drafts, aligned with the input.
 
@@ -372,14 +446,15 @@ class _FuzzEngine:
         if not pending:
             return results
         dumped = self.executor.map_many(
-            _dump_mutant, [draft for _, _, draft in pending])
+            _dump_mutant, [draft.jclass for _, _, draft in pending])
         for (position, mutator, draft), (category, data) in zip(pending,
                                                                 dumped):
             if data is None:
                 self._discard(category, mutator.name)
             else:
-                results[position] = GeneratedClass(draft.name, draft,
-                                                   data, mutator.name)
+                results[position] = GeneratedClass(
+                    draft.jclass.name, draft.jclass, data, mutator.name,
+                    parent=draft.parent_label)
         return results
 
     def mutate_once(self, mutator: Mutator) -> Optional[GeneratedClass]:
@@ -392,11 +467,12 @@ class _FuzzEngine:
         draft = self.mutate_draft(mutator)
         if draft is None:
             return None
-        category, data = _dump_mutant(draft)
+        category, data = _dump_mutant(draft.jclass)
         if data is None:
             self._discard(category, mutator.name)
             return None
-        return GeneratedClass(draft.name, draft, data, mutator.name)
+        return GeneratedClass(draft.jclass.name, draft.jclass, data,
+                              mutator.name, parent=draft.parent_label)
 
     def run_on_reference(self, generated: GeneratedClass) -> Tracefile:
         """Execute on the reference JVM, collecting coverage."""
@@ -416,18 +492,22 @@ class _FuzzEngine:
             generated.tracefile = trace
 
     def prime_pool(self):
-        """Yield ``(placeholder, trace)`` for each compilable pool seed.
+        """Yield ``(placeholder, trace)`` for each compilable corpus seed.
 
         Seeds the acceptance state with the seed corpus's own coverage so
         accepted mutants are unique w.r.t. the whole suite (TestClasses
-        starts = Seeds, Algorithm 1 line 5).
+        starts = Seeds, Algorithm 1 line 5).  Only the original-seed
+        prefix of the pool is primed: on a fresh run that is the whole
+        pool, and on a resumed run the accepted mutants' coverage is
+        replayed separately from their checkpointed tracefiles.
         """
-        for pooled in self.pool:
+        for entry in self.pool.entries[:self.pool.seed_count]:
             try:
-                data = write_class(compile_class(pooled))
+                data = write_class(compile_class(entry.jclass))
             except (JimpleCompileError, struct.error):
                 continue
-            placeholder = GeneratedClass(pooled.name, pooled, data)
+            entry.size = len(data)
+            placeholder = GeneratedClass(entry.label, entry.jclass, data)
             yield placeholder, self.run_on_reference(placeholder)
 
 
@@ -509,10 +589,33 @@ class _AcceptAllAcceptance(_AcceptancePolicy):
 # The batched speculative driver
 # ---------------------------------------------------------------------------
 
+def _prepare_checkpoint(checkpoint_dir, checkpoint_every: int,
+                        resume: bool, telemetry):
+    """Resolve one run's ``(checkpointer, restored state)`` pair.
+
+    ``resume=True`` with no checkpoint on disk is a fresh start (the
+    normal first leg of a resumable campaign), and ``checkpoint_dir=None``
+    disables checkpointing entirely.
+    """
+    if checkpoint_dir is None:
+        if resume:
+            raise ValueError("resume requires a checkpoint_dir")
+        return None, None
+    state = None
+    if resume and has_checkpoint(checkpoint_dir):
+        state = load_checkpoint(checkpoint_dir)
+    checkpointer = Checkpointer(
+        checkpoint_dir, checkpoint_every, telemetry=telemetry,
+        start_index=state["index"] if state is not None else 0)
+    return checkpointer, state
+
+
 def _run_pipeline(result: FuzzResult, engine: _FuzzEngine, selector,
                   policy: _AcceptancePolicy, observer: _FuzzObserver,
                   iterations: int, batch: int,
-                  seed_feedback: bool = True) -> FuzzResult:
+                  seed_feedback: bool = True,
+                  checkpointer: Optional[Checkpointer] = None,
+                  checkpoint_state=None) -> FuzzResult:
     """Run ``iterations`` through the speculate → fan-out → replay loop.
 
     Determinism contract: for a fixed ``(seeds, rng seed, batch)`` the
@@ -521,15 +624,33 @@ def _run_pipeline(result: FuzzResult, engine: _FuzzEngine, selector,
     and the fan-out preserves input order.  At ``batch=1`` the RNG
     consumption order is exactly the historical serial loop's:
     select → mutate → run → accept, one iteration at a time.
+
+    When ``checkpoint_state`` is given the run restores it and continues
+    from the checkpointed round boundary: the RNG/selector/pool state is
+    overwritten wholesale, while the acceptance criterion and the pool's
+    novelty set — which hold process-local interned ids the checkpoint
+    cannot carry — are rebuilt by re-priming the seed corpus and
+    re-absorbing the restored suite's tracefiles (set unions, so the
+    rebuild is order-independent and exact).
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
-    if policy.needs_coverage:
+    start_index = start_round = 0
+    start_elapsed = 0.0
+    if checkpoint_state is not None:
+        start_index, start_round, start_elapsed = restore_run(
+            checkpoint_state, result, engine, selector)
+    if policy.needs_coverage and start_index < iterations:
         for _, trace in engine.prime_pool():
             policy.prime(trace)
+            engine.pool.absorb(trace)
+        for generated in result.test_classes:
+            if generated.tracefile is not None:
+                policy.prime(generated.tracefile)
+                engine.pool.absorb(generated.tracefile)
     started = time.perf_counter()
-    index = 0
-    round_index = 0
+    index = start_index
+    round_index = start_round
     while index < iterations:
         size = min(batch, iterations - index)
         round_started = time.perf_counter()
@@ -541,7 +662,7 @@ def _run_pipeline(result: FuzzResult, engine: _FuzzEngine, selector,
                   for mutator in mutators]
         # Fan out the pure compile/dump stage, then the reference
         # coverage runs (bulk, cache-aware).
-        items = list(zip(mutators, engine.dump_drafts(drafts)))
+        items = list(zip(drafts, engine.dump_drafts(drafts)))
         if policy.needs_coverage:
             engine.collect_coverage(
                 [generated for _, generated in items
@@ -549,7 +670,7 @@ def _run_pipeline(result: FuzzResult, engine: _FuzzEngine, selector,
         share = (time.perf_counter() - round_started) / size
         # Replay acceptance sequentially in batch-index order.
         round_generated = round_accepted = 0
-        for offset, (mutator, generated) in enumerate(items):
+        for offset, ((mutator, draft), generated) in enumerate(items):
             accepted = False
             if generated is not None:
                 round_generated += 1
@@ -558,8 +679,14 @@ def _run_pipeline(result: FuzzResult, engine: _FuzzEngine, selector,
                     accepted = True
                     round_accepted += 1
                     result.test_classes.append(generated)
+                    novelty = engine.pool.absorb(generated.tracefile) \
+                        if generated.tracefile is not None else 0
+                    engine.pool.credit(draft.parent_index, novelty)
+                    observer.credited(novelty)
                     if seed_feedback:
-                        engine.pool.append(generated.jclass)
+                        engine.pool.add(generated.jclass,
+                                        generated.label,
+                                        size=len(generated.data))
                     selector.record_success(mutator)
                     observer.accepted(generated,
                                       len(result.test_classes))
@@ -571,9 +698,19 @@ def _run_pipeline(result: FuzzResult, engine: _FuzzEngine, selector,
                              time.perf_counter() - round_started)
         index += size
         round_index += 1
-    result.elapsed_seconds = time.perf_counter() - started
+        if checkpointer is not None and index < iterations:
+            checkpointer.maybe_write(
+                result, engine, selector, index, round_index,
+                start_elapsed + time.perf_counter() - started)
+    result.elapsed_seconds = start_elapsed \
+        + (time.perf_counter() - started)
     result.mutator_report = selector.report()
     result.discards = dict(engine.discards)
+    result.scheduler = engine.pool.scheduler.name
+    result.seed_stats = engine.pool.stats_rows()
+    if checkpointer is not None:
+        checkpointer.write(result, engine, selector, iterations,
+                           round_index, result.elapsed_seconds)
     return result
 
 
@@ -584,7 +721,10 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
               reference: Optional[Jvm] = None,
               seed_feedback: bool = True,
               executor: Optional[Executor] = None,
-              telemetry=None, batch: int = 1) -> FuzzResult:
+              telemetry=None, batch: int = 1,
+              schedule=None, checkpoint_dir=None,
+              checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+              resume: bool = False) -> FuzzResult:
     """Algorithm 1: coverage-directed generation with MCMC mutator selection.
 
     Args:
@@ -604,66 +744,98 @@ def classfuzz(seeds: Sequence[JClass], iterations: int,
         telemetry: optional :class:`~repro.observe.Telemetry`; records
             per-iteration metrics and emits ``iteration`` /
             ``mutant_accepted`` / ``mutant_discarded`` /
-            ``mcmc_transition`` / ``batch_round`` events.
+            ``mcmc_transition`` / ``batch_round`` / ``seed_scheduled`` /
+            ``checkpoint_written`` events.
         batch: speculative batch size (1 = the exact serial Algorithm 1
             loop; larger batches amortise reference runs across the
             executor's workers at the cost of intra-round staleness of
             the seed pool and MCMC chain).
+        schedule: seed-schedule registry name or
+            :class:`~repro.corpus.schedule.SeedScheduler` instance
+            (default: the paper's uniform pick).
+        checkpoint_dir: when given, snapshot the run's state here every
+            ``checkpoint_every`` iterations (see
+            :mod:`repro.core.checkpoint`).
+        checkpoint_every: iteration interval between checkpoints.
+        resume: restore ``checkpoint_dir``'s latest snapshot and continue
+            from it (fresh start when none exists yet).
     """
     rng = random.Random(seed)
     observer = _FuzzObserver(telemetry, f"classfuzz[{criterion}]")
     engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
-                         observer)
+                         observer, scheduler=make_scheduler(schedule))
     selector = McmcMutatorSelector(mutators, p=p, rng=rng,
                                    telemetry=telemetry)
-    result = FuzzResult("classfuzz", criterion, iterations, batch=batch)
+    result = FuzzResult("classfuzz", criterion, iterations, batch=batch,
+                        scheduler=engine.pool.scheduler.name)
+    checkpointer, state = _prepare_checkpoint(
+        checkpoint_dir, checkpoint_every, resume, telemetry)
     return _run_pipeline(
         result, engine, selector,
         _UniquenessAcceptance(make_criterion(criterion,
                                              telemetry=telemetry)),
-        observer, iterations, batch, seed_feedback=seed_feedback)
+        observer, iterations, batch, seed_feedback=seed_feedback,
+        checkpointer=checkpointer, checkpoint_state=state)
 
 
 def uniquefuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
                mutators: Sequence[Mutator] = MUTATORS,
                reference: Optional[Jvm] = None,
                executor: Optional[Executor] = None,
-               telemetry=None, batch: int = 1) -> FuzzResult:
+               telemetry=None, batch: int = 1,
+               schedule=None, checkpoint_dir=None,
+               checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+               resume: bool = False) -> FuzzResult:
     """classfuzz minus MCMC: uniform mutator selection, [stbr] uniqueness."""
     rng = random.Random(seed)
     observer = _FuzzObserver(telemetry, "uniquefuzz")
     engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
-                         observer)
+                         observer, scheduler=make_scheduler(schedule))
     selector = UniformMutatorSelector(mutators, rng=rng)
-    result = FuzzResult("uniquefuzz", "stbr", iterations, batch=batch)
+    result = FuzzResult("uniquefuzz", "stbr", iterations, batch=batch,
+                        scheduler=engine.pool.scheduler.name)
+    checkpointer, state = _prepare_checkpoint(
+        checkpoint_dir, checkpoint_every, resume, telemetry)
     return _run_pipeline(
         result, engine, selector,
         _UniquenessAcceptance(make_criterion("stbr",
                                              telemetry=telemetry)),
-        observer, iterations, batch)
+        observer, iterations, batch,
+        checkpointer=checkpointer, checkpoint_state=state)
 
 
 def greedyfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
                mutators: Sequence[Mutator] = MUTATORS,
                reference: Optional[Jvm] = None,
                executor: Optional[Executor] = None,
-               telemetry=None, batch: int = 1) -> FuzzResult:
+               telemetry=None, batch: int = 1,
+               schedule=None, checkpoint_dir=None,
+               checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+               resume: bool = False) -> FuzzResult:
     """Greedy baseline: accept only mutants growing accumulated coverage."""
     rng = random.Random(seed)
     observer = _FuzzObserver(telemetry, "greedyfuzz")
     engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
-                         observer)
+                         observer, scheduler=make_scheduler(schedule))
     selector = UniformMutatorSelector(mutators, rng=rng)
-    result = FuzzResult("greedyfuzz", None, iterations, batch=batch)
+    result = FuzzResult("greedyfuzz", None, iterations, batch=batch,
+                        scheduler=engine.pool.scheduler.name)
+    checkpointer, state = _prepare_checkpoint(
+        checkpoint_dir, checkpoint_every, resume, telemetry)
     return _run_pipeline(result, engine, selector, _GreedyAcceptance(),
-                         observer, iterations, batch)
+                         observer, iterations, batch,
+                         checkpointer=checkpointer,
+                         checkpoint_state=state)
 
 
 def randfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
              mutators: Sequence[Mutator] = MUTATORS,
              reference: Optional[Jvm] = None,
              executor: Optional[Executor] = None,
-             telemetry=None, batch: int = 1) -> FuzzResult:
+             telemetry=None, batch: int = 1,
+             schedule=None, checkpoint_dir=None,
+             checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+             resume: bool = False) -> FuzzResult:
     """Blind baseline: every dumped mutant is a test; no coverage runs.
 
     ``reference`` and ``executor`` are accepted for signature parity with
@@ -674,9 +846,13 @@ def randfuzz(seeds: Sequence[JClass], iterations: int, seed: int = 0,
     rng = random.Random(seed)
     observer = _FuzzObserver(telemetry, "randfuzz")
     engine = _FuzzEngine(seeds, rng, mutators, reference, executor,
-                         observer)
+                         observer, scheduler=make_scheduler(schedule))
     selector = UniformMutatorSelector(mutators, rng=rng)
-    result = FuzzResult("randfuzz", None, iterations, batch=batch)
+    result = FuzzResult("randfuzz", None, iterations, batch=batch,
+                        scheduler=engine.pool.scheduler.name)
+    checkpointer, state = _prepare_checkpoint(
+        checkpoint_dir, checkpoint_every, resume, telemetry)
     return _run_pipeline(result, engine, selector,
                          _AcceptAllAcceptance(), observer, iterations,
-                         batch)
+                         batch, checkpointer=checkpointer,
+                         checkpoint_state=state)

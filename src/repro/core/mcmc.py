@@ -197,6 +197,41 @@ class McmcMutatorSelector:
         self._index = {mutator.name: i
                        for i, mutator in enumerate(self.ranked)}
 
+    # -- checkpointing --------------------------------------------------------
+
+    def get_state(self) -> Dict[str, object]:
+        """Picklable chain state: stats, ranking order, current sample."""
+        return {
+            "kind": "mcmc",
+            "stats": {name: (stats.selected, stats.successes)
+                      for name, stats in self.stats.items()},
+            "ranked": [mutator.name for mutator in self.ranked],
+            "current": self.current.name,
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`get_state` snapshot onto this mutator set.
+
+        Raises:
+            ValueError: when the snapshot came from a different selector
+                kind or a different mutator set.
+        """
+        if state.get("kind") != "mcmc":
+            raise ValueError(
+                f"checkpoint selector kind {state.get('kind')!r} does "
+                "not match this run's 'mcmc'")
+        by_name = {mutator.name: mutator for mutator in self.ranked}
+        if set(state["ranked"]) != set(by_name):
+            raise ValueError(
+                "checkpoint mutator set does not match this run's")
+        self.stats = {name: MutatorStats(selected, successes)
+                      for name, (selected, successes)
+                      in state["stats"].items()}
+        self.ranked = [by_name[name] for name in state["ranked"]]
+        self._index = {mutator.name: i
+                       for i, mutator in enumerate(self.ranked)}
+        self.current = by_name[state["current"]]
+
     # -- reporting ---------------------------------------------------------------------
 
     def report(self) -> List[Tuple[str, int, int, float]]:
@@ -232,6 +267,27 @@ class UniformMutatorSelector:
 
     def record_success(self, mutator: Mutator) -> None:
         self.stats[mutator.name].successes += 1
+
+    def get_state(self) -> Dict[str, object]:
+        """Picklable tallies (same checkpoint protocol as the MCMC chain)."""
+        return {
+            "kind": "uniform",
+            "stats": {name: (stats.selected, stats.successes)
+                      for name, stats in self.stats.items()},
+        }
+
+    def set_state(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`get_state` snapshot onto this mutator set."""
+        if state.get("kind") != "uniform":
+            raise ValueError(
+                f"checkpoint selector kind {state.get('kind')!r} does "
+                "not match this run's 'uniform'")
+        if set(state["stats"]) != set(self.stats):
+            raise ValueError(
+                "checkpoint mutator set does not match this run's")
+        self.stats = {name: MutatorStats(selected, successes)
+                      for name, (selected, successes)
+                      in state["stats"].items()}
 
     def report(self) -> List[Tuple[str, int, int, float]]:
         """Same shape as :meth:`McmcMutatorSelector.report`."""

@@ -13,8 +13,10 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.classfile.writer import write_class
 from repro.core.difftest import DifferentialHarness
+from repro.core.executor import OutcomeCache, SerialExecutor
 from repro.jimple.model import JClass
 from repro.jimple.to_classfile import JimpleCompileError, compile_class
+from repro.observe.events import REDUCTION_STEP
 
 
 @dataclass
@@ -101,19 +103,36 @@ def _deletions(jclass: JClass) -> List[Tuple[str, Callable[[JClass], None]]]:
 
 def reduce_discrepancy(jclass: JClass,
                        harness: Optional[DifferentialHarness] = None,
-                       max_rounds: int = 12) -> ReductionResult:
+                       max_rounds: int = 12,
+                       telemetry=None) -> ReductionResult:
     """Minimise ``jclass`` while preserving its discrepancy vector.
 
     Args:
         jclass: a class whose dump triggers a discrepancy.
-        harness: the differential harness (5 JVMs by default).
+        harness: the differential harness (5 JVMs by default; when
+            omitted, the default harness runs candidates through a
+            content-addressed cached executor, so the identical
+            candidate bytes the restart-heavy HDD loop regenerates are
+            answered from cache instead of re-executed).
         max_rounds: fixed-point iteration bound.
+        telemetry: optional :class:`~repro.observe.Telemetry`; counts
+            candidate retests and emits a ``reduction_step`` event for
+            every surviving deletion.
 
     Raises:
         ValueError: when the input does not trigger a discrepancy, or
             cannot be dumped at all.
     """
-    harness = harness or DifferentialHarness()
+    if harness is None:
+        harness = DifferentialHarness(
+            executor=SerialExecutor(cache=OutcomeCache(),
+                                    telemetry=telemetry),
+            telemetry=telemetry)
+    tests_counter = None
+    if telemetry is not None:
+        tests_counter = telemetry.registry.counter(
+            "repro_reduction_tests_total",
+            "Candidate retests executed by the delta-debugging reducer.")
     try:
         baseline = harness.run_one(write_class(compile_class(jclass)),
                                    jclass.name)
@@ -136,11 +155,18 @@ def reduce_discrepancy(jclass: JClass,
             except Exception:
                 continue  # deletion made the class undumpable
             tests_run += 1
+            if tests_counter is not None:
+                tests_counter.inc()
             result = harness.run_one(data, candidate.name)
             if result.codes == target_codes:
                 current = candidate
-                steps.append(ReductionStep(description,
-                                           _component_count(current)))
+                remaining = _component_count(current)
+                steps.append(ReductionStep(description, remaining))
+                if telemetry is not None and telemetry.bus.enabled:
+                    telemetry.bus.emit(
+                        REDUCTION_STEP, label=jclass.name,
+                        description=description, remaining=remaining,
+                        tests_run=tests_run)
                 improved = True
                 break  # restart candidate enumeration on the smaller class
         if not improved:

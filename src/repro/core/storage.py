@@ -5,6 +5,12 @@ tracefile (when coverage was collected), and a ``manifest.json`` recording
 the run's configuration and statistics — enough to re-run differential
 testing later or to share a suite the way the paper shared its test
 classfiles with JVM developers.
+
+Manifest schema v2 adds the corpus subsystem's provenance on top of v1:
+a per-class ``parent`` edge (the pool seed each mutant was mutated
+from), the run's ``scheduler`` name, ``batch`` size, and the pool's
+per-seed ``seed_stats`` rows.  v1 manifests still load — the added
+fields simply read as absent.
 """
 
 from __future__ import annotations
@@ -16,8 +22,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.fuzzing import FuzzResult, GeneratedClass
 from repro.coverage.lcov import read_lcov, write_lcov
 
-#: Manifest schema version.
-MANIFEST_VERSION = 1
+#: Manifest schema version written by :func:`save_suite`.
+MANIFEST_VERSION = 2
+
+#: Manifest schema versions :func:`load_manifest` accepts.
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 
 def save_suite(result: FuzzResult, directory: Path,
@@ -54,6 +63,9 @@ def save_suite(result: FuzzResult, directory: Path,
         "succ": result.succ,
         "gen_count": len(result.gen_classes),
         "test_count": len(result.test_classes),
+        "batch": result.batch,
+        "scheduler": result.scheduler,
+        "seed_stats": result.seed_stats,
         "classes": entries,
     }
     manifest_path = directory / "manifest.json"
@@ -74,6 +86,7 @@ def _manifest_entry(generated: GeneratedClass, bucket: str
         "label": generated.label,
         "bucket": bucket,
         "mutator": generated.mutator,
+        "parent": generated.parent,
         "size": len(generated.data),
         "coverage": generated.tracefile.signature
         if generated.tracefile else None,
@@ -90,7 +103,7 @@ def load_manifest(directory: Path) -> Dict[str, object]:
     if not path.exists():
         raise ValueError(f"no manifest.json in {directory}")
     manifest = json.loads(path.read_text())
-    if manifest.get("version") != MANIFEST_VERSION:
+    if manifest.get("version") not in SUPPORTED_MANIFEST_VERSIONS:
         raise ValueError(
             f"unsupported manifest version {manifest.get('version')}")
     return manifest
@@ -98,7 +111,12 @@ def load_manifest(directory: Path) -> Dict[str, object]:
 
 def load_suite(directory: Path,
                bucket: str = "tests") -> List[Tuple[str, bytes]]:
-    """Load a saved suite's classfiles as ``(label, bytes)`` pairs."""
+    """Load a saved suite's classfiles as ``(label, bytes)`` pairs.
+
+    Raises:
+        ValueError: when a classfile the manifest lists is missing from
+            the suite directory (a truncated or hand-edited suite).
+    """
     manifest = load_manifest(directory)
     directory = Path(directory)
     suite = []
@@ -106,8 +124,12 @@ def load_suite(directory: Path,
         if entry["bucket"] != bucket:
             continue
         label = entry["label"]
-        suite.append((label, (directory / bucket / f"{label}.class")
-                      .read_bytes()))
+        path = directory / bucket / f"{label}.class"
+        if not path.exists():
+            raise ValueError(
+                f"manifest entry {label!r} has no classfile at {path} "
+                "(incomplete or corrupted suite directory)")
+        suite.append((label, path.read_bytes()))
     return suite
 
 

@@ -1,5 +1,25 @@
-"""Synthetic seed corpus: the JRE7-library stand-in (§3.1.1)."""
+"""The corpus subsystem: seed generation, scheduling, and distillation.
 
+* :mod:`repro.corpus.generator` — the synthetic JRE7-library stand-in
+  seed corpus (§3.1.1);
+* :mod:`repro.corpus.pool` / :mod:`repro.corpus.schedule` — the
+  scheduled mutation seed pool and its pluggable pick policies;
+* :mod:`repro.corpus.distill` — greedy set-cover suite distillation.
+"""
+
+from repro.corpus.distill import DistillResult, distill_suite, distill_traces
 from repro.corpus.generator import CorpusConfig, generate_corpus, generate_seed
+from repro.corpus.pool import SeedEntry, SeedPool
+from repro.corpus.schedule import (
+    DEFAULT_SCHEDULE,
+    SCHEDULERS,
+    SeedScheduler,
+    make_scheduler,
+)
 
-__all__ = ["CorpusConfig", "generate_corpus", "generate_seed"]
+__all__ = [
+    "CorpusConfig", "generate_corpus", "generate_seed",
+    "SeedEntry", "SeedPool",
+    "SeedScheduler", "SCHEDULERS", "DEFAULT_SCHEDULE", "make_scheduler",
+    "DistillResult", "distill_traces", "distill_suite",
+]

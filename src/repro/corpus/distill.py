@@ -1,0 +1,188 @@
+"""Coverage distillation: shrink a suite to a minimal covering subset.
+
+A long campaign accumulates thousands of accepted classfiles whose
+coverage overlaps heavily — representative under the acceptance
+criterion, but redundant as a *regression suite*.  Distillation solves
+the classic set-cover problem greedily over interned coverage sites
+(:mod:`repro.coverage.interner`): keep picking the classfile that covers
+the most still-uncovered statement sites and branch outcomes until the
+kept subset covers **exactly** the same site set as the full suite.
+
+Greedy set cover is deterministic here — ties break toward the earlier
+suite entry — and its ``ln(n)``-approximation is the standard trade:
+minutes of set algebra instead of an NP-hard exact minimisation, with
+the exact-coverage guarantee preserved by construction.
+
+Exposed on the CLI as ``repro distill SUITE_DIR [--out DIR]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.coverage.tracefile import Tracefile
+
+
+@dataclass
+class DistillResult:
+    """The outcome of one distillation.
+
+    Attributes:
+        selected: labels kept, in greedy pick order.
+        dropped: labels whose coverage was fully redundant.
+        statement_sites: distinct statement sites the suite covers.
+        branch_sites: distinct branch outcomes the suite covers.
+        input_count: suite size before distillation.
+    """
+
+    selected: List[str] = field(default_factory=list)
+    dropped: List[str] = field(default_factory=list)
+    statement_sites: int = 0
+    branch_sites: int = 0
+    input_count: int = 0
+
+    @property
+    def kept_count(self) -> int:
+        return len(self.selected)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the suite distilled away (0.0 when nothing was)."""
+        if self.input_count == 0:
+            return 0.0
+        return 1.0 - len(self.selected) / self.input_count
+
+    def summary(self) -> str:
+        return (f"distilled {self.input_count} -> {self.kept_count} "
+                f"classes ({self.reduction:.1%} smaller), preserving "
+                f"{self.statement_sites} statement sites and "
+                f"{self.branch_sites} branch outcomes")
+
+
+def distill_traces(entries: Sequence[Tuple[str, Tracefile]]
+                   ) -> DistillResult:
+    """Greedy set-cover over ``(label, tracefile)`` pairs.
+
+    The returned selection covers exactly the union of the input's
+    interned statement and branch site sets, with ``len(selected) <=
+    len(entries)``.  Entries whose tracefile is ``None`` are rejected —
+    a suite without coverage (randfuzz) cannot be distilled.
+
+    Raises:
+        ValueError: when any entry lacks a tracefile.
+    """
+    for label, trace in entries:
+        if trace is None:
+            raise ValueError(
+                f"suite member {label!r} has no tracefile; distillation "
+                "needs coverage (was this suite fuzzed with randfuzz?)")
+    # Branch ids are offset past the statement id space so one set per
+    # entry carries both kinds without id collisions.
+    offset = 1 + max((max(t.stmt_ids, default=0)
+                      for _, t in entries), default=0)
+    sites: List[Set[int]] = [
+        set(trace.stmt_ids) | {offset + b for b in trace.br_ids}
+        for _, trace in entries]
+    uncovered: Set[int] = set().union(*sites) if sites else set()
+    statement_sites = len(set().union(
+        *(t.stmt_ids for _, t in entries))) if entries else 0
+    branch_sites = len(set().union(
+        *(t.br_ids for _, t in entries))) if entries else 0
+
+    result = DistillResult(statement_sites=statement_sites,
+                           branch_sites=branch_sites,
+                           input_count=len(entries))
+    remaining = list(range(len(entries)))
+    while uncovered:
+        best_position = best_index = -1
+        best_gain = 0
+        for position, index in enumerate(remaining):
+            gain = len(sites[index] & uncovered)
+            if gain > best_gain:
+                best_gain = gain
+                best_position, best_index = position, index
+        if best_gain == 0:  # pragma: no cover - uncovered ⊆ union(sites)
+            break
+        result.selected.append(entries[best_index][0])
+        uncovered -= sites[best_index]
+        del remaining[best_position]
+    result.dropped = [entries[index][0] for index in remaining]
+    return result
+
+
+def covered_sites(traces: Sequence[Tracefile]
+                  ) -> Tuple[Set[int], Set[int]]:
+    """The union interned (statement, branch) site sets of ``traces``."""
+    statements: Set[int] = set()
+    branches: Set[int] = set()
+    for trace in traces:
+        statements |= trace.stmt_ids
+        branches |= trace.br_ids
+    return statements, branches
+
+
+def distill_suite(directory, out: Optional[object] = None,
+                  bucket: str = "tests") -> DistillResult:
+    """Distill a saved suite directory; optionally write the subset.
+
+    Loads the suite's classfiles and tracefiles through
+    :mod:`repro.core.storage`, runs :func:`distill_traces`, and — when
+    ``out`` is given — writes a loadable distilled suite (classfiles,
+    tracefiles, and a v2 manifest recording the provenance).
+
+    Raises:
+        ValueError: on missing manifests/classfiles or a coverage-less
+            suite.
+    """
+    from pathlib import Path
+
+    from repro.core.storage import (
+        MANIFEST_VERSION,
+        load_manifest,
+        load_suite,
+        load_tracefile,
+    )
+
+    directory = Path(directory)
+    manifest = load_manifest(directory)
+    suite = load_suite(directory, bucket=bucket)
+    entries = [(label, load_tracefile(directory, label, bucket=bucket))
+               for label, _ in suite]
+    result = distill_traces(entries)
+    if out is None:
+        return result
+
+    import json
+    import shutil
+
+    out = Path(out)
+    out_bucket = out / bucket
+    out_bucket.mkdir(parents=True, exist_ok=True)
+    keep = set(result.selected)
+    kept_entries: List[Dict[str, object]] = []
+    for entry in manifest["classes"]:
+        if entry.get("bucket", "tests") != bucket \
+                or entry["label"] not in keep:
+            continue
+        kept_entries.append(dict(entry))
+        for suffix in (".class", ".info"):
+            source = directory / bucket / f"{entry['label']}{suffix}"
+            if source.exists():
+                shutil.copyfile(source, out_bucket / source.name)
+    distilled_manifest = dict(manifest)
+    distilled_manifest.update({
+        "version": MANIFEST_VERSION,
+        "classes": kept_entries,
+        "test_count": len(kept_entries),
+        "distilled_from": str(directory),
+        "distillation": {
+            "input_count": result.input_count,
+            "kept_count": result.kept_count,
+            "statement_sites": result.statement_sites,
+            "branch_sites": result.branch_sites,
+        },
+    })
+    (out / "manifest.json").write_text(
+        json.dumps(distilled_manifest, indent=2))
+    return result

@@ -1,0 +1,162 @@
+"""Seed schedulers: who gets mutated next (Algorithm 1, line 11).
+
+The paper's loop picks the next mutation seed uniformly from the pool.
+"Selecting Initial Seeds for Better JVM Fuzzing" shows seed choice
+dominates JVM-fuzzing yield, so the pool exposes the decision as a
+pluggable :class:`SeedScheduler`.  Three policies ship:
+
+================== ========================================================
+``uniform``        the paper's policy; **byte-identical RNG consumption**
+                   to the historical ``rng.choice(pool)`` call, so default
+                   runs reproduce the golden serial fixture bit for bit
+``epsilon-greedy`` with probability ε explore uniformly, otherwise exploit
+                   the seed with the best acceptance-per-pick yield
+``coverage-yield`` sample seeds weighted by the coverage novelty their
+                   accepted children contributed (plus-one smoothed so
+                   cold seeds keep probability mass)
+================== ========================================================
+
+Every scheduler is **deterministic** given the run's ``random.Random``:
+scores are computed from the pool's recorded stats and ties break toward
+the lower pool index, so a fixed ``(seed, schedule)`` pair replays the
+same pick sequence on every backend — the property the campaign
+checkpoint layer relies on to make resumed runs bit-equal to
+uninterrupted ones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Union
+
+#: Scheduler registry name of the default (paper) policy.
+DEFAULT_SCHEDULE = "uniform"
+
+
+class SeedScheduler:
+    """Interface: choose the next mutation seed from the pool.
+
+    ``pick`` receives the run's RNG and the pool's entries (objects
+    exposing ``picks``/``accepted``/``novelty`` counters) and returns the
+    chosen index.  Implementations must be pure functions of
+    ``(rng state, entry stats)`` so runs stay deterministic and
+    checkpoint/resume can replay them.
+    """
+
+    #: Registry name (also recorded in manifests and checkpoints).
+    name = "abstract"
+
+    def pick(self, rng: random.Random, entries: Sequence) -> int:
+        raise NotImplementedError
+
+    def spec(self) -> Dict[str, object]:
+        """The scheduler's configuration, for manifests/checkpoints."""
+        return {"name": self.name}
+
+
+class UniformScheduler(SeedScheduler):
+    """The paper's uniform pick.
+
+    ``rng.randrange(n)`` consumes the Mersenne Twister exactly like the
+    historical ``rng.choice(pool)`` (both reduce to one ``_randbelow``
+    draw), which keeps default runs byte-identical to the
+    ``tests/data/golden_serial_fuzz.json`` fixture.
+    """
+
+    name = "uniform"
+
+    def pick(self, rng: random.Random, entries: Sequence) -> int:
+        return rng.randrange(len(entries))
+
+
+def _yield_score(entry) -> float:
+    """Acceptance-plus-novelty yield per pick (plus-one smoothed)."""
+    return (entry.accepted + entry.novelty) / (entry.picks + 1.0)
+
+
+class EpsilonGreedyScheduler(SeedScheduler):
+    """Explore uniformly with probability ε, otherwise exploit.
+
+    Exploitation picks the entry with the highest
+    ``(accepted + novelty) / (picks + 1)`` yield, ties breaking toward
+    the lower pool index; when *every* score is equal (the all-zero cold
+    start) exploitation degenerates to a uniform draw so the pool is not
+    pinned to index 0 before any feedback exists.
+    """
+
+    name = "epsilon-greedy"
+
+    def __init__(self, epsilon: float = 0.1):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.epsilon = epsilon
+
+    def pick(self, rng: random.Random, entries: Sequence) -> int:
+        explore = rng.random() < self.epsilon
+        if not explore:
+            best_index, best_score = 0, _yield_score(entries[0])
+            tied = True
+            for index in range(1, len(entries)):
+                score = _yield_score(entries[index])
+                if score > best_score:
+                    best_index, best_score = index, score
+                    tied = False
+                elif score != best_score:
+                    tied = False
+            if not tied:
+                return best_index
+        return rng.randrange(len(entries))
+
+    def spec(self) -> Dict[str, object]:
+        return {"name": self.name, "epsilon": self.epsilon}
+
+
+class CoverageYieldScheduler(SeedScheduler):
+    """Weighted sampling by accumulated coverage-novelty yield.
+
+    Each entry's weight is ``1 + novelty + accepted``: seeds whose
+    accepted children opened new coverage sites are revisited more often,
+    while the ``1 +`` smoothing keeps every seed reachable (fresh pool
+    members start at the uniform baseline).
+    """
+
+    name = "coverage-yield"
+
+    def pick(self, rng: random.Random, entries: Sequence) -> int:
+        weights: List[float] = [1.0 + entry.novelty + entry.accepted
+                                for entry in entries]
+        point = rng.random() * sum(weights)
+        cumulative = 0.0
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if point < cumulative:
+                return index
+        return len(entries) - 1
+
+
+#: Scheduler name → factory (zero-argument construction defaults).
+SCHEDULERS = {
+    "uniform": UniformScheduler,
+    "epsilon-greedy": EpsilonGreedyScheduler,
+    "coverage-yield": CoverageYieldScheduler,
+}
+
+
+def make_scheduler(schedule: Union[str, SeedScheduler, None],
+                   **kwargs) -> SeedScheduler:
+    """Resolve a scheduler from a registry name or pass one through.
+
+    ``None`` resolves to the default :class:`UniformScheduler`, so every
+    caller that never heard of scheduling keeps the paper's policy.
+    """
+    if schedule is None:
+        schedule = DEFAULT_SCHEDULE
+    if isinstance(schedule, SeedScheduler):
+        return schedule
+    try:
+        factory = SCHEDULERS[schedule]
+    except KeyError:
+        raise ValueError(
+            f"unknown seed schedule {schedule!r} "
+            f"(available: {', '.join(sorted(SCHEDULERS))})") from None
+    return factory(**kwargs)

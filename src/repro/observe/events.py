@@ -14,6 +14,9 @@ type               emitted by
                    no classfile (with the discard category)
 ``mcmc_transition``  the Metropolis–Hastings chain, per accepted proposal
 ``batch_round``    the speculative fuzzing pipeline, per batch round
+``seed_scheduled`` the seed pool, per scheduled mutation seed pick
+``checkpoint_written``  the campaign checkpoint layer, per checkpoint
+``reduction_step`` the delta-debugging reducer, per surviving deletion
 ``jvm_phase``      the JVM startup pipeline, per phase span
 ``executor_batch`` the execution engine, per differential batch
 ``cache_hit``      the execution engine, per content-addressed cache hit
@@ -43,6 +46,9 @@ MUTANT_ACCEPTED = "mutant_accepted"
 MUTANT_DISCARDED = "mutant_discarded"
 MCMC_TRANSITION = "mcmc_transition"
 BATCH_ROUND = "batch_round"
+SEED_SCHEDULED = "seed_scheduled"
+CHECKPOINT_WRITTEN = "checkpoint_written"
+REDUCTION_STEP = "reduction_step"
 JVM_PHASE = "jvm_phase"
 EXECUTOR_BATCH = "executor_batch"
 CACHE_HIT = "cache_hit"
@@ -50,8 +56,9 @@ DISCREPANCY_FOUND = "discrepancy_found"
 
 #: Every event type the pipeline emits.
 EVENT_TYPES = (ITERATION, MUTANT_ACCEPTED, MUTANT_DISCARDED,
-               MCMC_TRANSITION, BATCH_ROUND, JVM_PHASE, EXECUTOR_BATCH,
-               CACHE_HIT, DISCREPANCY_FOUND)
+               MCMC_TRANSITION, BATCH_ROUND, SEED_SCHEDULED,
+               CHECKPOINT_WRITTEN, REDUCTION_STEP, JVM_PHASE,
+               EXECUTOR_BATCH, CACHE_HIT, DISCREPANCY_FOUND)
 
 
 @dataclass(frozen=True)

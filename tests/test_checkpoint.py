@@ -1,0 +1,221 @@
+"""Tests for resumable campaign checkpoints (kill → resume bit-equality)."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.checkpoint import (
+    CRASH_AFTER_ENV,
+    META_FILE,
+    STATE_FILE,
+    CheckpointError,
+    Checkpointer,
+    has_checkpoint,
+    load_checkpoint,
+    read_meta,
+)
+from repro.core.fuzzing import classfuzz, greedyfuzz, randfuzz, uniquefuzz
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.observe import make_telemetry
+from repro.observe.events import CHECKPOINT_WRITTEN
+
+
+@pytest.fixture(scope="module")
+def seeds():
+    return generate_corpus(CorpusConfig(count=20, seed=11))
+
+
+def fingerprint(result):
+    """Everything the golden-fixture comparison checks, plus lineage."""
+    return {
+        "gen": [g.label for g in result.gen_classes],
+        "tests": [t.label for t in result.test_classes],
+        "parents": [g.parent for g in result.gen_classes],
+        "discards": dict(result.discards),
+        "report": [row for row in result.mutator_report if row[1] > 0],
+        "digests": [hashlib.sha256(g.data).hexdigest()[:16]
+                    for g in result.gen_classes],
+        "signatures": [t.tracefile.signature if t.tracefile else None
+                       for t in result.test_classes],
+    }
+
+
+def kill_after(monkeypatch, count):
+    monkeypatch.setenv(CRASH_AFTER_ENV, str(count))
+
+
+class TestCheckpointer:
+    def test_writes_on_cadence(self, seeds, tmp_path):
+        directory = tmp_path / "ckpt"
+        classfuzz(seeds, iterations=40, seed=7,
+                  checkpoint_dir=directory, checkpoint_every=10)
+        assert has_checkpoint(directory)
+        state = load_checkpoint(directory)
+        assert state["index"] == 40  # final completion checkpoint
+        meta = read_meta(directory)
+        assert meta["algorithm"] == "classfuzz"
+        assert meta["index"] == 40
+
+    def test_atomic_files_only(self, seeds, tmp_path):
+        directory = tmp_path / "ckpt"
+        classfuzz(seeds, iterations=20, seed=7,
+                  checkpoint_dir=directory, checkpoint_every=5)
+        names = {p.name for p in directory.iterdir()}
+        assert names == {STATE_FILE, META_FILE}
+
+    def test_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError, match=">= 1"):
+            Checkpointer(tmp_path, every=0)
+
+    def test_missing_checkpoint_rejected(self, tmp_path):
+        assert not has_checkpoint(tmp_path)
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path)
+
+    def test_corrupt_checkpoint_rejected(self, tmp_path):
+        (tmp_path / STATE_FILE).write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(tmp_path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        import pickle
+
+        (tmp_path / STATE_FILE).write_bytes(
+            pickle.dumps({"version": 999}))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(tmp_path)
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("algorithm", [classfuzz, uniquefuzz,
+                                           greedyfuzz, randfuzz])
+    def test_resumed_run_matches_uninterrupted(self, algorithm, seeds,
+                                               tmp_path, monkeypatch):
+        baseline = algorithm(seeds, iterations=50, seed=7)
+        directory = tmp_path / "ckpt"
+        kill_after(monkeypatch, 2)
+        with pytest.raises(KeyboardInterrupt):
+            algorithm(seeds, iterations=50, seed=7,
+                      checkpoint_dir=directory, checkpoint_every=10)
+        monkeypatch.delenv(CRASH_AFTER_ENV)
+        resumed = algorithm(seeds, iterations=50, seed=7,
+                            checkpoint_dir=directory,
+                            checkpoint_every=10, resume=True)
+        assert fingerprint(resumed) == fingerprint(baseline)
+
+    def test_resume_with_batching(self, seeds, tmp_path, monkeypatch):
+        baseline = classfuzz(seeds, iterations=48, seed=3, batch=8)
+        directory = tmp_path / "ckpt"
+        kill_after(monkeypatch, 1)
+        with pytest.raises(KeyboardInterrupt):
+            classfuzz(seeds, iterations=48, seed=3, batch=8,
+                      checkpoint_dir=directory, checkpoint_every=16)
+        monkeypatch.delenv(CRASH_AFTER_ENV)
+        resumed = classfuzz(seeds, iterations=48, seed=3, batch=8,
+                            checkpoint_dir=directory,
+                            checkpoint_every=16, resume=True)
+        assert fingerprint(resumed) == fingerprint(baseline)
+
+    def test_resume_after_completion_is_noop(self, seeds, tmp_path):
+        directory = tmp_path / "ckpt"
+        first = classfuzz(seeds, iterations=30, seed=7,
+                          checkpoint_dir=directory, checkpoint_every=10)
+        again = classfuzz(seeds, iterations=30, seed=7,
+                          checkpoint_dir=directory,
+                          checkpoint_every=10, resume=True)
+        assert fingerprint(again) == fingerprint(first)
+
+    def test_resume_without_checkpoint_is_fresh_start(self, seeds,
+                                                      tmp_path):
+        baseline = classfuzz(seeds, iterations=30, seed=7)
+        result = classfuzz(seeds, iterations=30, seed=7,
+                           checkpoint_dir=tmp_path / "empty",
+                           checkpoint_every=10, resume=True)
+        assert fingerprint(result) == fingerprint(baseline)
+
+    def test_resume_requires_checkpoint_dir(self, seeds):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            classfuzz(seeds, iterations=10, seed=7, resume=True)
+
+    def test_checkpointing_does_not_change_results(self, seeds,
+                                                   tmp_path):
+        baseline = classfuzz(seeds, iterations=40, seed=7)
+        checkpointed = classfuzz(seeds, iterations=40, seed=7,
+                                 checkpoint_dir=tmp_path / "ckpt",
+                                 checkpoint_every=10)
+        assert fingerprint(checkpointed) == fingerprint(baseline)
+
+    def test_mismatched_algorithm_rejected(self, seeds, tmp_path):
+        directory = tmp_path / "ckpt"
+        classfuzz(seeds, iterations=20, seed=7,
+                  checkpoint_dir=directory, checkpoint_every=10)
+        with pytest.raises(CheckpointError, match="algorithm"):
+            uniquefuzz(seeds, iterations=20, seed=7,
+                       checkpoint_dir=directory, checkpoint_every=10,
+                       resume=True)
+
+    def test_mismatched_batch_rejected(self, seeds, tmp_path):
+        directory = tmp_path / "ckpt"
+        classfuzz(seeds, iterations=20, seed=7, batch=4,
+                  checkpoint_dir=directory, checkpoint_every=10)
+        with pytest.raises(CheckpointError, match="batch"):
+            classfuzz(seeds, iterations=20, seed=7, batch=2,
+                      checkpoint_dir=directory, checkpoint_every=10,
+                      resume=True)
+
+    def test_mismatched_schedule_rejected(self, seeds, tmp_path):
+        directory = tmp_path / "ckpt"
+        classfuzz(seeds, iterations=20, seed=7,
+                  checkpoint_dir=directory, checkpoint_every=10)
+        with pytest.raises(CheckpointError, match="seed schedule"):
+            classfuzz(seeds, iterations=20, seed=7,
+                      schedule="coverage-yield",
+                      checkpoint_dir=directory, checkpoint_every=10,
+                      resume=True)
+
+    def test_checkpoint_written_events(self, seeds, tmp_path):
+        telemetry = make_telemetry(ring_capacity=1024)
+        ring = telemetry.bus.sinks[0]
+        classfuzz(seeds, iterations=30, seed=7, telemetry=telemetry,
+                  checkpoint_dir=tmp_path / "ckpt", checkpoint_every=10)
+        events = ring.events(CHECKPOINT_WRITTEN)
+        assert events  # periodic + final completion writes
+        assert events[-1].fields["index"] == 30
+        text = telemetry.render_prometheus()
+        assert "repro_checkpoints_total" in text
+
+
+class TestCampaignResume:
+    def test_killed_campaign_resumes_equal(self, seeds, tmp_path,
+                                           monkeypatch):
+        algorithms = ("classfuzz[stbr]", "randfuzz")
+        baseline = run_campaign(seeds, budget_seconds=9000,
+                                algorithms=algorithms, rng_seed=5)
+        directory = tmp_path / "campaign"
+        kill_after(monkeypatch, 2)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(seeds, budget_seconds=9000,
+                         algorithms=algorithms, rng_seed=5,
+                         checkpoint_dir=directory, checkpoint_every=20)
+        monkeypatch.delenv(CRASH_AFTER_ENV)
+        resumed = run_campaign(seeds, budget_seconds=9000,
+                               algorithms=algorithms, rng_seed=5,
+                               checkpoint_dir=directory,
+                               checkpoint_every=20, resume=True)
+        assert len(resumed) == len(baseline)
+        for left, right in zip(resumed, baseline):
+            assert left.label == right.label
+            assert fingerprint(left.fuzz) == fingerprint(right.fuzz)
+
+    def test_each_leg_gets_its_own_subdir(self, seeds, tmp_path):
+        directory = tmp_path / "campaign"
+        run_campaign(seeds, budget_seconds=4000,
+                     algorithms=("classfuzz[stbr]", "randfuzz"),
+                     rng_seed=5, checkpoint_dir=directory,
+                     checkpoint_every=20)
+        subdirs = sorted(p.name for p in directory.iterdir())
+        assert subdirs == ["classfuzz-stbr-r0", "randfuzz-r0"]
+        for sub in subdirs:
+            assert has_checkpoint(directory / sub)

@@ -1,0 +1,136 @@
+"""Tests for greedy set-cover suite distillation."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.fuzzing import classfuzz, randfuzz
+from repro.core.storage import load_suite, save_suite
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.corpus.distill import covered_sites, distill_traces
+from repro.coverage.tracefile import Tracefile
+
+
+def trace(statements, branches=()):
+    return Tracefile(statements={f"a.c:{s}": 1 for s in statements},
+                     branches={(f"a.c:{b}", True): 1 for b in branches})
+
+
+class TestDistillTraces:
+    def test_exact_cover_preserved(self):
+        entries = [("A", trace([1, 2], [1])),
+                   ("B", trace([2, 3])),
+                   ("C", trace([3]))]
+        result = distill_traces(entries)
+        kept = {label: t for label, t in entries
+                if label in result.selected}
+        full_stmts, full_brs = covered_sites([t for _, t in entries])
+        kept_stmts, kept_brs = covered_sites(list(kept.values()))
+        assert kept_stmts == full_stmts
+        assert kept_brs == full_brs
+        assert result.kept_count <= len(entries)
+
+    def test_redundant_entry_dropped(self):
+        entries = [("big", trace([1, 2, 3])),
+                   ("sub", trace([2, 3]))]
+        result = distill_traces(entries)
+        assert result.selected == ["big"]
+        assert result.dropped == ["sub"]
+        assert result.reduction == 0.5
+
+    def test_greedy_picks_largest_gain_first(self):
+        entries = [("small", trace([1])),
+                   ("large", trace([2, 3, 4])),
+                   ("other", trace([1, 5]))]
+        result = distill_traces(entries)
+        assert result.selected[0] == "large"
+
+    def test_ties_break_toward_earlier_entry(self):
+        entries = [("first", trace([1, 2])),
+                   ("twin", trace([1, 2])),
+                   ("rest", trace([3]))]
+        result = distill_traces(entries)
+        assert "first" in result.selected
+        assert "twin" in result.dropped
+
+    def test_deterministic(self):
+        entries = [("A", trace([1, 2])), ("B", trace([2, 3])),
+                   ("C", trace([4])), ("D", trace([1, 4]))]
+        results = [distill_traces(entries).selected for _ in range(3)]
+        assert results[0] == results[1] == results[2]
+
+    def test_branches_distinct_from_statements(self):
+        # Same numeric site as statement vs branch must not collide.
+        entries = [("stmt", trace([1])), ("br", trace([], [1]))]
+        result = distill_traces(entries)
+        assert sorted(result.selected) == ["br", "stmt"]
+
+    def test_missing_tracefile_rejected(self):
+        with pytest.raises(ValueError, match="M7"):
+            distill_traces([("M7", None)])
+
+    def test_empty_suite(self):
+        result = distill_traces([])
+        assert result.selected == []
+        assert result.reduction == 0.0
+
+    def test_summary_mentions_counts(self):
+        entries = [("big", trace([1, 2, 3])), ("sub", trace([2]))]
+        text = distill_traces(entries).summary()
+        assert "2 -> 1" in text
+
+
+class TestDistillSuite:
+    @pytest.fixture(scope="class")
+    def suite_dir(self, tmp_path_factory):
+        seeds = generate_corpus(CorpusConfig(count=15, seed=5))
+        run = classfuzz(seeds, iterations=60, seed=5)
+        directory = tmp_path_factory.mktemp("suite") / "run"
+        save_suite(run, directory)
+        return directory, run
+
+    def test_distilled_covers_same_sites(self, suite_dir):
+        from repro.core.storage import load_tracefile
+
+        directory, run = suite_dir
+        from repro.corpus.distill import distill_suite
+
+        result = distill_suite(directory)
+        assert 0 < result.kept_count <= len(run.test_classes)
+        traces = [load_tracefile(directory, label)
+                  for label in result.selected]
+        kept_stmts, kept_brs = covered_sites(traces)
+        full_stmts, full_brs = covered_sites(
+            [g.tracefile for g in run.test_classes])
+        assert kept_stmts == full_stmts
+        assert kept_brs == full_brs
+
+    def test_written_output_loads(self, suite_dir, tmp_path):
+        from repro.core.storage import load_manifest
+        from repro.corpus.distill import distill_suite
+
+        directory, _ = suite_dir
+        out = tmp_path / "distilled"
+        result = distill_suite(directory, out=out)
+        manifest = load_manifest(out)
+        assert manifest["distillation"]["kept_count"] \
+            == result.kept_count
+        suite = load_suite(out)
+        assert sorted(label for label, _ in suite) \
+            == sorted(result.selected)
+
+    def test_cli_distill(self, suite_dir, tmp_path, capsys):
+        directory, _ = suite_dir
+        out = tmp_path / "cli-distilled"
+        code = main(["distill", str(directory), "--out", str(out)])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "distilled" in captured
+        assert (out / "manifest.json").exists()
+
+    def test_cli_rejects_traceless_suite(self, tmp_path, capsys):
+        seeds = generate_corpus(CorpusConfig(count=8, seed=2))
+        run = randfuzz(seeds, iterations=10, seed=2)
+        save_suite(run, tmp_path / "blind")
+        code = main(["distill", str(tmp_path / "blind")])
+        assert code == 2
+        assert "randfuzz" in capsys.readouterr().err

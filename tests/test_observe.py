@@ -256,6 +256,17 @@ class TestEventBus:
             "batch_round": {"algorithm": "classfuzz[stbr]", "round": 2,
                             "size": 8, "generated": 7, "accepted": 1,
                             "seconds": 0.05},
+            "seed_scheduled": {"algorithm": "classfuzz[stbr]",
+                               "label": "Seed3", "origin": "seed",
+                               "picks": 2},
+            "checkpoint_written": {"algorithm": "classfuzz[stbr]",
+                                   "index": 50, "iterations": 200,
+                                   "accepted": 9, "pool": 34,
+                                   "path": "ckpt/checkpoint.pkl",
+                                   "seconds": 0.002},
+            "reduction_step": {"label": "M9", "description":
+                               "delete method frob", "remaining": 12,
+                               "tests_run": 7},
             "jvm_phase": {"vendor": "hotspot8", "phase": "linking",
                           "seconds": 0.001},
             "executor_batch": {"engine": "serial", "size": 10},

@@ -70,3 +70,38 @@ class TestReducer:
     def test_tests_run_counted(self, harness):
         result = reduce_discrepancy(discrepant_class(), harness)
         assert result.tests_run >= len(result.steps)
+
+
+class TestReducerTelemetry:
+    def test_default_harness_uses_cached_executor(self):
+        """Omitting the harness routes candidates through the outcome
+        cache: the restart-heavy HDD loop re-tests identical candidate
+        bytes, which must be answered from cache, not re-executed."""
+        from repro.observe import make_telemetry
+
+        telemetry = make_telemetry()
+        result = reduce_discrepancy(discrepant_class(),
+                                    telemetry=telemetry)
+        assert result.codes == (2, 2, 2, 1, 0)
+        text = telemetry.render_prometheus()
+        assert 'repro_cache_lookups_total' in text
+        hits = [line for line in text.splitlines()
+                if line.startswith("repro_cache_lookups_total")
+                and 'result="hit"' in line]
+        assert hits, "reducer retests never hit the outcome cache"
+
+    def test_reduction_step_events_emitted(self):
+        from repro.observe import make_telemetry
+        from repro.observe.events import REDUCTION_STEP
+
+        telemetry = make_telemetry(ring_capacity=4096)
+        ring = telemetry.bus.sinks[0]
+        result = reduce_discrepancy(discrepant_class(),
+                                    telemetry=telemetry)
+        events = ring.events(REDUCTION_STEP)
+        assert len(events) == len(result.steps)
+        assert all(e.fields["label"] == "Bulky" for e in events)
+        remaining = [e.fields["remaining"] for e in events]
+        assert remaining == sorted(remaining, reverse=True)
+        text = telemetry.render_prometheus()
+        assert "repro_reduction_tests_total" in text

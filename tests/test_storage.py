@@ -66,3 +66,51 @@ class TestSaveLoad:
         (tmp_path / "manifest.json").write_text('{"version": 999}')
         with pytest.raises(ValueError, match="version"):
             load_manifest(tmp_path)
+
+    def test_missing_classfile_named_in_error(self, small_run, tmp_path):
+        save_suite(small_run, tmp_path / "suite")
+        victim = small_run.test_classes[0].label
+        (tmp_path / "suite" / "tests" / f"{victim}.class").unlink()
+        with pytest.raises(ValueError, match=victim):
+            load_suite(tmp_path / "suite")
+
+    def test_include_gen_roundtrip_with_traces(self, small_run, tmp_path):
+        save_suite(small_run, tmp_path / "suite", include_gen=True)
+        accepted = {g.label for g in small_run.test_classes}
+        rejected = [g for g in small_run.gen_classes
+                    if g.label not in accepted]
+        by_label = {g.label: g for g in rejected}
+        for label, data in load_suite(tmp_path / "suite", bucket="gen"):
+            assert by_label[label].data == data
+            trace = load_tracefile(tmp_path / "suite", label,
+                                   bucket="gen")
+            original = by_label[label].tracefile
+            if original is None:
+                assert trace is None
+            else:
+                assert trace.signature == original.signature
+                assert trace.stmt_set == original.stmt_set
+                assert trace.br_set == original.br_set
+
+    def test_v2_manifest_records_provenance(self, small_run, tmp_path):
+        manifest_path = save_suite(small_run, tmp_path / "suite")
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["version"] == 2
+        assert manifest["scheduler"] == "uniform"
+        assert manifest["batch"] == small_run.batch
+        assert isinstance(manifest["seed_stats"], list)
+        parents = {entry["parent"] for entry in manifest["classes"]}
+        assert parents and None not in parents
+
+    def test_v1_manifest_still_loads(self, small_run, tmp_path):
+        manifest_path = save_suite(small_run, tmp_path / "suite")
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 1
+        for key in ("scheduler", "seed_stats", "batch"):
+            manifest.pop(key)
+        for entry in manifest["classes"]:
+            entry.pop("parent")
+        manifest_path.write_text(json.dumps(manifest))
+        suite = load_suite(tmp_path / "suite")
+        assert len(suite) == len(small_run.test_classes)
+        assert load_manifest(tmp_path / "suite")["version"] == 1
