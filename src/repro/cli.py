@@ -12,6 +12,9 @@ Commands mirror the paper's workflow:
 * ``campaign`` — the full Table 4 / Table 6 experiment at a scaled budget;
 * ``distill``  — shrink a saved suite to a minimal subset covering the
   same interned statement/branch sites (greedy set cover);
+* ``triage``   — cluster a suite's discrepancies into a deduplicated
+  inventory, minimize representatives, and diff against a known-issue
+  baseline so re-runs report only new clusters;
 * ``observe``  — summarise, replay, or export a recorded telemetry log,
   and validate Prometheus metric dumps.
 
@@ -214,6 +217,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           metavar="N", dest="mutator_report",
                           help="print each algorithm's top-N mutators "
                                "(the Table 5 view)")
+    campaign.add_argument("--triage-out", type=Path, default=None,
+                          metavar="JSONL", dest="triage_out",
+                          help="triage every algorithm's TestClasses "
+                               "discrepancies into one deduplicated "
+                               "cluster inventory written here")
     _add_corpus_options(campaign)
     _add_executor_options(campaign)
     _add_telemetry_options(campaign)
@@ -228,6 +236,45 @@ def _build_parser() -> argparse.ArgumentParser:
     distill.add_argument("--bucket", default="tests",
                          choices=("tests", "gen"),
                          help="which suite bucket to distill")
+
+    triage = sub.add_parser(
+        "triage", help="cluster, minimize, and suppress discrepancies")
+    triage.add_argument("action",
+                        choices=("report", "minimize",
+                                 "diff-against-baseline"),
+                        help="report prints the cluster inventory; "
+                             "minimize also reduces+attributes every "
+                             "new cluster's representative; "
+                             "diff-against-baseline exits 1 when "
+                             "clusters outside --baseline appear")
+    triage.add_argument("path", type=Path,
+                        help="a suite directory (fuzz --out), a "
+                             "directory of .class files, or one "
+                             ".class file")
+    triage.add_argument("--out", type=Path, default=None, metavar="JSONL",
+                        help="append the cluster inventory to this "
+                             "triage store (crash-durable JSONL)")
+    triage.add_argument("--baseline", type=Path, default=None,
+                        metavar="FILE",
+                        help="known-issue list: a suppression JSON or "
+                             "a prior run's triage JSONL — matching "
+                             "clusters are reported as suppressed")
+    triage.add_argument("--minimize", action="store_true",
+                        help="report: also minimize each new cluster's "
+                             "representative and blame policy fields")
+    triage.add_argument("--coarse", action="store_true",
+                        help="cluster on the phase-only code vector "
+                             "(the paper's §3.1.3 grouping) instead of "
+                             "the fine (phase, error) signature")
+    triage.add_argument("--write-suppressions", type=Path, default=None,
+                        metavar="FILE", dest="write_suppressions",
+                        help="write a suppression JSON covering every "
+                             "cluster this run saw")
+    triage.add_argument("--resume", action="store_true",
+                        help="resume an interrupted run from --out's "
+                             "durable progress mark")
+    _add_executor_options(triage)
+    _add_telemetry_options(triage)
 
     observe = sub.add_parser(
         "observe", help="analyse recorded telemetry")
@@ -445,6 +492,11 @@ def _cmd_campaign(args) -> int:
     telemetry = _make_telemetry(args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
                              telemetry=telemetry)
+    triage_engine = None
+    if args.triage_out is not None:
+        from repro.triage import TriageEngine
+
+        triage_engine = TriageEngine(telemetry=telemetry)
     corpus_kw = dict(schedule=args.seed_schedule,
                      checkpoint_dir=args.checkpoint_dir,
                      checkpoint_every=args.checkpoint_every,
@@ -457,13 +509,14 @@ def _cmd_campaign(args) -> int:
                                     rng_seed=args.seed, evaluate=True,
                                     executor=executor,
                                     telemetry=telemetry,
-                                    batch=args.batch, **corpus_kw)
+                                    batch=args.batch,
+                                    triage=triage_engine, **corpus_kw)
         else:
             runs = run_campaign(seeds, budget,
                                 algorithms=tuple(args.algorithms),
                                 rng_seed=args.seed, evaluate=True,
                                 executor=executor, batch=args.batch,
-                                **corpus_kw)
+                                triage=triage_engine, **corpus_kw)
     except KeyboardInterrupt:
         print(f"interrupted; latest checkpoints kept under "
               f"{args.checkpoint_dir} (resume with --resume)",
@@ -484,6 +537,15 @@ def _cmd_campaign(args) -> int:
         print()
         print("=== Table 5 (mutator selection) ===")
         print(format_mutator_report(runs, top=args.mutator_report))
+    if triage_engine is not None:
+        from repro.triage import TriageStore
+
+        with TriageStore(args.triage_out) as store:
+            for cluster in triage_engine.clusters():
+                store.append_cluster(cluster)
+        print()
+        print(f"triage: {len(triage_engine)} distinct clusters across "
+              f"all TestClasses suites -> {args.triage_out}")
     if args.stats:
         print()
         print("=== Executor stats ===")
@@ -498,6 +560,171 @@ def _cmd_campaign(args) -> int:
     executor.close()
     _finish_telemetry(telemetry, args)
     return 0
+
+
+def _load_suite_any(path: Path) -> List:
+    """Load ``(label, bytes)`` pairs from any classfile source.
+
+    Accepts a suite directory written by ``fuzz --out`` (detected by
+    its ``manifest.json``), a plain directory of ``.class`` files, or a
+    single ``.class`` file.
+    """
+    from repro.core.storage import load_suite
+
+    if path.is_dir():
+        if (path / "manifest.json").exists():
+            return load_suite(path)
+        return [(p.stem, p.read_bytes())
+                for p in sorted(path.glob("*.class"))]
+    if not path.exists():
+        raise ValueError(f"no such file or directory: {path}")
+    return [(path.stem, path.read_bytes())]
+
+
+def _format_triage_line(cluster, minimized=None) -> str:
+    status = "SUPPRESSED" if cluster.suppressed else "new"
+    line = (f"{cluster.cluster_id}  {cluster.kind:<6} "
+            f"count={cluster.count:<4} {status:<10} "
+            f"rep={cluster.representative or '-'}  {cluster.describe()}")
+    if minimized is not None:
+        detail = (f"    minimized: {minimized.size_before} -> "
+                  f"{minimized.size_after} bytes, "
+                  f"{minimized.steps} deletions, "
+                  f"{minimized.tests_run} retests")
+        if minimized.blamed_fields:
+            detail += f"; blamed: {', '.join(minimized.blamed_fields)}"
+        if minimized.environmental:
+            detail += "; environmental"
+        if minimized.error:
+            detail += f"; degraded ({minimized.error})"
+        line += "\n" + detail
+    return line
+
+
+def _cmd_triage(args) -> int:
+    from repro.triage import (
+        TriageEngine,
+        TriageStore,
+        load_clusters,
+        load_progress,
+        load_suppressions,
+        minimize_clusters,
+        write_suppressions,
+    )
+    from repro.triage.cluster import COARSE, FINE
+
+    if args.action == "diff-against-baseline" and args.baseline is None:
+        print("error: diff-against-baseline requires --baseline",
+              file=sys.stderr)
+        return 2
+    if args.resume and args.out is None:
+        print("error: --resume requires --out", file=sys.stderr)
+        return 2
+    try:
+        suite = _load_suite_any(args.path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not suite:
+        print("no classfiles found", file=sys.stderr)
+        return 2
+    suppressions = None
+    if args.baseline is not None:
+        try:
+            suppressions = load_suppressions(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    telemetry = _make_telemetry(args)
+    executor = make_executor(jobs=args.jobs, backend=args.backend,
+                             telemetry=telemetry)
+    harness = DifferentialHarness(executor=executor, telemetry=telemetry)
+    engine = TriageEngine(kind=COARSE if args.coarse else FINE,
+                          suppressions=suppressions, telemetry=telemetry)
+    store = TriageStore(args.out) if args.out is not None else None
+    start = 0
+    if args.resume and args.out.exists():
+        restored = engine.restore(load_clusters(args.out))
+        start = load_progress(args.out)
+        print(f"resumed from {args.out}: {restored} clusters restored, "
+              f"{start}/{len(suite)} classfiles already triaged")
+
+    def triage_all() -> None:
+        chunk_size = 32
+        for begin in range(start, len(suite), chunk_size):
+            chunk = suite[begin:begin + chunk_size]
+            results = harness.run_many(chunk)
+            touched = engine.add_many(results, dict(chunk))
+            if store is not None:
+                for cluster in touched:
+                    store.append_cluster(cluster)
+                store.append_progress(begin + len(chunk))
+
+    try:
+        if telemetry is not None:
+            with telemetry.activate():
+                triage_all()
+        else:
+            triage_all()
+    except KeyboardInterrupt:
+        print(f"interrupted; durable progress kept in {args.out} "
+              f"(resume with --resume)", file=sys.stderr)
+        if store is not None:
+            store.close()
+        executor.close()
+        _finish_telemetry(telemetry, args)
+        return 130
+
+    clusters = engine.clusters()
+    new = engine.new_clusters()
+    suppressed = engine.suppressed_clusters()
+    minimized_by_id = {}
+    if args.minimize or args.action == "minimize":
+        data_by_id = {}
+        by_label = dict(suite)
+        for cluster in new:
+            data = engine.representative_bytes(cluster.cluster_id)
+            if data is None:  # restored cluster: bytes not retained
+                data = by_label.get(cluster.representative)
+            if data is not None:
+                data_by_id[cluster.cluster_id] = data
+        minimized = minimize_clusters(new, data_by_id,
+                                      executor=executor,
+                                      telemetry=telemetry)
+        minimized_by_id = {m.cluster_id: m for m in minimized}
+        if store is not None:
+            for item in minimized:
+                store.append_minimized(item.to_record())
+
+    if args.action == "diff-against-baseline":
+        print(f"triaged {len(suite)} classfiles: {len(clusters)} "
+              f"clusters, {len(suppressed)} in baseline, "
+              f"{len(new)} NEW")
+        for cluster in new:
+            print(_format_triage_line(
+                cluster, minimized_by_id.get(cluster.cluster_id)))
+        exit_code = 1 if new else 0
+    else:
+        print(f"triaged {len(suite)} classfiles: {len(clusters)} "
+              f"clusters ({len(new)} new, {len(suppressed)} suppressed)")
+        for cluster in clusters:
+            print(_format_triage_line(
+                cluster, minimized_by_id.get(cluster.cluster_id)))
+        exit_code = 0
+    if args.write_suppressions is not None:
+        write_suppressions(args.write_suppressions, clusters)
+        print(f"wrote {len(clusters)} suppressions to "
+              f"{args.write_suppressions}")
+    if store is not None:
+        store.close()
+        print(f"triage store: {args.out}")
+    if args.stats:
+        print()
+        print("=== Executor stats ===")
+        print(executor.stats.format())
+    executor.close()
+    _finish_telemetry(telemetry, args)
+    return exit_code
 
 
 def _cmd_distill(args) -> int:
@@ -554,6 +781,7 @@ _COMMANDS = {
     "reduce": _cmd_reduce,
     "campaign": _cmd_campaign,
     "distill": _cmd_distill,
+    "triage": _cmd_triage,
     "observe": _cmd_observe,
 }
 

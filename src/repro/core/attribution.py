@@ -59,9 +59,29 @@ def _same_behaviour(first: Outcome, second: Outcome) -> bool:
 
 
 def _with_fields(jvm: Jvm, donor: JvmPolicy, names: List[str]) -> Jvm:
-    """A copy of ``jvm`` with ``names`` transplanted from ``donor``."""
+    """A copy of ``jvm`` with ``names`` transplanted from ``donor``.
+
+    The probe gets a distinct vendor name derived from the transplant,
+    because outcome caches are keyed ``(classfile digest, vendor name)``
+    — a probe sharing the original's name would alias its cache entries
+    and answer transplanted runs with stale un-transplanted outcomes.
+    """
     changes = {name: getattr(donor, name) for name in names}
-    return Jvm(jvm.name, replace(jvm.policy, **changes), jvm.environment)
+    probe_name = f"{jvm.name}~{'+'.join(sorted(names))}" if names \
+        else jvm.name
+    return Jvm(probe_name, replace(jvm.policy, **changes), jvm.environment)
+
+
+class _Runner:
+    """Runs classfiles directly or through an executor engine."""
+
+    def __init__(self, executor=None):
+        self._executor = executor
+
+    def run(self, jvm: Jvm, data: bytes) -> Outcome:
+        if self._executor is None:
+            return jvm.run(data)
+        return self._executor.run_one(jvm, data)
 
 
 def _differing_fields(a: JvmPolicy, b: JvmPolicy) -> List[str]:
@@ -70,7 +90,8 @@ def _differing_fields(a: JvmPolicy, b: JvmPolicy) -> List[str]:
 
 
 def attribute_discrepancy(data: bytes, from_jvm: Jvm, to_jvm: Jvm,
-                          max_probes: int = 256) -> Attribution:
+                          max_probes: int = 256,
+                          executor=None) -> Attribution:
     """Explain why ``from_jvm`` and ``to_jvm`` disagree on ``data``.
 
     Args:
@@ -78,12 +99,18 @@ def attribute_discrepancy(data: bytes, from_jvm: Jvm, to_jvm: Jvm,
         from_jvm: the vendor whose behaviour is being explained.
         to_jvm: the vendor it diverges from.
         max_probes: re-execution budget.
+        executor: optional :class:`~repro.core.executor.Executor` to
+            route every run through — with a cached engine, repeated
+            attribution over a suite answers the unchanged vendor runs
+            from the content-addressed cache (probe vendors carry
+            transplant-derived names, so caching stays sound).
 
     Raises:
         ValueError: when the two vendors actually agree on ``data``.
     """
-    baseline = from_jvm.run(data)
-    target = to_jvm.run(data)
+    runner = _Runner(executor)
+    baseline = runner.run(from_jvm, data)
+    target = runner.run(to_jvm, data)
     if _same_behaviour(baseline, target):
         raise ValueError(
             f"{from_jvm.name} and {to_jvm.name} agree on this classfile")
@@ -95,14 +122,16 @@ def attribute_discrepancy(data: bytes, from_jvm: Jvm, to_jvm: Jvm,
         if probes >= max_probes:
             break
         probes += 1
-        outcome = _with_fields(from_jvm, to_jvm.policy, [name]).run(data)
+        outcome = runner.run(
+            _with_fields(from_jvm, to_jvm.policy, [name]), data)
         if _same_behaviour(outcome, target):
             return Attribution(from_jvm.name, to_jvm.name, [name],
                                environmental=False, baseline=baseline,
                                flipped=outcome)
 
     # Phase 2: transplant everything, then minimise (ddmin-style halving).
-    all_outcome = _with_fields(from_jvm, to_jvm.policy, candidates).run(data)
+    all_outcome = runner.run(
+        _with_fields(from_jvm, to_jvm.policy, candidates), data)
     probes += 1
     if not _same_behaviour(all_outcome, target):
         return Attribution(from_jvm.name, to_jvm.name, [],
@@ -117,30 +146,35 @@ def attribute_discrepancy(data: bytes, from_jvm: Jvm, to_jvm: Jvm,
                 break
             trial = [n for n in needed if n != name]
             probes += 1
-            outcome = _with_fields(from_jvm, to_jvm.policy, trial).run(data)
+            outcome = runner.run(
+                _with_fields(from_jvm, to_jvm.policy, trial), data)
             if _same_behaviour(outcome, target):
                 needed = trial
                 changed = True
             if probes >= max_probes:
                 break
-    final = _with_fields(from_jvm, to_jvm.policy, needed).run(data)
+    final = runner.run(_with_fields(from_jvm, to_jvm.policy, needed), data)
     return Attribution(from_jvm.name, to_jvm.name, needed,
                        environmental=False, baseline=baseline,
                        flipped=final)
 
 
-def attribute_all_pairs(data: bytes, jvms: List[Jvm]
-                        ) -> List[Attribution]:
+def attribute_all_pairs(data: bytes, jvms: List[Jvm],
+                        executor=None) -> List[Attribution]:
     """Attribute every disagreeing vendor pair on one classfile.
 
     For each pair (A, B) with differing behaviour, explains A's divergence
-    from B.  Pairs that agree are skipped.
+    from B.  Pairs that agree are skipped.  ``executor`` routes all runs
+    through an execution engine (see :func:`attribute_discrepancy`).
     """
+    runner = _Runner(executor)
     attributions = []
-    outcomes = [(jvm, jvm.run(data)) for jvm in jvms]
+    outcomes = [(jvm, runner.run(jvm, data)) for jvm in jvms]
     for i, (jvm_a, outcome_a) in enumerate(outcomes):
         for jvm_b, outcome_b in outcomes[i + 1:]:
             if _same_behaviour(outcome_a, outcome_b):
                 continue
-            attributions.append(attribute_discrepancy(data, jvm_a, jvm_b))
+            attributions.append(
+                attribute_discrepancy(data, jvm_a, jvm_b,
+                                      executor=executor))
     return attributions

@@ -94,6 +94,9 @@ class CampaignRun:
         executor_stats: the executor counters this run accumulated —
             runs, cache hits, batches, per-vendor latency (``None`` when
             no stats were collected).
+        triage_clusters: the discrepancy clusters this run's TestClasses
+            contributed to the campaign's triage engine (``None`` when
+            no engine was supplied).
     """
 
     label: str
@@ -103,6 +106,7 @@ class CampaignRun:
     fuzz_seconds: float = 0.0
     evaluate_seconds: float = 0.0
     executor_stats: Optional[ExecutorStats] = None
+    triage_clusters: Optional[List] = None
 
     def _modeled_spent_seconds(self) -> float:
         """Total modeled seconds for this run's iterations.
@@ -178,7 +182,8 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                  telemetry=None, batch: int = 1,
                  schedule=None, checkpoint_dir=None,
                  checkpoint_every: int = 50,
-                 resume: bool = False) -> List[CampaignRun]:
+                 resume: bool = False,
+                 triage=None) -> List[CampaignRun]:
     """Run the Table 4/6 experiment at a scaled budget.
 
     Args:
@@ -217,6 +222,11 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
             that already completed return their checkpointed result
             immediately, so a killed campaign re-runs only the
             interrupted and unstarted legs.
+        triage: optional :class:`~repro.triage.TriageEngine`; when
+            evaluation is on, every algorithm's TestClasses results are
+            fed into it, deduplicating discrepancies across the whole
+            campaign into one cluster inventory (each run records the
+            clusters its suite touched in ``triage_clusters``).
     """
     executor = executor if executor is not None \
         else SerialExecutor(cache=OutcomeCache(), telemetry=telemetry)
@@ -270,6 +280,11 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                 run.test_report = evaluate_suite(
                     f"Test_{label}",
                     [(g.label, g.data) for g in best.test_classes], harness)
+                if triage is not None:
+                    data_by_label = {g.label: g.data
+                                     for g in best.test_classes}
+                    run.triage_clusters = triage.add_many(
+                        run.test_report.results, data_by_label)
             run.evaluate_seconds = time.perf_counter() - evaluate_started
         run.executor_stats = ExecutorStats()
         for engine, earlier in zip(engines, before):

@@ -99,11 +99,31 @@ class DifferentialHarness:
 
     @staticmethod
     def distinct_discrepancies(results: Sequence[DifferentialResult]
-                               ) -> Dict[Tuple[int, ...], int]:
-        """Discrepancy categories: encoded vector → occurrence count.
+                               ) -> Dict[Tuple[Tuple[int, str], ...], int]:
+        """Discrepancy categories: fine encoded vector → occurrence count.
 
-        Two discrepancies are in one category when their encoded outputs
-        match (§3.1.3).
+        Two discrepancies are in one category when their fine-grained
+        ``(phase, error class)`` encodings match (§2.3/§3.1.3).  The
+        phase-only code vector conflates genuinely different bugs — e.g.
+        a ``VerifyError`` and a ``ClassFormatError`` both raised at the
+        linking phase collapse into one coarse category; use
+        :meth:`coarse_discrepancies` for the paper's phase-only view.
+        """
+        categories: Dict[Tuple[Tuple[int, str], ...], int] = {}
+        for result in results:
+            if result.is_fine_discrepancy:
+                key = result.fine_codes
+                categories[key] = categories.get(key, 0) + 1
+        return categories
+
+    @staticmethod
+    def coarse_discrepancies(results: Sequence[DifferentialResult]
+                             ) -> Dict[Tuple[int, ...], int]:
+        """Phase-only discrepancy categories: code vector → count.
+
+        The paper's original §3.1.3 grouping.  Coarser than
+        :meth:`distinct_discrepancies`: results that differ only in
+        error class (same phases) are invisible here.
         """
         categories: Dict[Tuple[int, ...], int] = {}
         for result in results:
@@ -115,11 +135,17 @@ class DifferentialHarness:
                     ) -> Dict[str, List[int]]:
         """Per-JVM phase counts (the paper's Table 7).
 
+        Results may carry outcomes from JVMs outside this harness's
+        configured list (e.g. results reloaded from a prior run with a
+        different ``--jvms`` selection); those are counted under their
+        own row rather than raising ``KeyError``.
+
         Returns:
             JVM name → ``[invoked, loading, linking, init, runtime]`` counts.
         """
         table = {name: [0, 0, 0, 0, 0] for name in self.jvm_names}
         for result in results:
             for outcome in result.outcomes:
-                table[outcome.jvm_name][outcome.code] += 1
+                row = table.setdefault(outcome.jvm_name, [0, 0, 0, 0, 0])
+                row[outcome.code] += 1
         return table

@@ -21,13 +21,16 @@ class SuiteReport:
         all_rejected_same_stage: classfiles every JVM rejected in the
             same phase.
         discrepancies: classfiles with non-constant outcome vectors.
-        distinct_discrepancies: number of distinct encoded vectors among
-            the discrepancies.
+        distinct_discrepancies: number of distinct fine-grained
+            ``(phase, error class)`` encodings among the discrepancies —
+            the categories triage clusters on.
         fine_discrepancies: classfiles discrepant under the §2.3
             fine-grained (phase, error class) encoding — always at least
             ``discrepancies``, the delta being the phase-encoding's false
             negatives.
-        categories: encoded vector → count, for discrepancy analysis.
+        categories: fine encoded vector → count, for discrepancy
+            analysis (:meth:`DifferentialHarness.coarse_discrepancies`
+            recovers the paper's phase-only grouping).
         results: the per-classfile differential results.
     """
 
@@ -38,7 +41,8 @@ class SuiteReport:
     discrepancies: int
     distinct_discrepancies: int
     fine_discrepancies: int = 0
-    categories: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+    categories: Dict[Tuple[Tuple[int, str], ...], int] = \
+        field(default_factory=dict)
     results: List[DifferentialResult] = field(default_factory=list)
 
     @property

@@ -38,15 +38,20 @@ class ReductionResult:
 
     Attributes:
         reduced: the minimised class.
-        codes: the preserved discrepancy vector.
+        codes: the preserved (coarse) discrepancy vector.
         steps: the deletions that survived retesting.
         tests_run: how many candidate retests were executed.
+        fine_codes: the preserved fine-grained ``(phase, error)``
+            vector, when the input was only discrepant under the fine
+            encoding (constant coarse vector) and the reduction
+            therefore preserved the fine vector instead.
     """
 
     reduced: JClass
     codes: Tuple[int, ...]
     steps: List[ReductionStep]
     tests_run: int
+    fine_codes: Optional[Tuple[Tuple[int, str], ...]] = None
 
 
 def _component_count(jclass: JClass) -> int:
@@ -138,8 +143,14 @@ def reduce_discrepancy(jclass: JClass,
                                    jclass.name)
     except JimpleCompileError as exc:
         raise ValueError(f"input class cannot be dumped: {exc}") from exc
+    # A fine-only discrepancy (same phases, different error classes) has
+    # a constant coarse vector; preserve the fine vector instead so such
+    # triggers are still reducible.
+    target_fine: Optional[Tuple[Tuple[int, str], ...]] = None
     if not baseline.is_discrepancy:
-        raise ValueError("input class does not trigger a discrepancy")
+        if not baseline.is_fine_discrepancy:
+            raise ValueError("input class does not trigger a discrepancy")
+        target_fine = baseline.fine_codes
     target_codes = baseline.codes
 
     current = jclass.clone()
@@ -158,7 +169,10 @@ def reduce_discrepancy(jclass: JClass,
             if tests_counter is not None:
                 tests_counter.inc()
             result = harness.run_one(data, candidate.name)
-            if result.codes == target_codes:
+            preserved = (result.fine_codes == target_fine
+                         if target_fine is not None
+                         else result.codes == target_codes)
+            if preserved:
                 current = candidate
                 remaining = _component_count(current)
                 steps.append(ReductionStep(description, remaining))
@@ -172,4 +186,5 @@ def reduce_discrepancy(jclass: JClass,
         if not improved:
             break
     return ReductionResult(reduced=current, codes=target_codes,
-                           steps=steps, tests_run=tests_run)
+                           steps=steps, tests_run=tests_run,
+                           fine_codes=target_fine)

@@ -187,6 +187,20 @@ class OutOfMemoryError_(JavaError):
     java_name = "java.lang.OutOfMemoryError"
 
 
+class StepBudgetExceeded(JavaError):
+    """The interpreter's step budget ran out (a simulated hang).
+
+    Real harnesses kill a spinning JVM with a timeout; the simulated
+    interpreter bounds execution with ``JvmPolicy.max_interpreter_steps``
+    instead.  The error carries its own class name (rather than reusing a
+    ``java.lang`` runtime error) so encoded outcomes — and therefore
+    triage clusters — never conflate a simulated hang with a real
+    runtime rejection.
+    """
+
+    java_name = "harness.StepBudgetExceeded"
+
+
 class MainMethodNotFoundError(JavaError):
     """Raised when the launcher cannot locate ``public static void main``.
 

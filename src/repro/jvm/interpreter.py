@@ -40,15 +40,15 @@ from repro.errors import (
     NoSuchMethodError,
     NullPointerException,
     StackOverflowError_,
+    StepBudgetExceeded,
 )
 from repro.jvm.policy import JvmPolicy
 from repro.runtime.environment import JreEnvironment
 
-
-class ExecutionBudgetExceeded(JavaError):
-    """The interpreter's step budget ran out (the harness's timeout)."""
-
-    java_name = "harness.Timeout"
+#: Backwards-compatible alias: the budget error used to be defined here
+#: (with the misleading ``Timeout`` error name) before it moved into the
+#: :mod:`repro.errors` taxonomy as :class:`~repro.errors.StepBudgetExceeded`.
+ExecutionBudgetExceeded = StepBudgetExceeded
 
 
 class UserThrowable(JavaError):
@@ -189,7 +189,7 @@ class Interpreter:
             self.steps += 1
             if branch("interp.budget_exceeded",
                       self.steps > self.policy.max_interpreter_steps):
-                raise ExecutionBudgetExceeded(
+                raise StepBudgetExceeded(
                     f"exceeded {self.policy.max_interpreter_steps} steps")
             if index >= len(instructions):
                 from repro.errors import VerifyError
@@ -198,7 +198,7 @@ class Interpreter:
             instruction = instructions[index]
             try:
                 outcome = self._step(instruction, stack, locals_, depth)
-            except (_SystemExitRequested, ExecutionBudgetExceeded):
+            except (_SystemExitRequested, StepBudgetExceeded):
                 raise
             except JavaError as thrown:
                 handler_index = self._find_handler(

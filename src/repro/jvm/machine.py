@@ -19,12 +19,9 @@ from repro.errors import (
     ExceptionInInitializerError,
     JavaError,
     MainMethodNotFoundError,
+    StepBudgetExceeded,
 )
-from repro.jvm.interpreter import (
-    ExecutionBudgetExceeded,
-    Interpreter,
-    _SystemExitRequested,
-)
+from repro.jvm.interpreter import Interpreter, _SystemExitRequested
 from repro.jvm.linker import Linker
 from repro.jvm.loader import Loader
 from repro.jvm.outcome import Outcome, Phase
@@ -150,7 +147,7 @@ class Jvm:
                 interpreter.invoke_method(initializer)
             except _SystemExitRequested:
                 pass
-            except ExecutionBudgetExceeded:
+            except StepBudgetExceeded:
                 raise
             except JavaError as exc:
                 if exc.simple_name in ("NoClassDefFoundError",):

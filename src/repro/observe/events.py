@@ -21,6 +21,7 @@ type               emitted by
 ``executor_batch`` the execution engine, per differential batch
 ``cache_hit``      the execution engine, per content-addressed cache hit
 ``discrepancy_found``  the differential harness
+``triage_cluster`` the triage engine, once per newly discovered cluster
 ================== ========================================================
 
 The bus is **no-op cheap when disabled**: with no sinks attached
@@ -53,12 +54,14 @@ JVM_PHASE = "jvm_phase"
 EXECUTOR_BATCH = "executor_batch"
 CACHE_HIT = "cache_hit"
 DISCREPANCY_FOUND = "discrepancy_found"
+TRIAGE_CLUSTER = "triage_cluster"
 
 #: Every event type the pipeline emits.
 EVENT_TYPES = (ITERATION, MUTANT_ACCEPTED, MUTANT_DISCARDED,
                MCMC_TRANSITION, BATCH_ROUND, SEED_SCHEDULED,
                CHECKPOINT_WRITTEN, REDUCTION_STEP, JVM_PHASE,
-               EXECUTOR_BATCH, CACHE_HIT, DISCREPANCY_FOUND)
+               EXECUTOR_BATCH, CACHE_HIT, DISCREPANCY_FOUND,
+               TRIAGE_CLUSTER)
 
 
 @dataclass(frozen=True)

@@ -238,10 +238,13 @@ def write_timeseries(events: Sequence[Event],
 
 # -- Prometheus dump validation ---------------------------------------------
 
+# The value alternation must allow scientific notation with a signed
+# exponent (e.g. ``8.9e-05``, common in seconds-valued sums) — a naive
+# character class without ``-`` rejects those samples as malformed.
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?P<labels>\{[^}]*\})?\s+"
-    r"(?P<value>[-+]?[0-9.eE+naninf]+)$")
+    r"(?P<value>[-+]?(?:[0-9.]+(?:[eE][-+]?[0-9]+)?|[Nn]a[Nn]|[Ii]nf))$")
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 

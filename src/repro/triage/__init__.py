@@ -1,0 +1,66 @@
+"""Discrepancy triage: cluster, minimize, suppress (§2.3/§3.3).
+
+The paper's payoff is not *finding* discrepancies but turning them into
+a deduplicated, minimized, root-caused bug inventory.  This package
+wires the existing pieces — the fine-grained outcome encoding, the
+delta-debugging reducer, and policy-axis attribution — into one
+subsystem:
+
+* :mod:`repro.triage.cluster` — group :class:`DifferentialResult`s by
+  their fine-grained ``(phase, error class)`` signature into clusters
+  with stable content-derived ids;
+* :mod:`repro.triage.minimize` — minimize one representative per
+  cluster and blame the responsible policy axes;
+* :mod:`repro.triage.suppress` — known-issue lists matched by cluster
+  id, so re-runs report only *new* clusters;
+* :mod:`repro.triage.store` — a crash-tolerant JSONL inventory
+  (atomic appends, truncation-tolerant loads, resumable like
+  :mod:`repro.core.checkpoint`).
+
+The ``repro triage`` CLI command drives the pipeline over a stored
+suite or a directory of classfiles.
+"""
+
+from repro.triage.cluster import (
+    Cluster,
+    TriageEngine,
+    cluster_id,
+    coarse_signature,
+    fine_signature,
+)
+from repro.triage.minimize import (
+    MinimizedRepresentative,
+    minimize_cluster,
+    minimize_clusters,
+)
+from repro.triage.store import (
+    TriageStore,
+    load_clusters,
+    load_minimized,
+    load_progress,
+    load_records,
+)
+from repro.triage.suppress import (
+    SuppressionList,
+    load_suppressions,
+    write_suppressions,
+)
+
+__all__ = [
+    "Cluster",
+    "TriageEngine",
+    "cluster_id",
+    "coarse_signature",
+    "fine_signature",
+    "MinimizedRepresentative",
+    "minimize_cluster",
+    "minimize_clusters",
+    "TriageStore",
+    "load_clusters",
+    "load_minimized",
+    "load_progress",
+    "load_records",
+    "SuppressionList",
+    "load_suppressions",
+    "write_suppressions",
+]

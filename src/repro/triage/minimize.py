@@ -1,0 +1,159 @@
+"""Auto-minimization of cluster representatives.
+
+For one representative classfile per cluster, drives the §2.3 pipeline
+end to end: lift to Jimple, hierarchical delta-debugging reduction
+(:func:`~repro.core.reducer.reduce_discrepancy`), then policy-axis
+attribution (:func:`~repro.core.attribution.attribute_all_pairs`) of
+the minimized trigger — all through one cached executor, so the
+restart-heavy HDD loop and the attribution probes answer repeated runs
+from the content-addressed outcome cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.classfile.reader import read_class
+from repro.core.attribution import attribute_all_pairs
+from repro.core.difftest import DifferentialHarness
+from repro.core.executor import Executor, OutcomeCache, SerialExecutor
+from repro.core.reducer import reduce_discrepancy
+from repro.jimple.from_classfile import lift_class
+from repro.jimple.to_classfile import compile_class_bytes
+from repro.triage.cluster import Cluster
+from repro.triage.store import encode_classfile
+
+
+@dataclass
+class MinimizedRepresentative:
+    """One cluster representative's minimization outcome.
+
+    Attributes:
+        cluster_id: the cluster this representative belongs to.
+        label: the representative classfile's label.
+        classfile: the minimized classfile bytes (the original bytes
+            when reduction was not possible).
+        size_before/size_after: byte sizes around the reduction.
+        codes: the preserved coarse discrepancy vector.
+        steps: surviving deletions; ``tests_run``: candidate retests.
+        blamed_fields: policy axes responsible for the discrepancy,
+            unioned over every disagreeing vendor pair.
+        environmental: True when some pair's divergence is explained by
+            the JRE environment rather than any policy axis.
+        error: why minimization degraded to a no-op, when it did
+            (unliftable classfile, non-reproducing roundtrip, …).
+    """
+
+    cluster_id: str
+    label: str
+    classfile: bytes
+    size_before: int
+    size_after: int
+    codes: Tuple[int, ...] = ()
+    steps: int = 0
+    tests_run: int = 0
+    blamed_fields: List[str] = field(default_factory=list)
+    environmental: bool = False
+    error: str = ""
+
+    def to_record(self) -> Dict[str, object]:
+        """The JSONL store record for this minimization."""
+        return {
+            "type": "minimized",
+            "id": self.cluster_id,
+            "label": self.label,
+            "classfile": encode_classfile(self.classfile),
+            "size_before": self.size_before,
+            "size_after": self.size_after,
+            "codes": list(self.codes),
+            "steps": self.steps,
+            "tests_run": self.tests_run,
+            "blamed": list(self.blamed_fields),
+            "environmental": self.environmental,
+            "error": self.error,
+        }
+
+
+def _default_executor(telemetry=None) -> Executor:
+    return SerialExecutor(cache=OutcomeCache(), telemetry=telemetry)
+
+
+def minimize_cluster(cluster: Cluster, data: bytes,
+                     jvms=None,
+                     executor: Optional[Executor] = None,
+                     telemetry=None) -> MinimizedRepresentative:
+    """Minimize and attribute one cluster's representative.
+
+    Args:
+        cluster: the cluster being minimized.
+        data: the representative's classfile bytes.
+        jvms: the vendor set (default: all five).
+        executor: the execution engine (default: a fresh cached serial
+            engine shared by the reduction and the attribution probes).
+        telemetry: threaded into the harness and the reducer.
+
+    Reduction failures (unliftable bytes, a lift→dump roundtrip that no
+    longer reproduces the discrepancy) degrade gracefully: the original
+    bytes are kept and attribution still runs on them, with ``error``
+    explaining the degradation.
+    """
+    engine = executor if executor is not None \
+        else _default_executor(telemetry)
+    harness = DifferentialHarness(jvms=jvms, executor=engine,
+                                  telemetry=telemetry)
+    label = cluster.representative or (cluster.labels[0]
+                                       if cluster.labels else "")
+    minimized = MinimizedRepresentative(
+        cluster_id=cluster.cluster_id, label=label,
+        classfile=data, size_before=len(data), size_after=len(data))
+    reduced_bytes = data
+    try:
+        jclass = lift_class(read_class(data))
+        reduction = reduce_discrepancy(jclass, harness,
+                                       telemetry=telemetry)
+        reduced_bytes = compile_class_bytes(reduction.reduced)
+        minimized.classfile = reduced_bytes
+        minimized.size_after = len(reduced_bytes)
+        minimized.codes = reduction.codes
+        minimized.steps = len(reduction.steps)
+        minimized.tests_run = reduction.tests_run
+    except Exception as exc:  # degraded, not fatal
+        minimized.error = f"{type(exc).__name__}: {exc}"
+        reduced_bytes = data
+    try:
+        attributions = attribute_all_pairs(reduced_bytes, harness.jvms,
+                                           executor=engine)
+    except ValueError as exc:
+        if not minimized.error:
+            minimized.error = f"attribution failed: {exc}"
+        return minimized
+    blamed = sorted({name for attribution in attributions
+                     for name in attribution.responsible_fields})
+    minimized.blamed_fields = blamed
+    minimized.environmental = any(a.environmental for a in attributions)
+    return minimized
+
+
+def minimize_clusters(clusters: Sequence[Cluster],
+                      data_by_id: Dict[str, bytes],
+                      jvms=None,
+                      executor: Optional[Executor] = None,
+                      telemetry=None) -> List[MinimizedRepresentative]:
+    """Minimize every cluster whose representative bytes are known.
+
+    One cached executor (the supplied one, or a fresh cached serial
+    engine) is shared across all clusters, so vendor runs repeated
+    between reductions hit the cache.
+    """
+    engine = executor if executor is not None \
+        else _default_executor(telemetry)
+    results = []
+    for cluster in clusters:
+        data = data_by_id.get(cluster.cluster_id)
+        if data is None:
+            continue
+        results.append(minimize_cluster(cluster, data, jvms=jvms,
+                                        executor=engine,
+                                        telemetry=telemetry))
+    return results

@@ -1,0 +1,201 @@
+"""The persistent triage inventory: crash-tolerant JSONL.
+
+Mirrors :mod:`repro.core.checkpoint`'s durability contract at
+append-granularity: every record is one JSON line, appended with
+flush + fsync, so a kill mid-run loses at most the line being written.
+Loading tolerates a truncated trailing line (the crash artefact) and
+ignores it, so a resumed run can pick up exactly the records that were
+durably written.
+
+Record types:
+
+``meta``       store header: schema version, signature kind, suite path.
+``cluster``    one deduplicated discrepancy cluster (see
+               :meth:`repro.triage.cluster.Cluster.to_record`); a
+               resumed run re-appends updated snapshots, and loaders
+               keep the last record per id.
+``minimized``  a cluster representative's minimization outcome: the
+               reduced classfile (base64), size delta, and the blamed
+               policy fields.
+``progress``   a durable high-water mark: how many suite entries have
+               been fully triaged.  A resumed run restores the
+               recorded clusters and continues from this index.
+
+Testing hook: when the environment variable
+``REPRO_CRASH_AFTER_TRIAGE_FLUSHES`` is set to ``N``, the process
+simulates a kill (raises ``KeyboardInterrupt``) right after the
+``N``-th progress record is durably appended — the same deterministic
+kill → resume idiom :mod:`repro.core.checkpoint` uses.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.triage.cluster import Cluster
+
+#: Triage store schema version.
+STORE_VERSION = 1
+
+#: Simulated-kill testing hook (see module docstring).
+CRASH_AFTER_ENV = "REPRO_CRASH_AFTER_TRIAGE_FLUSHES"
+
+
+class TriageStoreError(ValueError):
+    """The store file is unreadable or version-incompatible."""
+
+
+class TriageStore:
+    """Appends triage records to a JSONL file, durably.
+
+    Attributes:
+        path: the JSONL file (parent directories created on first
+            append).
+        written: records durably appended by this instance.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.written = 0
+        self._handle = None
+        self._progress_written = 0
+
+    def _ensure_open(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            header_needed = not self.path.exists() \
+                or self.path.stat().st_size == 0
+            self._handle = self.path.open("a", encoding="utf-8")
+            if header_needed:
+                self._write_line({"type": "meta",
+                                  "version": STORE_VERSION})
+        return self._handle
+
+    def _write_line(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.written += 1
+
+    def append(self, record: Dict[str, object]) -> None:
+        """Durably append one record (flush + fsync)."""
+        self._ensure_open()
+        self._write_line(record)
+
+    def append_cluster(self, cluster: Cluster) -> None:
+        self.append(cluster.to_record())
+
+    def append_minimized(self, record: Dict[str, object]) -> None:
+        if record.get("type") != "minimized":
+            record = dict(record, type="minimized")
+        self.append(record)
+
+    def append_progress(self, index: int) -> None:
+        """Durably mark ``index`` suite entries as fully triaged."""
+        self.append({"type": "progress", "index": index})
+        self._progress_written += 1
+        crash_after = os.environ.get(CRASH_AFTER_ENV)
+        if crash_after and self._progress_written >= int(crash_after):
+            raise KeyboardInterrupt(
+                f"simulated kill after triage flush "
+                f"{self._progress_written} "
+                f"({CRASH_AFTER_ENV}={crash_after})")
+
+    def existing_cluster_ids(self) -> List[str]:
+        """Cluster ids already durably recorded (resume support)."""
+        if not self.path.exists():
+            return []
+        return [r["id"] for r in load_records(self.path)
+                if r.get("type") == "cluster"]
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TriageStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_records(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read a store's records, tolerating a truncated trailing line.
+
+    A kill mid-append leaves at most one partial final line; it is
+    dropped silently.  A malformed line *before* the last one means the
+    file is not a triage store at all and raises.
+
+    Raises:
+        TriageStoreError: on a non-trailing parse error or an
+            unsupported schema version.
+    """
+    path = Path(path)
+    records: List[Dict[str, object]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if index == len(lines) - 1:
+                break  # the crash-truncated tail
+            raise TriageStoreError(
+                f"{path}:{index + 1}: unparseable record: {exc}") from exc
+        records.append(record)
+    for record in records:
+        if record.get("type") == "meta":
+            version = record.get("version")
+            if version != STORE_VERSION:
+                raise TriageStoreError(
+                    f"{path}: unsupported store version {version!r}")
+    return records
+
+
+def load_clusters(path: Union[str, Path]) -> List[Cluster]:
+    """The cluster records of a store, as :class:`Cluster` objects.
+
+    Later records win when a cluster id repeats (a resumed run
+    re-appends the updated cluster).
+    """
+    by_id: Dict[str, Cluster] = {}
+    for record in load_records(path):
+        if record.get("type") == "cluster":
+            cluster = Cluster.from_record(record)
+            by_id[cluster.cluster_id] = cluster
+    return sorted(by_id.values(), key=lambda c: c.first_seen)
+
+
+def encode_classfile(data: bytes) -> str:
+    """Classfile bytes → base64 text for JSONL embedding."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_classfile(text: str) -> bytes:
+    """The inverse of :func:`encode_classfile`."""
+    return base64.b64decode(text.encode("ascii"))
+
+
+def load_minimized(path: Union[str, Path]
+                   ) -> Dict[str, Dict[str, object]]:
+    """The minimized records of a store, keyed by cluster id."""
+    return {r["id"]: r for r in load_records(path)
+            if r.get("type") == "minimized"}
+
+
+def load_progress(path: Union[str, Path]) -> int:
+    """The durable high-water mark: suite entries fully triaged."""
+    if not Path(path).exists():
+        return 0
+    indexes = [int(r["index"]) for r in load_records(path)
+               if r.get("type") == "progress"]
+    return max(indexes, default=0)

@@ -1,0 +1,131 @@
+"""Known-issue suppression lists, matched by cluster id.
+
+A suppression file records clusters that have already been triaged (or
+deliberately ignored) so re-runs report only *new* clusters.  Two
+formats load interchangeably:
+
+* a **suppression JSON** file::
+
+      {"version": 1,
+       "suppressions": [{"cluster_id": "Cab12…", "reason": "JDK-123"}]}
+
+* a **triage JSONL store** from a prior ``repro triage report --out``
+  run — every recorded cluster id is treated as suppressed, which
+  makes "diff this run against the last one" a one-flag operation.
+
+Because cluster ids are derived only from the discrepancy signature,
+a suppression written on one machine/backend matches the same bug
+everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.triage.cluster import Cluster
+from repro.triage.store import load_records
+
+#: Suppression file schema version.
+SUPPRESSION_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One suppressed cluster.
+
+    Attributes:
+        cluster_id: the stable id to match.
+        reason: free-text justification (bug tracker link, verdict).
+    """
+
+    cluster_id: str
+    reason: str = ""
+
+
+class SuppressionList:
+    """A set of suppressions with membership by cluster id."""
+
+    def __init__(self, suppressions: Iterable[Suppression] = ()):
+        self._by_id: Dict[str, Suppression] = {
+            s.cluster_id: s for s in suppressions}
+
+    def __contains__(self, cluster_id: str) -> bool:
+        return cluster_id in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def get(self, cluster_id: str) -> Optional[Suppression]:
+        return self._by_id.get(cluster_id)
+
+    def ids(self) -> List[str]:
+        return sorted(self._by_id)
+
+
+def _load_suppression_json(payload: Dict[str, object],
+                           path: Path) -> SuppressionList:
+    version = payload.get("version")
+    if version != SUPPRESSION_VERSION:
+        raise ValueError(
+            f"{path}: unsupported suppression version {version!r}")
+    suppressions = []
+    for entry in payload.get("suppressions", []):
+        if "cluster_id" not in entry:
+            raise ValueError(f"{path}: suppression entry without "
+                             f"cluster_id: {entry!r}")
+        suppressions.append(Suppression(entry["cluster_id"],
+                                        entry.get("reason", "")))
+    return SuppressionList(suppressions)
+
+
+def load_suppressions(path: Union[str, Path]) -> SuppressionList:
+    """Load a suppression JSON file or a prior run's triage JSONL.
+
+    The format is sniffed from the first parseable structure: a JSON
+    object with a ``suppressions`` key is the dedicated format;
+    anything else is read as a triage store whose cluster records
+    become suppressions.
+
+    Raises:
+        ValueError: when the file is neither format.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8").strip()
+    if not text:
+        return SuppressionList()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "suppressions" in payload:
+        return _load_suppression_json(payload, path)
+    # Fall back to a triage JSONL store (also covers a single-line
+    # store, which the whole-file json.loads above may have parsed).
+    records = load_records(path)
+    suppressions = [
+        Suppression(record["id"],
+                    reason=f"baseline cluster ({record.get('count', 0)} "
+                           f"occurrences)")
+        for record in records if record.get("type") == "cluster"]
+    if not suppressions and not any(
+            record.get("type") in ("meta", "minimized")
+            for record in records):
+        raise ValueError(
+            f"{path}: neither a suppression file nor a triage store")
+    return SuppressionList(suppressions)
+
+
+def write_suppressions(path: Union[str, Path],
+                       clusters: Iterable[Cluster],
+                       reason: str = "") -> int:
+    """Write a suppression JSON covering ``clusters``; returns count."""
+    entries = [{"cluster_id": cluster.cluster_id,
+                "reason": reason or f"suppressed {cluster.describe()}"}
+               for cluster in clusters]
+    payload = {"version": SUPPRESSION_VERSION, "suppressions": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n", encoding="utf-8")
+    return len(entries)

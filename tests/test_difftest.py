@@ -96,7 +96,41 @@ class TestHarness:
                    harness.run_one(figure2_class_bytes(), "b"),
                    harness.run_one(demo_bytes, "c")]
         categories = harness.distinct_discrepancies(results)
-        assert categories == {(0, 0, 0, 1, 0): 2}
+        assert categories == {results[0].fine_codes: 2}
+        assert tuple(code for code, _ in results[0].fine_codes) \
+            == (0, 0, 0, 1, 0)
+
+    def test_coarse_grouping_keeps_phase_only_keys(self, harness,
+                                                   demo_bytes):
+        results = [harness.run_one(figure2_class_bytes(), "a"),
+                   harness.run_one(figure2_class_bytes(), "b"),
+                   harness.run_one(demo_bytes, "c")]
+        assert harness.coarse_discrepancies(results) == {(0, 0, 0, 1, 0): 2}
+
+    def test_distinct_separates_same_phase_different_errors(self):
+        """Regression: identical code vectors with different error
+        classes are different bugs, not one category."""
+        def rejected(error):
+            return DifferentialResult(outcomes=[
+                Outcome(Phase.INVOKED, jvm_name="hotspot7"),
+                Outcome(Phase.LINKING, error=error, jvm_name="hotspot8"),
+            ])
+        results = [rejected("VerifyError"), rejected("ClassFormatError")]
+        fine = DifferentialHarness.distinct_discrepancies(results)
+        assert len(fine) == 2
+        coarse = DifferentialHarness.coarse_discrepancies(results)
+        assert coarse == {(0, 2): 2}
+
+    def test_distinct_counts_fine_only_discrepancies(self):
+        """A same-phase error-class split has a constant coarse vector
+        but is still a (fine) discrepancy category."""
+        result = DifferentialResult(outcomes=[
+            Outcome(Phase.LINKING, error="VerifyError", jvm_name="a"),
+            Outcome(Phase.LINKING, error="ClassFormatError", jvm_name="b"),
+        ])
+        assert not result.is_discrepancy
+        assert DifferentialHarness.distinct_discrepancies([result])
+        assert not DifferentialHarness.coarse_discrepancies([result])
 
     def test_phase_table_totals(self, harness, demo_bytes):
         results = harness.run_many([("demo", demo_bytes),
@@ -105,6 +139,20 @@ class TestHarness:
         for name in harness.jvm_names:
             assert sum(table[name]) == 2
         assert table["j9"][int(Phase.LOADING)] == 1
+
+    def test_phase_table_unknown_jvm_counted(self, harness):
+        """Regression: outcomes naming a JVM outside the harness's
+        configured list (e.g. reloaded results from a different --jvms
+        selection) get their own row instead of raising KeyError."""
+        results = [DifferentialResult(outcomes=[
+            Outcome(Phase.INVOKED, jvm_name="hotspot7"),
+            Outcome(Phase.RUNTIME, error="NullPointerException",
+                    jvm_name="zing"),
+        ])]
+        table = harness.phase_table(results)
+        assert table["zing"] == [0, 0, 0, 0, 1]
+        assert table["hotspot7"][0] == 1
+        assert sum(sum(row) for row in table.values()) == 2
 
 
 class TestMetrics:

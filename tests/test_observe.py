@@ -272,6 +272,11 @@ class TestEventBus:
             "executor_batch": {"engine": "serial", "size": 10},
             "cache_hit": {"store": "outcome", "vendor": "j9"},
             "discrepancy_found": {"label": "M2", "codes": [0, 2, 2, 0, 0]},
+            "triage_cluster": {"id": "Cdeadbeef0123", "kind": "fine",
+                               "signature": [["gij", 0, ""],
+                                             ["j9", 2, "VerifyError"]],
+                               "representative": "M2",
+                               "suppressed": False},
         }
         assert set(payloads) == set(EVENT_TYPES)
         for event_type, fields in payloads.items():
@@ -430,6 +435,18 @@ class TestSummary:
     def test_parse_prometheus_rejects_garbage(self):
         with pytest.raises(ValueError, match="malformed"):
             parse_prometheus("this is { not a sample\n")
+
+    def test_parse_prometheus_scientific_notation(self):
+        """Seconds-valued sums commonly render as ``8.9e-05``; the
+        signed exponent must parse, not fail as malformed."""
+        text = ('repro_jvm_run_seconds_sum{vendor="j9"} 8.957e-05\n'
+                'tiny_negative -1.5e-3\n'
+                'plain_exp 2E+6\n')
+        samples = parse_prometheus(text)
+        assert samples["repro_jvm_run_seconds_sum"][0][1] == \
+            pytest.approx(8.957e-05)
+        assert samples["tiny_negative"][0][1] == pytest.approx(-0.0015)
+        assert samples["plain_exp"][0][1] == 2e6
 
     def test_check_prometheus_reports_missing_families(self):
         problems = check_prometheus("repro_iterations_total 5\n")
