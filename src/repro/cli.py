@@ -22,9 +22,12 @@ The JVM-running commands (``fuzz``, ``difftest``, ``campaign``) accept
 ``--events``/``--metrics-out``/``--progress`` to record structured
 events and a metrics dump while they run.  ``fuzz`` and ``campaign``
 also accept the corpus-subsystem flags: ``--seed-schedule`` picks the
-seed-scheduling policy, and ``--checkpoint-dir``/``--checkpoint-every``/
+seed-scheduling policy, ``--checkpoint-dir``/``--checkpoint-every``/
 ``--resume`` make runs crash-durable (a killed run resumed with
-``--resume`` reproduces the uninterrupted run's suite exactly).
+``--resume`` reproduces the uninterrupted run's suite exactly), and
+``--coverage-index bitmap`` puts the fixed-width bitmap novelty
+prefilter in front of the exact acceptance criteria (same decisions,
+lower per-mutant cost — see :mod:`repro.coverage.bitmap`).
 """
 
 from __future__ import annotations
@@ -112,6 +115,12 @@ def _add_corpus_options(command: argparse.ArgumentParser) -> None:
     command.add_argument("--resume", action="store_true",
                          help="resume from --checkpoint-dir's latest "
                               "checkpoint (fresh start when none exists)")
+    command.add_argument("--coverage-index", dest="coverage_index",
+                         choices=("exact", "bitmap"), default="exact",
+                         help="acceptance-index implementation: exact "
+                              "criterion lookups, or the fixed-width "
+                              "bitmap novelty prefilter in front of them "
+                              "(same decisions, lower per-mutant cost)")
 
 
 def _make_telemetry(args):
@@ -353,7 +362,8 @@ def _cmd_fuzz(args) -> int:
     corpus_kw = dict(schedule=args.seed_schedule,
                      checkpoint_dir=args.checkpoint_dir,
                      checkpoint_every=args.checkpoint_every,
-                     resume=args.resume)
+                     resume=args.resume,
+                     coverage_index=args.coverage_index)
     runners = {
         "classfuzz": lambda: classfuzz(seeds, args.iterations,
                                        criterion=args.criterion,
@@ -500,7 +510,8 @@ def _cmd_campaign(args) -> int:
     corpus_kw = dict(schedule=args.seed_schedule,
                      checkpoint_dir=args.checkpoint_dir,
                      checkpoint_every=args.checkpoint_every,
-                     resume=args.resume)
+                     resume=args.resume,
+                     coverage_index=args.coverage_index)
     try:
         if telemetry is not None:
             with telemetry.activate():

@@ -183,7 +183,8 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                  schedule=None, checkpoint_dir=None,
                  checkpoint_every: int = 50,
                  resume: bool = False,
-                 triage=None) -> List[CampaignRun]:
+                 triage=None,
+                 coverage_index: str = "exact") -> List[CampaignRun]:
     """Run the Table 4/6 experiment at a scaled budget.
 
     Args:
@@ -227,6 +228,10 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
             fed into it, deduplicating discrepancies across the whole
             campaign into one cluster inventory (each run records the
             clusters its suite touched in ``triage_clusters``).
+        coverage_index: acceptance-index implementation handed to every
+            fuzzing run (``"exact"`` or ``"bitmap"``); acceptance
+            decisions — and hence every table — are byte-identical
+            either way.
     """
     executor = executor if executor is not None \
         else SerialExecutor(cache=OutcomeCache(), telemetry=telemetry)
@@ -265,7 +270,8 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                                          schedule=schedule,
                                          checkpoint_dir=leg_dir,
                                          checkpoint_every=checkpoint_every,
-                                         resume=resume)
+                                         resume=resume,
+                                         coverage_index=coverage_index)
                 if best is None or len(result.test_classes) > len(
                         best.test_classes):
                     best = result

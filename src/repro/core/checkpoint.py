@@ -19,9 +19,14 @@ pipeline needs to continue mid-run):
 
 What it deliberately does **not** carry: interned coverage-site ids
 (process-local by contract — see :mod:`repro.coverage.interner`) and the
-acceptance-criterion indexes built from them.  Both are rebuilt on resume
-by re-priming the seed corpus and re-absorbing the accepted tracefiles —
-pure, deterministic replays of cached reference runs.
+acceptance-criterion indexes built from them — including the bitmap
+prefilter's accumulated slot state, whose slots are derived from those
+ids.  All of it is rebuilt on resume by re-priming the seed corpus and
+re-absorbing the accepted tracefiles — pure, deterministic replays of
+cached reference runs — so a bitmap-mode run resumes bit-identically
+too.  The run's ``coverage_index`` *is* recorded and validated on
+resume, because silently switching index implementations mid-run would
+change per-decision costs the operator asked to measure.
 
 Writes are atomic (temp file + ``os.replace``), one ``checkpoint.pkl``
 per directory with a human-readable ``checkpoint.json`` sidecar; a
@@ -114,6 +119,7 @@ def snapshot_run(result, engine, selector, index: int, round_index: int,
         "batch": result.batch,
         "iterations": result.iterations,
         "scheduler": engine.pool.scheduler.name,
+        "coverage_index": result.coverage_index,
         "index": index,
         "round_index": round_index,
         "elapsed": elapsed,
@@ -148,6 +154,13 @@ def restore_run(state: Dict[str, object], result, engine,
             raise CheckpointError(
                 f"checkpoint {key} {state[key]!r} does not match this "
                 f"run's {current!r}")
+    # Back-compat: checkpoints written before the bitmap prefilter
+    # existed could only have been exact-mode runs.
+    checkpointed_index = state.get("coverage_index", "exact")
+    if checkpointed_index != result.coverage_index:
+        raise CheckpointError(
+            f"checkpoint coverage_index {checkpointed_index!r} does not "
+            f"match this run's {result.coverage_index!r}")
     try:
         engine.pool.set_state(state["pool"])
         selector.set_state(state["selector"])
@@ -229,6 +242,7 @@ class Checkpointer:
             "criterion": result.criterion,
             "scheduler": engine.pool.scheduler.name,
             "batch": result.batch,
+            "coverage_index": result.coverage_index,
             "index": index,
             "iterations": result.iterations,
             "generated": len(result.gen_classes),

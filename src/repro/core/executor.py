@@ -423,12 +423,24 @@ class Executor:
         Results are deterministic and bit-identical across engines for a
         fixed input batch — ``Jvm.run`` is a pure function of the bytes,
         and results are stitched back in submit order.
+
+        Identical classfiles *within* one batch are deduplicated by
+        digest: each distinct miss executes exactly once and every
+        duplicate position is filled from that single ``(outcome,
+        trace)`` pair — so duplicates share one :class:`Tracefile`
+        instance (one set of cached interned/bitmap views, and on the
+        process backend one pickled trace crossing the pool boundary
+        instead of one per position).  Duplicate positions count as
+        ``trace_hits``: they are served without an execution, exactly
+        like a cache hit.
         """
         items = list(batch)
         started = time.perf_counter()
         results: List[Optional[Tuple[Outcome, Tracefile]]] = \
             [None] * len(items)
-        misses: List[Tuple[int, str, bytes]] = []
+        #: digest → every position in this batch awaiting its result.
+        positions: Dict[str, List[int]] = {}
+        misses: List[Tuple[str, bytes]] = []
         if self.cache is not None:
             hits = 0
             for position, data in enumerate(items):
@@ -437,8 +449,12 @@ class Executor:
                 if cached is not None:
                     results[position] = cached
                     hits += 1
+                elif digest in positions:
+                    positions[digest].append(position)
+                    hits += 1
                 else:
-                    misses.append((position, digest, data))
+                    positions[digest] = [position]
+                    misses.append((digest, data))
             with self._stats_lock:
                 self.stats.trace_hits += hits
                 self.stats.trace_misses += len(misses)
@@ -448,12 +464,17 @@ class Executor:
                 for _ in misses:
                     self._observe.cache_lookup("trace", False, jvm.name)
         else:
-            misses = [(position, "", data)
-                      for position, data in enumerate(items)]
+            for position, data in enumerate(items):
+                digest = classfile_digest(data)
+                if digest in positions:
+                    positions[digest].append(position)
+                else:
+                    positions[digest] = [position]
+                    misses.append((digest, data))
         if misses:
             executed = self._run_reference_batch(
-                jvm, [data for _, _, data in misses])
-            for (position, digest, _), (outcome, trace, seconds) in zip(
+                jvm, [data for _, data in misses])
+            for (digest, _), (outcome, trace, seconds) in zip(
                     misses, executed):
                 with self._stats_lock:
                     self.stats.record_run(jvm.name, seconds)
@@ -462,7 +483,9 @@ class Executor:
                     self._observe.record_reference(seconds)
                 if self.cache is not None:
                     self.cache.put_trace(digest, jvm.name, outcome, trace)
-                results[position] = (outcome, trace)
+                pair = (outcome, trace)
+                for position in positions[digest]:
+                    results[position] = pair
         elapsed = time.perf_counter() - started
         with self._stats_lock:
             self.stats.ref_batches += 1

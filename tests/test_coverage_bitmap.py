@@ -1,0 +1,196 @@
+"""Tests for the fixed-width coverage bitmap (repro.coverage.bitmap)."""
+
+import pickle
+
+import pytest
+
+from repro.coverage.bitmap import (
+    BITMAP_POWER,
+    BITMAP_SIZE,
+    AccumulatedBitmap,
+    CoverageBitmap,
+    branch_slot,
+    classify_count,
+    collector_bitmaps_enabled,
+    coverage_slots,
+    enable_collector_bitmaps,
+    statement_slot,
+)
+from repro.coverage.probes import CoverageCollector, probe, branch
+from repro.coverage.tracefile import Tracefile
+
+
+class TestSlots:
+    def test_power_of_two_table(self):
+        assert BITMAP_SIZE == 1 << BITMAP_POWER
+        assert BITMAP_SIZE & (BITMAP_SIZE - 1) == 0
+
+    def test_statement_slot_deterministic_and_in_range(self):
+        sites = [f"phase.site_{i}" for i in range(200)]
+        first = [statement_slot(site) for site in sites]
+        second = [statement_slot(site) for site in sites]
+        assert first == second
+        assert all(0 <= slot < BITMAP_SIZE for slot in first)
+
+    def test_branch_slot_deterministic_and_in_range(self):
+        outcomes = [(f"branch_{i}", taken)
+                    for i in range(100) for taken in (True, False)]
+        first = [branch_slot(key) for key in outcomes]
+        assert first == [branch_slot(key) for key in outcomes]
+        assert all(0 <= slot < BITMAP_SIZE for slot in first)
+
+    def test_branch_outcomes_get_distinct_slots(self):
+        # The taken/not-taken outcomes of one site are distinct ids,
+        # hence (collisions aside) distinct slots.
+        assert branch_slot(("slot_test.br", True)) != \
+            branch_slot(("slot_test.br", False))
+
+    def test_namespace_salting_separates_kinds(self):
+        # A statement site and a branch outcome that share interner id 0
+        # in their respective namespaces must not systematically share a
+        # slot: statements hash from even ints, branches from odd.
+        sites = [f"salt.s{i}" for i in range(50)]
+        stmt_slots = {statement_slot(site) for site in sites}
+        br_slots = {branch_slot((f"salt.b{i}", True)) for i in range(50)}
+        # Not a proof of disjointness (collisions are allowed), but the
+        # two namespaces must not collapse onto each other wholesale.
+        assert stmt_slots != br_slots
+
+    def test_coverage_slots_unions_both_kinds(self):
+        statements = {"cs.a": 1, "cs.b": 2}
+        branches = {("cs.c", True): 1}
+        expected = ({statement_slot(site) for site in statements}
+                    | {branch_slot(key) for key in branches})
+        assert coverage_slots(statements, branches) == expected
+
+    def test_coverage_slots_handles_fresh_sites(self):
+        # Sites never seen by the process fall back to the interning
+        # slow path and still land in the cache for the next call.
+        statements = {"cs.fresh.never_seen_before_xyz": 1}
+        slots = coverage_slots(statements, {})
+        assert slots == coverage_slots(statements, {})
+        assert len(slots) == 1
+
+
+class TestClassification:
+    @pytest.mark.parametrize("count,bucket", [
+        (0, 0), (1, 1), (2, 2), (3, 4), (4, 8), (7, 8), (8, 16),
+        (15, 16), (16, 32), (31, 32), (32, 64), (127, 64), (128, 128),
+        (255, 128), (1000, 128),
+    ])
+    def test_afl_buckets(self, count, bucket):
+        assert classify_count(count) == bucket
+
+    def test_negative_counts_unhit(self):
+        assert classify_count(-1) == 0
+
+
+class TestCoverageBitmap:
+    def test_len_and_density(self):
+        bitmap = CoverageBitmap({"cb.a": 1, "cb.b": 1}, {})
+        assert len(bitmap) == len(bitmap.slots)
+        assert bitmap.density == len(bitmap.slots) / BITMAP_SIZE
+
+    def test_buffer_is_fixed_width(self):
+        bitmap = CoverageBitmap({"cb.a": 3}, {("cb.br", True): 1})
+        assert len(bitmap.buffer) == BITMAP_SIZE
+
+    def test_buffer_counts_hits(self):
+        bitmap = CoverageBitmap({"cb.counted": 5}, {})
+        assert bitmap.buffer[statement_slot("cb.counted")] == 5
+
+    def test_buffer_saturates_at_255(self):
+        bitmap = CoverageBitmap({"cb.hot": 100000}, {})
+        assert bitmap.buffer[statement_slot("cb.hot")] == 255
+
+    def test_nonzero_buffer_slots_match_slot_set(self):
+        bitmap = CoverageBitmap(
+            {f"cb.s{i}": i + 1 for i in range(40)},
+            {(f"cb.b{i}", i % 2 == 0): 1 for i in range(30)})
+        occupied = {i for i, c in enumerate(bitmap.buffer) if c}
+        assert occupied == bitmap.slots
+
+    def test_classified_applies_buckets_bytewise(self):
+        bitmap = CoverageBitmap({"cb.once": 1, "cb.thrice": 3}, {})
+        classified = bitmap.classified
+        assert len(classified) == BITMAP_SIZE
+        assert classified[statement_slot("cb.once")] == 1
+        assert classified[statement_slot("cb.thrice")] == 4
+
+    def test_empty_trace_empty_bitmap(self):
+        bitmap = CoverageBitmap({}, {})
+        assert len(bitmap) == 0
+        assert bitmap.buffer == bytes(BITMAP_SIZE)
+
+
+class TestAccumulatedBitmap:
+    def test_fresh_accumulator_sees_everything_as_new(self):
+        acc = AccumulatedBitmap()
+        assert acc.has_new(CoverageBitmap({"acc.a": 1}, {}))
+
+    def test_empty_bitmap_is_never_new(self):
+        assert not AccumulatedBitmap().has_new(CoverageBitmap({}, {}))
+
+    def test_absorb_then_seen(self):
+        acc = AccumulatedBitmap()
+        bitmap = CoverageBitmap({"acc.b": 1}, {("acc.br", True): 2})
+        acc.absorb(bitmap)
+        assert not acc.has_new(bitmap)
+        assert len(acc) == len(bitmap.slots)
+
+    def test_superset_trace_is_new(self):
+        acc = AccumulatedBitmap()
+        acc.absorb(CoverageBitmap({"acc.c": 1}, {}))
+        assert acc.has_new(CoverageBitmap({"acc.c": 1, "acc.d": 1}, {}))
+
+    def test_subset_trace_is_seen(self):
+        acc = AccumulatedBitmap()
+        acc.absorb(CoverageBitmap({"acc.e": 1, "acc.f": 1}, {}))
+        assert not acc.has_new(CoverageBitmap({"acc.e": 7}, {}))
+
+
+class TestTracefileIntegration:
+    def test_bitmap_view_cached(self):
+        trace = Tracefile(statements={"tf.a": 1}, branches={})
+        assert trace.bitmap is trace.bitmap
+
+    def test_bitmap_matches_trace_sites(self):
+        trace = Tracefile(statements={"tf.b": 2, "tf.c": 1},
+                          branches={("tf.br", False): 1})
+        assert trace.bitmap.slots == coverage_slots(trace.statements,
+                                                    trace.branches)
+
+    def test_getstate_drops_cached_bitmap(self):
+        trace = Tracefile(statements={"tf.d": 1}, branches={})
+        trace.bitmap  # materialise the cache
+        state = trace.__getstate__()
+        assert set(state) == {"statements", "branches"}
+
+    def test_pickle_round_trip_rebuilds_bitmap(self):
+        # Slots are process-local; the clone must rebuild, not inherit.
+        trace = Tracefile(statements={"tf.e": 1},
+                          branches={("tf.ebr", True): 1})
+        original = trace.bitmap
+        clone = pickle.loads(pickle.dumps(trace))
+        assert clone.bitmap is not original
+        assert clone.bitmap.slots == original.slots
+
+
+class TestCollectorPrebuild:
+    def test_flag_is_sticky(self):
+        enable_collector_bitmaps()
+        assert collector_bitmaps_enabled()
+        enable_collector_bitmaps()
+        assert collector_bitmaps_enabled()
+
+    def test_collector_prebuilds_bitmap_when_enabled(self):
+        enable_collector_bitmaps()
+        collector = CoverageCollector()
+        with collector:
+            probe("prebuild.stmt")
+            branch("prebuild.br", True)
+        trace = collector.tracefile()
+        # The view was built at collection time: the cache slot is set.
+        assert getattr(trace, "_bitmap", None) is not None
+        assert trace.bitmap.slots == coverage_slots(trace.statements,
+                                                    trace.branches)

@@ -1,0 +1,133 @@
+"""Concurrent-interning stress tests (the free-threaded read-path fix).
+
+``SiteInterner``'s fast path reads the table without the lock; the fix
+under test makes the *whole* optimistic pass abort to the locked path on
+any missing key, instead of computing ``missing`` and the final lookups
+lock-free around a locked insert (which a racing writer on a no-GIL
+interpreter could interleave with).  These tests hammer the interner
+from many threads over overlapping site batches and assert the id space
+stays dense, stable, and agreed-upon.
+"""
+
+import threading
+
+import pytest
+
+from repro.coverage.interner import SiteInterner
+
+
+def _hammer(threads, worker):
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def body(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    pool = [threading.Thread(target=body, args=(i,))
+            for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors
+
+
+class TestConcurrentInterning:
+    THREADS = 8
+    ROUNDS = 40
+
+    def test_overlapping_batches_agree(self):
+        interner = SiteInterner()
+        sites = [f"stress.site_{i}" for i in range(120)]
+        results = {}
+
+        def worker(index):
+            # Every thread interns a different overlapping window, many
+            # times, so lock-free readers race concurrent inserters.
+            window = sites[index * 10:index * 10 + 60] or sites[:60]
+            for _ in range(self.ROUNDS):
+                results[index] = interner.statement_ids(window)
+
+        _hammer(self.THREADS, worker)
+        # Terminal state: every id is final, dense, and shared.
+        expected = interner.statement_ids(sites)
+        assert expected == frozenset(range(len(sites)))
+        for index, ids in results.items():
+            window = sites[index * 10:index * 10 + 60] or sites[:60]
+            assert ids == interner.statement_ids(window)
+
+    def test_single_site_lookups_race_batch_interning(self):
+        interner = SiteInterner()
+        sites = [f"mixed.site_{i}" for i in range(200)]
+        observed = [dict() for _ in range(self.THREADS)]
+
+        def worker(index):
+            if index % 2 == 0:
+                for _ in range(self.ROUNDS):
+                    interner.statement_ids(sites)
+            else:
+                for _ in range(self.ROUNDS):
+                    for site in sites[::7]:
+                        seen = interner.statement_id(site)
+                        prior = observed[index].setdefault(site, seen)
+                        # An id observed once must never change.
+                        assert prior == seen
+
+        _hammer(self.THREADS, worker)
+        ids = interner.statement_ids(sites)
+        assert ids == frozenset(range(len(sites)))
+
+    def test_branch_namespace_raced_independently(self):
+        interner = SiteInterner()
+        outcomes = [(f"br.site_{i}", taken)
+                    for i in range(60) for taken in (True, False)]
+
+        def worker(index):
+            for _ in range(self.ROUNDS):
+                interner.branch_ids(outcomes[index::self.THREADS])
+                interner.branch_id(outcomes[index % len(outcomes)])
+
+        _hammer(self.THREADS, worker)
+        assert interner.branch_ids(outcomes) == \
+            frozenset(range(len(outcomes)))
+
+    def test_ids_dense_under_duplicate_heavy_batches(self):
+        interner = SiteInterner()
+        sites = [f"dup.site_{i}" for i in range(30)]
+
+        def worker(index):
+            for round_index in range(self.ROUNDS):
+                # Duplicate-heavy input: the same site repeated within
+                # one batch must intern to one id.
+                batch = [sites[(index + round_index) % len(sites)]] * 50
+                ids = interner.statement_ids(batch)
+                assert len(ids) == 1
+
+        _hammer(self.THREADS, worker)
+        assert interner.statement_ids(sites) == \
+            frozenset(range(len(sites)))
+
+
+class TestSingleThreadSemantics:
+    def test_first_come_first_numbered(self):
+        interner = SiteInterner()
+        assert interner.statement_id("a") == 0
+        assert interner.statement_id("b") == 1
+        assert interner.statement_id("a") == 0
+        assert interner.statement_ids(["c", "a"]) == frozenset({0, 2})
+
+    def test_namespaces_independent(self):
+        interner = SiteInterner()
+        assert interner.statement_id("x") == 0
+        assert interner.branch_id(("x", True)) == 0
+        assert len(interner) == 2
+
+    def test_batch_and_single_agree(self):
+        interner = SiteInterner()
+        batch = interner.statement_ids(["p", "q", "r"])
+        assert batch == frozenset(
+            interner.statement_id(site) for site in ("p", "q", "r"))
