@@ -16,11 +16,15 @@ Commands mirror the paper's workflow:
   inventory, minimize representatives, and diff against a known-issue
   baseline so re-runs report only new clusters;
 * ``observe``  — summarise, replay, or export a recorded telemetry log,
-  and validate Prometheus metric dumps.
+  and validate Prometheus metric dumps;
+* ``monitor``  — serve a recorded events log through the live-monitor
+  dashboard (replay mode).
 
 The JVM-running commands (``fuzz``, ``difftest``, ``campaign``) accept
 ``--events``/``--metrics-out``/``--progress`` to record structured
-events and a metrics dump while they run.  ``fuzz`` and ``campaign``
+events and a metrics dump while they run, and ``--serve PORT`` to
+expose the run live over HTTP (``/``, ``/metrics``, ``/status``,
+``/events`` — see :mod:`repro.observe.server`).  ``fuzz`` and ``campaign``
 also accept the corpus-subsystem flags: ``--seed-schedule`` picks the
 seed-scheduling policy, ``--checkpoint-dir``/``--checkpoint-every``/
 ``--resume`` make runs crash-durable (a killed run resumed with
@@ -62,8 +66,10 @@ from repro.observe.summary import (
     CORE_METRIC_FAMILIES,
     check_prometheus,
     load_events,
+    parse_prometheus,
     replay_events,
     summarize_events,
+    summarize_prefilter,
     write_timeseries,
 )
 
@@ -93,6 +99,16 @@ def _add_telemetry_options(command: argparse.ArgumentParser) -> None:
                               "when the run finishes")
     command.add_argument("--progress", action="store_true",
                          help="live progress lines on stderr")
+    command.add_argument("--serve", type=int, default=None,
+                         metavar="PORT",
+                         help="serve the live monitor while the run is "
+                              "active: /metrics, /status, /events (SSE) "
+                              "and the HTML dashboard at / "
+                              "(0 = ephemeral port)")
+    command.add_argument("--serve-host", default="127.0.0.1",
+                         metavar="HOST", dest="serve_host",
+                         help="bind address for --serve "
+                              "(default: 127.0.0.1)")
 
 
 def _add_corpus_options(command: argparse.ArgumentParser) -> None:
@@ -126,13 +142,29 @@ def _add_corpus_options(command: argparse.ArgumentParser) -> None:
 def _make_telemetry(args):
     """Build the run's telemetry bundle, or ``None`` when all observability
     flags are off (keeping the hot paths at their uninstrumented cost)."""
-    if not (args.events or args.metrics_out or args.progress):
+    if not (args.events or args.metrics_out or args.progress
+            or getattr(args, "serve", None) is not None):
         return None
     return make_telemetry(events_path=args.events, progress=args.progress)
 
 
-def _finish_telemetry(telemetry, args) -> None:
-    """Write the metrics dump (if requested) and close the sinks."""
+def _start_monitor(telemetry, args):
+    """Start the embedded monitor server when ``--serve`` was given."""
+    if telemetry is None or getattr(args, "serve", None) is None:
+        return None
+    from repro.observe.server import MonitorServer
+
+    monitor = MonitorServer(telemetry, host=args.serve_host,
+                            port=args.serve).start()
+    print(f"monitor serving at {monitor.url} "
+          "(/, /metrics, /status, /events)", file=sys.stderr)
+    return monitor
+
+
+def _finish_telemetry(telemetry, args, monitor=None) -> None:
+    """Stop the monitor, write the metrics dump, and close the sinks."""
+    if monitor is not None:
+        monitor.stop()
     if telemetry is None:
         return
     if args.metrics_out:
@@ -307,6 +339,30 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="FAMILY",
                          help="check: metric families that must be "
                               "present (default: the core families)")
+    observe.add_argument("--metrics", type=Path, default=None,
+                         metavar="DUMP",
+                         help="summary: also read this Prometheus dump "
+                              "and report the bitmap-prefilter hit/miss "
+                              "ratio when its counters are present")
+
+    monitor = sub.add_parser(
+        "monitor", help="serve a recorded events log through the live "
+                        "monitor (replay mode)")
+    monitor.add_argument("events", type=Path,
+                         help="an events.jsonl recorded with --events")
+    monitor.add_argument("--port", type=int, default=8377,
+                         help="port to serve on (0 = ephemeral; "
+                              "default: 8377)")
+    monitor.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    monitor.add_argument("--speed", type=float, default=0.0,
+                         help="replay pacing: N replays at N x recorded "
+                              "speed; 0 loads the whole log instantly "
+                              "(default)")
+    monitor.add_argument("--duration", type=float, default=None,
+                         metavar="SECONDS",
+                         help="keep serving this long after the replay, "
+                              "then exit (default: until interrupted)")
     return parser
 
 
@@ -357,6 +413,7 @@ def _cmd_fuzz(args) -> int:
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
                                          seed=args.seed))
     telemetry = _make_telemetry(args)
+    monitor = _start_monitor(telemetry, args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
                              telemetry=telemetry)
     corpus_kw = dict(schedule=args.seed_schedule,
@@ -396,7 +453,7 @@ def _cmd_fuzz(args) -> int:
               f"{args.checkpoint_dir} (resume with --resume)",
               file=sys.stderr)
         executor.close()
-        _finish_telemetry(telemetry, args)
+        _finish_telemetry(telemetry, args, monitor)
         return 130
     print(f"{result.algorithm}"
           + (f"[{result.criterion}]" if result.criterion else "")
@@ -432,7 +489,7 @@ def _cmd_fuzz(args) -> int:
         print(f"wrote {len(result.test_classes)} classfiles + traces + "
               f"{manifest_path.name} to {args.out}/")
     executor.close()
-    _finish_telemetry(telemetry, args)
+    _finish_telemetry(telemetry, args, monitor)
     return 0
 
 
@@ -452,6 +509,7 @@ def _cmd_difftest(args) -> int:
         print("no classfiles found", file=sys.stderr)
         return 2
     telemetry = _make_telemetry(args)
+    monitor = _start_monitor(telemetry, args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
                              telemetry=telemetry)
     harness = DifferentialHarness(executor=executor, telemetry=telemetry)
@@ -473,7 +531,7 @@ def _cmd_difftest(args) -> int:
         print("=== Executor stats ===")
         print(executor.stats.format())
     executor.close()
-    _finish_telemetry(telemetry, args)
+    _finish_telemetry(telemetry, args, monitor)
     return 0 if report.discrepancies == 0 else 1
 
 
@@ -500,6 +558,7 @@ def _cmd_campaign(args) -> int:
                                          seed=args.seed))
     budget = PAPER_BUDGET_SECONDS * args.budget_scale
     telemetry = _make_telemetry(args)
+    monitor = _start_monitor(telemetry, args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
                              telemetry=telemetry)
     triage_engine = None
@@ -533,7 +592,7 @@ def _cmd_campaign(args) -> int:
               f"{args.checkpoint_dir} (resume with --resume)",
               file=sys.stderr)
         executor.close()
-        _finish_telemetry(telemetry, args)
+        _finish_telemetry(telemetry, args, monitor)
         return 130
     print(f"=== Table 4 (budget = {budget:.0f} modeled seconds) ===")
     print(format_table4(runs))
@@ -569,7 +628,7 @@ def _cmd_campaign(args) -> int:
         print()
         print(executor.stats.format())
     executor.close()
-    _finish_telemetry(telemetry, args)
+    _finish_telemetry(telemetry, args, monitor)
     return 0
 
 
@@ -647,6 +706,7 @@ def _cmd_triage(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     telemetry = _make_telemetry(args)
+    monitor = _start_monitor(telemetry, args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
                              telemetry=telemetry)
     harness = DifferentialHarness(executor=executor, telemetry=telemetry)
@@ -683,7 +743,7 @@ def _cmd_triage(args) -> int:
         if store is not None:
             store.close()
         executor.close()
-        _finish_telemetry(telemetry, args)
+        _finish_telemetry(telemetry, args, monitor)
         return 130
 
     clusters = engine.clusters()
@@ -734,7 +794,7 @@ def _cmd_triage(args) -> int:
         print("=== Executor stats ===")
         print(executor.stats.format())
     executor.close()
-    _finish_telemetry(telemetry, args)
+    _finish_telemetry(telemetry, args, monitor)
     return exit_code
 
 
@@ -771,6 +831,12 @@ def _cmd_observe(args) -> int:
     events = load_events(args.path)
     if args.action == "summary":
         print(summarize_events(events))
+        if args.metrics is not None:
+            block = summarize_prefilter(parse_prometheus(
+                args.metrics.read_text(encoding="utf-8")))
+            if block:
+                print()
+                print(block)
         return 0
     if args.action == "replay":
         print(replay_events(events, event_type=args.event_type,
@@ -780,6 +846,50 @@ def _cmd_observe(args) -> int:
     out = args.out if args.out else Path(args.path).with_suffix(".csv")
     rows = write_timeseries(events, out)
     print(f"wrote {rows} iteration rows to {out}")
+    return 0
+
+
+def _cmd_monitor(args) -> int:
+    import time
+
+    from repro.observe import Telemetry, read_events
+    from repro.observe.server import MonitorServer
+
+    if not args.events.exists():
+        print(f"error: no such events log: {args.events}",
+              file=sys.stderr)
+        return 2
+    telemetry = Telemetry()
+    monitor = MonitorServer(telemetry, host=args.host,
+                            port=args.port).start()
+    monitor.tracker.begin_run(
+        run_id=f"replay:{args.events.name}",
+        config={"source": str(args.events), "mode": "replay",
+                "speed": args.speed})
+    print(f"monitor serving {args.events} at {monitor.url} "
+          "(replay mode)", file=sys.stderr)
+    replayed = 0
+    last_ts = None
+    try:
+        for event in read_events(args.events):
+            if args.speed > 0 and last_ts is not None \
+                    and event.ts > last_ts:
+                time.sleep(min((event.ts - last_ts) / args.speed, 5.0))
+            last_ts = event.ts
+            telemetry.bus.dispatch(event)
+            replayed += 1
+        print(f"replayed {replayed} events; serving /status, /metrics, "
+              "/events and / (ctrl-c to stop)", file=sys.stderr)
+        if args.duration is not None:
+            time.sleep(max(0.0, args.duration))
+        else:  # pragma: no cover - interactive serving loop
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    monitor.stop()
+    telemetry.close()
+    print(f"served {replayed} replayed events", file=sys.stderr)
     return 0
 
 
@@ -794,6 +904,7 @@ _COMMANDS = {
     "distill": _cmd_distill,
     "triage": _cmd_triage,
     "observe": _cmd_observe,
+    "monitor": _cmd_monitor,
 }
 
 

@@ -248,9 +248,24 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
             return NULL_SPAN
         return telemetry.span(name, **attrs)
 
+    # The live monitor (--serve) attaches a status tracker; campaigns
+    # feed it the leg-level context individual fuzz runs can't know.
+    status = getattr(telemetry, "status", None) if telemetry is not None \
+        else None
+    if status is not None:
+        status.update(algorithms=list(algorithms),
+                      budget_seconds=budget_seconds,
+                      repetitions=max(1, repetitions),
+                      evaluate=evaluate, batch=batch,
+                      coverage_index=coverage_index)
+
     runs: List[CampaignRun] = []
-    for label in algorithms:
+    for leg_index, label in enumerate(algorithms):
         iterations = iterations_for_budget(label, budget_seconds)
+        if status is not None:
+            status.update(current_algorithm=label,
+                          leg=leg_index + 1, legs=len(algorithms),
+                          leg_iterations=iterations, phase="fuzz")
         before = [engine.stats.snapshot() for engine in engines]
         fuzz_started = time.perf_counter()
         best: Optional[FuzzResult] = None
@@ -279,6 +294,8 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
         run.fuzz_seconds = time.perf_counter() - fuzz_started
         if evaluate:
             evaluate_started = time.perf_counter()
+            if status is not None:
+                status.update(phase="evaluate")
             with _span("campaign.evaluate", algorithm=label):
                 run.gen_report = evaluate_suite(
                     f"Gen_{label}",
@@ -296,6 +313,8 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
         for engine, earlier in zip(engines, before):
             run.executor_stats.add(engine.stats.since(earlier))
         runs.append(run)
+    if status is not None:
+        status.update(phase="done")
     return runs
 
 

@@ -45,6 +45,9 @@ class DifferentialHarness:
             self._discrepancies = telemetry.registry.counter(
                 "repro_discrepancies_total",
                 "Differential results with a non-constant code vector.")
+            status = getattr(telemetry, "status", None)
+            if status is not None:  # the --serve path
+                status.update(jvms=self.jvm_names)
         else:
             self._tested = self._discrepancies = None
 

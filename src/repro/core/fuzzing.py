@@ -58,6 +58,7 @@ Two orthogonal corpus-subsystem hooks ride on the pipeline:
 
 from __future__ import annotations
 
+import os
 import random
 import struct
 import time
@@ -302,6 +303,26 @@ class _FuzzObserver:
             "Interned coverage sites first opened by accepted mutants, "
             "credited back to the seeds they were mutated from.",
             ("algorithm",)).labels(algorithm=algorithm)
+
+    def run_started(self, result: "FuzzResult", iterations: int) -> None:
+        """Register the run with the status tracker, when one is attached.
+
+        Only the ``--serve`` path attaches a tracker, so this is a
+        single ``getattr`` per *run* (not per iteration) otherwise.
+        """
+        if not self.active:
+            return
+        tracker = getattr(self.telemetry, "status", None)
+        if tracker is None:
+            return
+        tracker.begin_run(
+            run_id=f"{result.algorithm}#{os.getpid()}",
+            config={"algorithm": result.algorithm,
+                    "criterion": result.criterion,
+                    "iterations": iterations,
+                    "batch": result.batch,
+                    "scheduler": result.scheduler,
+                    "coverage_index": result.coverage_index})
 
     def scheduled(self, entry: "SeedEntry") -> None:
         if not self.active:
@@ -667,6 +688,7 @@ def _run_pipeline(result: FuzzResult, engine: _FuzzEngine, selector,
     """
     if batch < 1:
         raise ValueError(f"batch must be >= 1, got {batch}")
+    observer.run_started(result, iterations)
     start_index = start_round = 0
     start_elapsed = 0.0
     if checkpoint_state is not None:

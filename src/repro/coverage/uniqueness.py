@@ -206,8 +206,13 @@ class BitmapPrefilteredCriterion(UniquenessCriterion):
                 "repro_bitmap_prefilter_total",
                 "Bitmap-prefilter verdicts by criterion and outcome.",
                 ("criterion", "outcome"))
+            self._slots_gauge = telemetry.registry.gauge(
+                "repro_coverage_bitmap_slots",
+                "Occupied slots in the accumulated coverage bitmap.",
+                ("criterion",)).labels(criterion=self.name)
         else:
             self._prefilter = None
+            self._slots_gauge = None
 
     def _note(self, outcome: str) -> None:
         if self._prefilter is not None:
@@ -234,6 +239,8 @@ class BitmapPrefilteredCriterion(UniquenessCriterion):
 
     def _record(self, trace: Tracefile) -> None:
         self.accumulated.absorb(trace.bitmap)
+        if self._slots_gauge is not None:
+            self._slots_gauge.set(len(self.accumulated.slots))
         if self._fast:
             self._by_slots.setdefault(hash(trace.bitmap.slots),
                                       []).append(trace)
@@ -260,6 +267,8 @@ class BitmapPrefilteredCriterion(UniquenessCriterion):
         if len(accumulated) != before:
             unique = True
             outcome = "new"
+            if self._slots_gauge is not None:
+                self._slots_gauge.set(len(accumulated))
         else:
             outcome = "seen"
             unique = True

@@ -43,6 +43,9 @@ from repro.observe.registry import (
     Histogram,
     MetricsRegistry,
 )
+from repro.observe.server import DASHBOARD_HTML, MonitorServer
+from repro.observe.sse import DEFAULT_CLIENT_QUEUE, SseClient, SseSink
+from repro.observe.status import StatusTracker, config_fingerprint
 from repro.observe.summary import (
     CORE_METRIC_FAMILIES,
     check_prometheus,
@@ -50,6 +53,7 @@ from repro.observe.summary import (
     parse_prometheus,
     replay_events,
     summarize_events,
+    summarize_prefilter,
     write_timeseries,
 )
 from repro.observe.telemetry import Telemetry, make_telemetry
@@ -71,10 +75,13 @@ __all__ = [
     # registry
     "DEFAULT_LATENCY_BUCKETS", "Counter", "Family", "Gauge", "Histogram",
     "MetricsRegistry",
+    # monitor (server + sinks)
+    "DASHBOARD_HTML", "MonitorServer", "DEFAULT_CLIENT_QUEUE",
+    "SseClient", "SseSink", "StatusTracker", "config_fingerprint",
     # summary
     "CORE_METRIC_FAMILIES", "check_prometheus", "load_events",
     "parse_prometheus", "replay_events", "summarize_events",
-    "write_timeseries",
+    "summarize_prefilter", "write_timeseries",
     # telemetry + tracing
     "Telemetry", "make_telemetry", "NULL_SPAN", "NullSpan", "Span",
     "Tracer", "ambient_phase_span", "ambient_telemetry",

@@ -237,6 +237,20 @@ class EventBus:
             for sink in self.sinks:
                 sink.emit(event)
 
+    def dispatch(self, event: Event) -> None:
+        """Fan out an already-built event, preserving its ts/seq.
+
+        This is the replay path (``repro monitor`` feeding a recorded
+        log back through live sinks); the bus sequence is advanced past
+        the event's so interleaved :meth:`emit` calls stay ordered.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._seq = max(self._seq, event.seq)
+            for sink in self.sinks:
+                sink.emit(event)
+
     def close(self) -> None:
         with self._lock:
             for sink in self.sinks:
@@ -244,9 +258,21 @@ class EventBus:
 
 
 def read_events(path: Union[str, Path]) -> Iterator[Event]:
-    """Stream events back from a JSONL log (skipping blank lines)."""
-    with Path(path).open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield Event.from_json(line)
+    """Stream events back from a JSONL log (skipping blank lines).
+
+    A malformed *final* line is tolerated silently — a campaign killed
+    mid-write leaves a truncated tail, and the recorded prefix is still
+    a valid log (the same contract as the triage store).  A malformed
+    line anywhere else is real corruption and raises.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield Event.from_json(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # the crash-truncated tail
+            raise

@@ -1,0 +1,130 @@
+"""Server-Sent-Events fan-out: per-client bounded queues over the bus.
+
+The monitor server (:mod:`repro.observe.server`) exposes the live event
+stream as ``GET /events``.  The bridge between the fuzzing hot path and
+an arbitrary number of HTTP clients is :class:`SseSink`: one
+:class:`EventSink` attached to the bus, holding one bounded
+:class:`queue.Queue` per connected client.
+
+The cardinal rule is that **a slow client can never stall the hot
+path**.  ``emit`` therefore never blocks: it uses ``put_nowait``, and
+when a client's queue is full it drops the *oldest* queued event to make
+room (the client sees the freshest state, which is what a live monitor
+wants) and counts the drop in
+``repro_monitor_dropped_events_total{client}``.  The serving thread on
+the other end blocks on ``get`` with a timeout so it can heartbeat idle
+connections and notice disconnects.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Dict, List, Optional
+
+from repro.observe.events import Event, EventSink
+from repro.observe.registry import MetricsRegistry
+
+#: Default per-client queue depth.  At randfuzz iteration rates a client
+#: that keeps up drains far faster than this fills; a stalled curl caps
+#: its memory at this many events and starts shedding the oldest.
+DEFAULT_CLIENT_QUEUE = 512
+
+
+class SseClient:
+    """One connected ``/events`` consumer: a bounded queue plus tallies."""
+
+    __slots__ = ("name", "_queue", "dropped", "_lock")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CLIENT_QUEUE):
+        self.name = name
+        self._queue: "queue.Queue[Event]" = queue.Queue(maxsize=capacity)
+        self.dropped = 0
+        self._lock = threading.Lock()
+
+    def offer(self, event: Event) -> bool:
+        """Enqueue without blocking; shed the oldest entry on overflow.
+
+        Returns true iff an older event was dropped to make room.
+        """
+        try:
+            self._queue.put_nowait(event)
+            return False
+        except queue.Full:
+            pass
+        # Shed-then-retry under the client lock so two producers cannot
+        # both shed for the same slot; the hot path still never waits on
+        # a consumer, only on this (uncontended, bounded) bookkeeping.
+        with self._lock:
+            dropped = False
+            while True:
+                try:
+                    self._queue.put_nowait(event)
+                    return dropped
+                except queue.Full:
+                    try:
+                        self._queue.get_nowait()
+                        dropped = True
+                        self.dropped += 1
+                    except queue.Empty:
+                        continue
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Event]:
+        """Dequeue the next event, or ``None`` after ``timeout``."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def pending(self) -> int:
+        return self._queue.qsize()
+
+
+class SseSink(EventSink):
+    """Fans bus events out to every registered client, never blocking.
+
+    Attach once to the bus; ``register`` per connection.  Registration
+    and emission are both lock-guarded, but emission holds the sink lock
+    only long enough to snapshot the client list — the per-client
+    ``offer`` runs outside it.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 client_queue: int = DEFAULT_CLIENT_QUEUE):
+        self._clients: Dict[str, SseClient] = {}
+        self._lock = threading.Lock()
+        self._capacity = client_queue
+        self._ids = itertools.count(1)
+        self._dropped_total = None
+        if registry is not None:
+            self._dropped_total = registry.counter(
+                "repro_monitor_dropped_events_total",
+                "Events shed from a slow /events client's bounded queue.",
+                ("client",))
+
+    def register(self, name: Optional[str] = None) -> SseClient:
+        """Add a client queue; ``name`` defaults to ``client-N``."""
+        with self._lock:
+            if name is None or name in self._clients:
+                name = f"client-{next(self._ids)}"
+            client = SseClient(name, capacity=self._capacity)
+            self._clients[name] = client
+        return client
+
+    def unregister(self, client: SseClient) -> None:
+        with self._lock:
+            self._clients.pop(client.name, None)
+
+    def clients(self) -> List[SseClient]:
+        with self._lock:
+            return list(self._clients.values())
+
+    def emit(self, event: Event) -> None:
+        for client in self.clients():
+            if client.offer(event) and self._dropped_total is not None:
+                self._dropped_total.labels(client=client.name).inc()
+
+    def close(self) -> None:
+        with self._lock:
+            self._clients.clear()

@@ -43,6 +43,7 @@ class Telemetry:
             else MetricsRegistry()
         self.bus = bus if bus is not None else EventBus()
         self.tracer = Tracer(self.registry, self.bus)
+        self.status = None  # set by attach_status (the --serve path)
         self._jvm_phase_seconds = self.registry.histogram(
             "repro_jvm_phase_seconds",
             "Latency of the four JVM startup phases.",
@@ -71,6 +72,23 @@ class Telemetry:
                                 vendor=vendor, phase=phase)
         hist = self._jvm_phase_seconds.labels(vendor=vendor, phase=phase)
         return _PhaseSpan(span, hist)
+
+    def attach_status(self, tracker=None):
+        """Attach (or return the already-attached) status tracker sink.
+
+        Idempotent: the first call wires a
+        :class:`~repro.observe.status.StatusTracker` into the bus and
+        remembers it on :attr:`status`; later calls return the same
+        tracker so a monitor server and a campaign orchestrator can both
+        reach it without double-counting events.
+        """
+        if self.status is None:
+            if tracker is None:
+                from repro.observe.status import StatusTracker
+                tracker = StatusTracker(self.registry)
+            self.status = tracker
+            self.bus.add_sink(tracker)
+        return self.status
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -37,6 +37,7 @@ from repro.observe.summary import (
     parse_prometheus,
     replay_events,
     summarize_events,
+    summarize_prefilter,
     write_timeseries,
 )
 from repro.observe.telemetry import Telemetry, make_telemetry
@@ -316,6 +317,40 @@ class TestEventBus:
         event = Event(ITERATION, 1.5, 7, {"index": 2})
         assert Event.from_json(event.to_json()) == event
 
+    def test_read_events_tolerates_truncated_tail(self, tmp_path):
+        """A run killed mid-write leaves a partial final line; the
+        reader must yield the intact prefix instead of raising."""
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        bus.add_sink(JsonlSink(path))
+        for i in range(5):
+            bus.emit(ITERATION, index=i)
+        bus.close()
+        with path.open("a") as handle:
+            handle.write('{"type": "iter')  # the torn write
+        recovered = list(read_events(path))
+        assert [e.fields["index"] for e in recovered] == [0, 1, 2, 3, 4]
+
+    def test_read_events_truncated_tail_without_newline_prefix(
+            self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"type": "iteration", "ts": 1.0, "seq"')
+        assert list(read_events(path)) == []
+
+    def test_read_events_still_raises_on_interior_corruption(
+            self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = EventBus()
+        bus.add_sink(JsonlSink(path))
+        bus.emit(ITERATION, index=0)
+        bus.emit(ITERATION, index=1)
+        bus.close()
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:20]  # corrupt a *non-final* record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            list(read_events(path))
+
 
 class TestTracing:
     def test_span_records_duration_and_histogram(self):
@@ -447,6 +482,27 @@ class TestSummary:
             pytest.approx(8.957e-05)
         assert samples["tiny_negative"][0][1] == pytest.approx(-0.0015)
         assert samples["plain_exp"][0][1] == 2e6
+
+    def test_summarize_prefilter_renders_hit_rate(self):
+        text = ('repro_bitmap_prefilter_total'
+                '{criterion="tr",outcome="new"} 30\n'
+                'repro_bitmap_prefilter_total'
+                '{criterion="tr",outcome="seen"} 90\n'
+                'repro_bitmap_prefilter_total'
+                '{criterion="tr",outcome="bypass"} 5\n'
+                'repro_bitmap_prefilter_total'
+                '{criterion="stbr",outcome="new"} 4\n')
+        block = summarize_prefilter(parse_prometheus(text))
+        assert block.startswith("=== Bitmap prefilter ===")
+        assert "[tr] 30 new / 90 seen (hit rate 25.0%), 5 bypassed" in block
+        assert "[stbr] 4 new / 0 seen (hit rate 100.0%)" in block
+        # Criteria render in sorted order.
+        assert block.index("[stbr]") < block.index("[tr]")
+
+    def test_summarize_prefilter_absent_returns_none(self):
+        assert summarize_prefilter({}) is None
+        assert summarize_prefilter(
+            parse_prometheus("repro_iterations_total 5\n")) is None
 
     def test_check_prometheus_reports_missing_families(self):
         problems = check_prometheus("repro_iterations_total 5\n")

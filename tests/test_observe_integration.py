@@ -192,6 +192,36 @@ class TestObserveCli:
         replay = capsys.readouterr().out
         assert "mcmc_transition" in replay
 
+    def test_observe_summary_metrics_prefilter_block(self, tmp_path,
+                                                     capsys):
+        events = tmp_path / "events.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        code = main(["fuzz", "--algorithm", "classfuzz",
+                     "--criterion", "tr", "--iterations", "25",
+                     "--seed-count", "15", "--coverage-index", "bitmap",
+                     "--events", str(events),
+                     "--metrics-out", str(metrics)])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["observe", "summary", str(events),
+                     "--metrics", str(metrics)]) == 0
+        summary = capsys.readouterr().out
+        assert "=== Bitmap prefilter ===" in summary
+        assert "[tr]" in summary and "hit rate" in summary
+
+    def test_observe_summary_metrics_without_prefilter(self, tmp_path,
+                                                       capsys):
+        # An exact-index dump has no prefilter counters: the summary
+        # must omit the block rather than print an empty one.
+        events = tmp_path / "events.jsonl"
+        events.write_text('{"type": "iteration", "ts": 1.0, "seq": 1, '
+                          '"algorithm": "randfuzz", "accepted": true}\n')
+        metrics = tmp_path / "metrics.prom"
+        metrics.write_text("repro_iterations_total 1\n")
+        assert main(["observe", "summary", str(events),
+                     "--metrics", str(metrics)]) == 0
+        assert "Bitmap prefilter" not in capsys.readouterr().out
+
     def test_observe_check_fails_on_missing_family(self, tmp_path, capsys):
         dump = tmp_path / "partial.prom"
         dump.write_text("repro_iterations_total 3\n")
