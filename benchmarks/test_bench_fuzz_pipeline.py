@@ -20,6 +20,14 @@ at the repo root:
    continuously from another thread while fuzzing — costs at most 2%
    of mutants/sec, and with the monitor *off* the decision stream is
    byte-identical to a bare run (no telemetry object at all).
+4. **Persistent workers** (the ``--worker-mode`` tentpole): the process
+   backend's warm reference workers — shared site table, packed
+   shared-memory coverage transport, JVM state kept across runs — beat
+   the honest fork-per-call baseline (a fresh process, JVM unpickle and
+   pickled-dict trace per run) by at least 3× mutants/sec at
+   ``batch=8``, with decision streams byte-identical to the serial
+   golden run.  The win is overhead elimination, not parallelism, so
+   the gate holds at any core count.
 
 Benchmarks skip rather than fail on hosts that cannot support them
 (single core, or a sandbox that forbids worker processes).
@@ -78,9 +86,10 @@ def _merge_artifact(section: str, payload: dict) -> None:
     ARTIFACT.write_text(json.dumps(merged, indent=2) + "\n")
 
 
-def _measure(seeds, reference, executor, batch, **kw):
+def _measure(seeds, reference, executor, batch,
+             iterations=ITERATIONS, **kw):
     started = time.perf_counter()
-    result = classfuzz(seeds, ITERATIONS, seed=42, reference=reference,
+    result = classfuzz(seeds, iterations, seed=42, reference=reference,
                        executor=executor, batch=batch, **kw)
     wall = time.perf_counter() - started
     return result, wall
@@ -323,6 +332,87 @@ def test_bench_coverage_index_modes(seed_corpus):
     # best-vs-best ratios sit at 0.95-1.05).
     assert pipeline_ratio >= PIPELINE_FLOOR, \
         f"bitmap pipeline slower than exact: {pipeline_ratio:.2f}x"
+
+
+#: Iterations for the worker-mode comparison: enough rounds (30 at
+#: batch=8) to amortise pool spin-up while keeping the deliberately
+#: slow fork-per-call baseline (one process per reference run) at a
+#: tolerable wall-clock cost.
+WORKER_ITERATIONS = 240
+
+#: The worker-mode gate: persistent workers must deliver at least this
+#: multiple of the fork-per-call baseline's mutants/sec.
+WORKER_MODE_FLOOR = 3.0
+
+
+def test_bench_worker_modes(seed_corpus):
+    from concurrent.futures.process import BrokenProcessPool
+
+    seeds = seed_corpus[:SEED_POOL]
+    reference = reference_jvm()
+    jobs = min(os.cpu_count() or 1, 4)
+
+    serial_result, _ = _measure(
+        seeds, reference, SerialExecutor(cache=OutcomeCache()),
+        batch=BATCH, iterations=WORKER_ITERATIONS, criterion="tr")
+
+    results = {}
+    rates = {}
+    for mode in ("fork", "persistent"):
+        engine = ProcessExecutor(jobs=jobs, worker_mode=mode,
+                                 cache=OutcomeCache())
+        try:
+            try:
+                # Spin the pool up outside the measured window (for the
+                # fork baseline this costs nothing: every real run pays
+                # the fork again anyway).
+                engine.run_reference_many(reference, [b"\xca\xfe"])
+            except (BrokenProcessPool, OSError, PermissionError) as exc:
+                pytest.skip(f"process pool unavailable: {exc}")
+            results[mode], _ = _measure(
+                seeds, reference, engine, batch=BATCH,
+                iterations=WORKER_ITERATIONS, criterion="tr")
+            stats = engine.stats.snapshot()
+        finally:
+            engine.close()
+        rates[mode] = results[mode].mutants_per_second
+        # Every decision stream must match the serial golden run.
+        assert _fingerprint(results[mode]) == _fingerprint(serial_result)
+        if mode == "persistent":
+            assert stats.warm_runs > stats.cold_runs
+        else:
+            assert stats.warm_runs == 0
+
+    speedup = rates["persistent"] / rates["fork"] if rates["fork"] \
+        else 0.0
+    serial_rate = serial_result.mutants_per_second
+
+    print(f"\n=== Worker modes (classfuzz[tr], {WORKER_ITERATIONS} "
+          f"iterations, batch={BATCH}, {jobs} process workers) ===")
+    print(f"serial               : {serial_rate:8.1f} mutants/s")
+    print(f"process + fork       : {rates['fork']:8.1f} mutants/s")
+    print(f"process + persistent : {rates['persistent']:8.1f} mutants/s "
+          f"({speedup:.2f}x over fork)")
+
+    _merge_artifact("worker_mode", {
+        "algorithm": "classfuzz[tr]",
+        "iterations": WORKER_ITERATIONS,
+        "seed_pool": SEED_POOL,
+        "batch": BATCH,
+        "jobs": jobs,
+        "decisions_identical": True,
+        "serial_mutants_per_second": round(serial_rate, 2),
+        "fork_mutants_per_second": round(rates["fork"], 2),
+        "persistent_mutants_per_second": round(rates["persistent"], 2),
+        "speedup": round(speedup, 3),
+        "note": "fork = one forked process, JVM unpickle and pickled "
+                "trace dict per reference run; persistent = warm JVM "
+                "state, shared site table, packed shm coverage",
+    })
+
+    assert speedup >= WORKER_MODE_FLOOR, \
+        f"expected persistent workers >= {WORKER_MODE_FLOOR}x " \
+        f"fork-per-call mutants/sec, got {speedup:.2f}x"
 
 
 #: The monitor gate: serving /status + /metrics while fuzzing may cost

@@ -70,6 +70,7 @@ from repro.observe.summary import (
     replay_events,
     summarize_events,
     summarize_prefilter,
+    summarize_workers,
     write_timeseries,
 )
 
@@ -83,6 +84,13 @@ def _add_executor_options(command: argparse.ArgumentParser) -> None:
                          default="thread",
                          help="parallel backend when --jobs > 1 "
                               "(process gives real CPU parallelism)")
+    command.add_argument("--worker-mode",
+                         choices=("persistent", "fork"),
+                         default="persistent", dest="worker_mode",
+                         help="process-backend reference workers: "
+                              "persistent keeps JVM state warm and ships "
+                              "coverage through shared memory; fork "
+                              "rebuilds state per call (baseline)")
     command.add_argument("--stats", action="store_true",
                          help="print executor statistics (runs, cache "
                               "hits, per-vendor latency)")
@@ -217,6 +225,13 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="thread",
                       help="parallel backend when --jobs > 1 "
                            "(process gives real CPU parallelism)")
+    fuzz.add_argument("--worker-mode",
+                      choices=("persistent", "fork"),
+                      default="persistent", dest="worker_mode",
+                      help="process-backend reference workers: "
+                           "persistent keeps JVM state warm and ships "
+                           "coverage through shared memory; fork "
+                           "rebuilds state per call (baseline)")
     fuzz.add_argument("--seed-count", type=int, default=200,
                       help="synthetic seed corpus size")
     fuzz.add_argument("--out", type=Path, default=None,
@@ -415,7 +430,8 @@ def _cmd_fuzz(args) -> int:
     telemetry = _make_telemetry(args)
     monitor = _start_monitor(telemetry, args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
-                             telemetry=telemetry)
+                             telemetry=telemetry,
+                             worker_mode=args.worker_mode)
     corpus_kw = dict(schedule=args.seed_schedule,
                      checkpoint_dir=args.checkpoint_dir,
                      checkpoint_every=args.checkpoint_every,
@@ -511,7 +527,8 @@ def _cmd_difftest(args) -> int:
     telemetry = _make_telemetry(args)
     monitor = _start_monitor(telemetry, args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
-                             telemetry=telemetry)
+                             telemetry=telemetry,
+                             worker_mode=args.worker_mode)
     harness = DifferentialHarness(executor=executor, telemetry=telemetry)
     suite = [(path.stem, path.read_bytes()) for path in files]
     if telemetry is not None:
@@ -560,7 +577,8 @@ def _cmd_campaign(args) -> int:
     telemetry = _make_telemetry(args)
     monitor = _start_monitor(telemetry, args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
-                             telemetry=telemetry)
+                             telemetry=telemetry,
+                             worker_mode=args.worker_mode)
     triage_engine = None
     if args.triage_out is not None:
         from repro.triage import TriageEngine
@@ -708,7 +726,8 @@ def _cmd_triage(args) -> int:
     telemetry = _make_telemetry(args)
     monitor = _start_monitor(telemetry, args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
-                             telemetry=telemetry)
+                             telemetry=telemetry,
+                             worker_mode=args.worker_mode)
     harness = DifferentialHarness(executor=executor, telemetry=telemetry)
     engine = TriageEngine(kind=COARSE if args.coarse else FINE,
                           suppressions=suppressions, telemetry=telemetry)
@@ -832,11 +851,13 @@ def _cmd_observe(args) -> int:
     if args.action == "summary":
         print(summarize_events(events))
         if args.metrics is not None:
-            block = summarize_prefilter(parse_prometheus(
-                args.metrics.read_text(encoding="utf-8")))
-            if block:
-                print()
-                print(block)
+            samples = parse_prometheus(
+                args.metrics.read_text(encoding="utf-8"))
+            for block in (summarize_prefilter(samples),
+                          summarize_workers(samples)):
+                if block:
+                    print()
+                    print(block)
         return 0
     if args.action == "replay":
         print(replay_events(events, event_type=args.event_type,

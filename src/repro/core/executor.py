@@ -31,6 +31,7 @@ order).
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
 import os
 import pickle
 import threading
@@ -39,6 +40,10 @@ from concurrent import futures
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core import worker
+from repro.coverage import shm
+from repro.coverage.bitmap import collector_bitmaps_enabled
+from repro.coverage.interner import GLOBAL_INTERNER
 from repro.coverage.probes import CoverageCollector
 from repro.coverage.tracefile import Tracefile
 from repro.jvm.machine import Jvm
@@ -65,12 +70,20 @@ class ExecutorStats:
         cache_misses: differential-run outcomes that had to execute.
         trace_hits: reference runs served from the tracefile cache.
         trace_misses: reference runs that had to execute.
+        trace_outcome_only: the split-lookup subset of ``trace_misses``
+            where the outcome was still cached (and reused) but the
+            trace itself had been evicted.
         batches: ``run_differential`` calls.
         batch_seconds: wall-clock spent inside ``run_differential``.
         ref_batches: ``run_reference_many`` calls.
         ref_batch_seconds: wall-clock spent inside ``run_reference_many``.
         vendor_runs: vendor name → actual executions.
         vendor_seconds: vendor name → wall-clock spent executing.
+        warm_runs: reference-worker runs served on already-built state.
+        cold_runs: reference-worker runs that paid a JVM construction
+            (worker start, recycle, or a fork-per-call process).
+        worker_recycles: persistent workers that hit the
+            ``max_runs_per_worker`` bound and rebuilt their state.
     """
 
     runs: int = 0
@@ -78,12 +91,16 @@ class ExecutorStats:
     cache_misses: int = 0
     trace_hits: int = 0
     trace_misses: int = 0
+    trace_outcome_only: int = 0
     batches: int = 0
     batch_seconds: float = 0.0
     ref_batches: int = 0
     ref_batch_seconds: float = 0.0
     vendor_runs: Dict[str, int] = field(default_factory=dict)
     vendor_seconds: Dict[str, float] = field(default_factory=dict)
+    warm_runs: int = 0
+    cold_runs: int = 0
+    worker_recycles: int = 0
 
     def record_run(self, vendor: str, seconds: float) -> None:
         self.runs += 1
@@ -111,11 +128,17 @@ class ExecutorStats:
             cache_misses=self.cache_misses - earlier.cache_misses,
             trace_hits=self.trace_hits - earlier.trace_hits,
             trace_misses=self.trace_misses - earlier.trace_misses,
+            trace_outcome_only=self.trace_outcome_only
+            - earlier.trace_outcome_only,
             batches=self.batches - earlier.batches,
             batch_seconds=self.batch_seconds - earlier.batch_seconds,
             ref_batches=self.ref_batches - earlier.ref_batches,
             ref_batch_seconds=self.ref_batch_seconds
             - earlier.ref_batch_seconds,
+            warm_runs=self.warm_runs - earlier.warm_runs,
+            cold_runs=self.cold_runs - earlier.cold_runs,
+            worker_recycles=self.worker_recycles
+            - earlier.worker_recycles,
         )
         for vendor, runs in self.vendor_runs.items():
             diff = runs - earlier.vendor_runs.get(vendor, 0)
@@ -134,10 +157,14 @@ class ExecutorStats:
         self.cache_misses += other.cache_misses
         self.trace_hits += other.trace_hits
         self.trace_misses += other.trace_misses
+        self.trace_outcome_only += other.trace_outcome_only
         self.batches += other.batches
         self.batch_seconds += other.batch_seconds
         self.ref_batches += other.ref_batches
         self.ref_batch_seconds += other.ref_batch_seconds
+        self.warm_runs += other.warm_runs
+        self.cold_runs += other.cold_runs
+        self.worker_recycles += other.worker_recycles
         for vendor, runs in other.vendor_runs.items():
             self.vendor_runs[vendor] = self.vendor_runs.get(vendor, 0) + runs
         for vendor, seconds in other.vendor_seconds.items():
@@ -155,11 +182,19 @@ class ExecutorStats:
             + (f" ({self.cache_hits / lookups:.0%} hit rate)"
                if lookups else ""),
             f"tracefile cache: {self.trace_hits} hits / "
-            f"{self.trace_misses} misses",
+            f"{self.trace_misses} misses"
+            + (f" ({self.trace_outcome_only} outcome-only)"
+               if self.trace_outcome_only else ""),
         ]
         if self.ref_batches:
             lines.append(f"reference batches: {self.ref_batches} "
                          f"({self.ref_batch_seconds:.2f}s)")
+        if self.warm_runs or self.cold_runs:
+            lines.append(
+                f"worker runs: {self.warm_runs} warm / "
+                f"{self.cold_runs} cold"
+                + (f"  recycles: {self.worker_recycles}"
+                   if self.worker_recycles else ""))
         if self.vendor_runs:
             width = max(len(v) for v in self.vendor_runs)
             lines.append(f"{'vendor'.ljust(width)}  {'runs':>8}  "
@@ -184,6 +219,14 @@ class OutcomeCache:
     run's :class:`Outcome` (and, for reference runs, the collected
     :class:`Tracefile`).  Safe for concurrent use.
 
+    Outcomes and traces live in separate stores joined by key: a
+    reference run's ``put_trace`` populates *both*, so its outcome also
+    serves later differential lookups, and a trace eviction leaves the
+    (much smaller) outcome behind.  ``get_trace`` reports that split
+    state — outcome present, trace evicted — explicitly instead of as a
+    plain miss, so the caller re-runs only for coverage and still
+    reuses the cached outcome.
+
     Args:
         max_entries: optional capacity per store; the oldest entries are
             evicted first (insertion order).  ``None`` means unbounded.
@@ -192,8 +235,7 @@ class OutcomeCache:
     def __init__(self, max_entries: Optional[int] = None):
         self.max_entries = max_entries
         self._outcomes: Dict[Tuple[str, str], Outcome] = {}
-        self._traces: Dict[Tuple[str, str],
-                           Tuple[Outcome, Tracefile]] = {}
+        self._traces: Dict[Tuple[str, str], Tracefile] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -216,15 +258,33 @@ class OutcomeCache:
             self._outcomes[(digest, vendor)] = outcome
 
     def get_trace(self, digest: str, vendor: str
-                  ) -> Optional[Tuple[Outcome, Tracefile]]:
+                  ) -> Optional[Tuple[Outcome, Optional[Tracefile]]]:
+        """The split reference lookup.
+
+        Returns ``(outcome, trace)`` on a full hit, ``(outcome, None)``
+        when the outcome survives but the trace was evicted (the caller
+        must re-run for coverage yet can keep the outcome), and ``None``
+        on a full miss.  An orphaned trace whose outcome was evicted is
+        unusable and reads as a full miss.
+        """
         with self._lock:
-            return self._traces.get((digest, vendor))
+            key = (digest, vendor)
+            outcome = self._outcomes.get(key)
+            if outcome is None:
+                return None
+            trace = self._traces.get(key)
+            if trace is None:
+                return outcome, None
+            return outcome, trace
 
     def put_trace(self, digest: str, vendor: str, outcome: Outcome,
                   trace: Tracefile) -> None:
         with self._lock:
+            key = (digest, vendor)
+            self._evict(self._outcomes)
+            self._outcomes[key] = outcome
             self._evict(self._traces)
-            self._traces[(digest, vendor)] = (outcome, trace)
+            self._traces[key] = trace
 
     def _evict(self, store: Dict) -> None:
         if self.max_entries is not None:
@@ -243,7 +303,8 @@ class _ExecutorInstruments:
 
     __slots__ = ("telemetry", "bus", "_runs", "_run_seconds", "_cache",
                  "_batches", "_batch_seconds", "_ref_batches",
-                 "_ref_batch_seconds", "_reference_seconds")
+                 "_ref_batch_seconds", "_reference_seconds",
+                 "_worker_warm", "_worker_cold", "_worker_recycles")
 
     def __init__(self, telemetry, kind: str):
         self.telemetry = telemetry
@@ -275,6 +336,15 @@ class _ExecutorInstruments:
         self._reference_seconds = registry.histogram(
             "repro_reference_run_seconds",
             "Latency of coverage-collected reference runs.")
+        worker_runs = registry.counter(
+            "repro_worker_runs_total",
+            "Reference-worker runs by warm/cold state.", ("state",))
+        self._worker_warm = worker_runs.labels(state="warm")
+        self._worker_cold = worker_runs.labels(state="cold")
+        self._worker_recycles = registry.counter(
+            "repro_worker_recycles_total",
+            "Persistent reference workers recycled at the "
+            "max-runs-per-worker bound.")
 
     def record_run(self, vendor: str, seconds: float) -> None:
         self._runs.labels(vendor=vendor).inc()
@@ -288,6 +358,16 @@ class _ExecutorInstruments:
                            result="hit" if hit else "miss").inc()
         if hit and self.bus.enabled:
             self.bus.emit(CACHE_HIT, store=store, vendor=vendor)
+
+    def cache_outcome_only(self) -> None:
+        """A trace miss whose outcome was still cached (split lookup)."""
+        self._cache.labels(store="trace", result="outcome_only").inc()
+
+    def worker_run(self, warm: bool) -> None:
+        (self._worker_warm if warm else self._worker_cold).inc()
+
+    def worker_recycle(self) -> None:
+        self._worker_recycles.inc()
 
     def batch(self, kind: str, size: int, seconds: float) -> None:
         self._batches.inc()
@@ -370,20 +450,31 @@ class Executor:
         priming across algorithms, pool re-runs) is a lookup.
         """
         digest = classfile_digest(data) if self.cache is not None else ""
+        outcome_hint: Optional[Outcome] = None
         if self.cache is not None:
             cached = self.cache.get_trace(digest, jvm.name)
-            if cached is not None:
+            if cached is not None and cached[1] is not None:
                 with self._stats_lock:
                     self.stats.trace_hits += 1
                 if self._observe is not None:
                     self._observe.cache_lookup("trace", True, jvm.name)
                 return cached
+            if cached is not None:
+                # Split lookup: the trace was evicted but the outcome
+                # survives — re-run for coverage only, keep the outcome.
+                outcome_hint = cached[0]
             with self._stats_lock:
                 self.stats.trace_misses += 1
+                if outcome_hint is not None:
+                    self.stats.trace_outcome_only += 1
             if self._observe is not None:
                 self._observe.cache_lookup("trace", False, jvm.name)
+                if outcome_hint is not None:
+                    self._observe.cache_outcome_only()
         with self._reference_lock:
             outcome, trace, elapsed = self._reference_execute(jvm, data)
+        if outcome_hint is not None:
+            outcome = outcome_hint
         with self._stats_lock:
             self.stats.record_run(jvm.name, elapsed)
         if self._observe is not None:
@@ -441,28 +532,36 @@ class Executor:
         #: digest → every position in this batch awaiting its result.
         positions: Dict[str, List[int]] = {}
         misses: List[Tuple[str, bytes]] = []
+        #: digest → cached outcome whose trace was evicted (split
+        #: lookup): the re-run collects coverage, the outcome is reused.
+        outcome_hints: Dict[str, Outcome] = {}
         if self.cache is not None:
             hits = 0
             for position, data in enumerate(items):
                 digest = classfile_digest(data)
                 cached = self.cache.get_trace(digest, jvm.name)
-                if cached is not None:
+                if cached is not None and cached[1] is not None:
                     results[position] = cached
                     hits += 1
                 elif digest in positions:
                     positions[digest].append(position)
                     hits += 1
                 else:
+                    if cached is not None:
+                        outcome_hints[digest] = cached[0]
                     positions[digest] = [position]
                     misses.append((digest, data))
             with self._stats_lock:
                 self.stats.trace_hits += hits
                 self.stats.trace_misses += len(misses)
+                self.stats.trace_outcome_only += len(outcome_hints)
             if self._observe is not None:
                 for _ in range(hits):
                     self._observe.cache_lookup("trace", True, jvm.name)
                 for _ in misses:
                     self._observe.cache_lookup("trace", False, jvm.name)
+                for _ in outcome_hints:
+                    self._observe.cache_outcome_only()
         else:
             for position, data in enumerate(items):
                 digest = classfile_digest(data)
@@ -476,6 +575,7 @@ class Executor:
                 jvm, [data for _, data in misses])
             for (digest, _), (outcome, trace, seconds) in zip(
                     misses, executed):
+                outcome = outcome_hints.get(digest, outcome)
                 with self._stats_lock:
                     self.stats.record_run(jvm.name, seconds)
                 if self._observe is not None:
@@ -631,9 +731,6 @@ class ThreadExecutor(Executor):
 #: Per-worker JVM instances, set once by the pool initializer.
 _WORKER_JVMS: List[Jvm] = []
 
-#: Per-worker reference JVM, set once by the reference-pool initializer.
-_WORKER_REF_JVM: Optional[Jvm] = None
-
 
 def _process_worker_init(blob: bytes) -> None:
     global _WORKER_JVMS
@@ -651,51 +748,72 @@ def _process_worker_run(data: bytes
     return outcomes, timings
 
 
-def _process_reference_init(blob: bytes) -> None:
-    global _WORKER_REF_JVM
-    _WORKER_REF_JVM = pickle.loads(blob)
-
-
-def _process_reference_run(data: bytes
-                           ) -> Tuple[Outcome, Tracefile, float]:
-    """One instrumented reference run inside a worker process.
-
-    The returned :class:`Tracefile` drops its interned-id caches on
-    pickling, so ids never leak between the worker's and the parent's
-    process-local interners.
-    """
-    return Executor._reference_execute(_WORKER_REF_JVM, data)
-
-
 class ProcessExecutor(Executor):
     """Process-pool engine: real CPU parallelism for CPU-bound runs.
 
     The JVM list is pickled once and installed in each worker by the pool
     initializer; tasks ship only classfile bytes and return picklable
     outcomes plus per-vendor timings.  The pool is rebuilt when a batch
-    arrives with a different JVM configuration.
+    arrives with a different JVM configuration — detected by object
+    identity first, so the steady state (the same JVM list every batch)
+    never re-pickles anything.
+
+    The reference path runs in one of two worker modes
+    (see :mod:`repro.core.worker`):
+
+    * ``"persistent"`` (default): warm workers sharing the parent's
+      site table through shared memory, returning packed coverage in
+      :class:`~repro.coverage.shm.TraceSlotRing` slots, recycled every
+      ``max_runs_per_worker`` runs;
+    * ``"fork"``: a fork-per-call baseline that rebuilds JVM state for
+      every single run and ships pickled tracefile dicts.
+
+    Both modes keep the executor determinism contract: decision streams
+    are byte-identical to the serial backend.
     """
 
     kind = "process"
 
-    def __init__(self, jobs: Optional[int] = None, **kwargs):
+    def __init__(self, jobs: Optional[int] = None,
+                 worker_mode: str = "persistent",
+                 max_runs_per_worker: Optional[int] = None, **kwargs):
         super().__init__(**kwargs)
+        if worker_mode not in ("persistent", "fork"):
+            raise ValueError(f"unknown worker mode {worker_mode!r} "
+                             f"(expected 'persistent' or 'fork')")
         self.jobs = max(1, jobs if jobs is not None
                         else (os.cpu_count() or 1))
+        self.worker_mode = worker_mode
+        self.max_runs_per_worker = \
+            worker.DEFAULT_MAX_RUNS_PER_WORKER \
+            if max_runs_per_worker is None else max_runs_per_worker
         self._pool: Optional[futures.ProcessPoolExecutor] = None
         self._pool_key: Optional[bytes] = None
-        self._ref_pool: Optional[futures.ProcessPoolExecutor] = None
+        self._pool_ids: Optional[Tuple[int, ...]] = None
+        self._ref_pool = None  # ProcessPoolExecutor or mp.Pool
         self._ref_pool_key: Optional[bytes] = None
+        self._ref_pool_id: Optional[int] = None
         self._map_pool: Optional[futures.ProcessPoolExecutor] = None
+        self._site_table = None
+        self._slot_ring = None
+        self._free_slots: List[int] = []
 
     def _ensure_pool(self, jvms: List[Jvm]) -> futures.ProcessPoolExecutor:
+        # Identity fingerprint first: the common case is the same JVM
+        # list object on every batch, which must not pay a pickle pass
+        # per batch just to compare pool keys.
+        ids = tuple(map(id, jvms))
+        if self._pool is not None and ids == self._pool_ids:
+            return self._pool
         blob = pickle.dumps(jvms)
         if self._pool is None or self._pool_key != blob:
-            self.close()
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
             self._pool = futures.ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_process_worker_init, initargs=(blob,))
             self._pool_key = blob
+        self._pool_ids = ids
         return self._pool
 
     def _run_batch(self, jvms, batch):
@@ -746,22 +864,74 @@ class ProcessExecutor(Executor):
                                               label=label))
         return results
 
-    def _ensure_ref_pool(self, jvm: Jvm) -> futures.ProcessPoolExecutor:
+    def _ensure_ref_pool(self, jvm: Jvm):
+        if self._ref_pool is not None and id(jvm) == self._ref_pool_id:
+            return self._ref_pool
         blob = pickle.dumps(jvm)
-        if self._ref_pool is None or self._ref_pool_key != blob:
-            if self._ref_pool is not None:
-                self._ref_pool.shutdown(wait=True)
+        if self._ref_pool is not None and self._ref_pool_key == blob:
+            self._ref_pool_id = id(jvm)
+            return self._ref_pool
+        self._shutdown_ref_pool()
+        if self.worker_mode == "persistent":
+            self._site_table = shm.SharedSiteTable()
+            # Attach before the pool exists: forked workers inherit an
+            # interner already mirroring the table, with every id the
+            # parent minted so far (seed priming included) published.
+            GLOBAL_INTERNER.attach_shared(self._site_table)
+            self._slot_ring = shm.TraceSlotRing(
+                slot_count=max(32, 4 * self.jobs))
+            self._free_slots = list(range(self._slot_ring.slot_count))
             self._ref_pool = futures.ProcessPoolExecutor(
                 max_workers=self.jobs,
-                initializer=_process_reference_init, initargs=(blob,))
-            self._ref_pool_key = blob
+                initializer=worker.persistent_init,
+                initargs=(blob, self._site_table, self._slot_ring,
+                          self.max_runs_per_worker,
+                          collector_bitmaps_enabled()))
+        else:
+            self._ref_pool = multiprocessing.get_context("fork").Pool(
+                processes=self.jobs, initializer=worker.fork_init,
+                initargs=(blob,), maxtasksperchild=1)
+        self._ref_pool_key = blob
+        self._ref_pool_id = id(jvm)
         return self._ref_pool
 
     def _run_reference_batch(self, jvm, batch):
         pool = self._ensure_ref_pool(jvm)
-        pending = [pool.submit(_process_reference_run, data)
-                   for data in batch]
-        return [task.result() for task in pending]
+        if self.worker_mode == "fork":
+            pending = [pool.apply_async(worker.fork_run, (data,))
+                       for data in batch]
+            executed = []
+            for task in pending:
+                outcome, trace, seconds = task.get()
+                with self._stats_lock:
+                    self.stats.cold_runs += 1
+                if self._observe is not None:
+                    self._observe.worker_run(warm=False)
+                executed.append((outcome, trace, seconds))
+            return executed
+        slots = [self._free_slots.pop() if self._free_slots else None
+                 for _ in batch]
+        pending = [pool.submit(worker.persistent_run, data, slot)
+                   for data, slot in zip(batch, slots)]
+        executed = []
+        for task, slot in zip(pending, slots):
+            outcome, payload, seconds, warm, recycled = task.result()
+            trace = worker.decode_payload(payload, self._slot_ring)
+            if slot is not None:
+                self._free_slots.append(slot)
+            with self._stats_lock:
+                if warm:
+                    self.stats.warm_runs += 1
+                else:
+                    self.stats.cold_runs += 1
+                if recycled:
+                    self.stats.worker_recycles += 1
+            if self._observe is not None:
+                self._observe.worker_run(warm)
+                if recycled:
+                    self._observe.worker_recycle()
+            executed.append((outcome, trace, seconds))
+        return executed
 
     def map_many(self, fn, items):
         # A dedicated initializer-free pool: the differential and
@@ -773,15 +943,40 @@ class ProcessExecutor(Executor):
         pending = [self._map_pool.submit(fn, item) for item in items]
         return [task.result() for task in pending]
 
+    def _shutdown_ref_pool(self) -> None:
+        """Stop reference workers, then release shared-memory segments.
+
+        Pool teardown comes first so no worker can still be writing a
+        slot when the segments are unlinked.  Runs on normal close, on
+        pool rebuild, and on the SIGINT path (the CLI's interrupt
+        handlers close the executor), so ``/dev/shm`` never leaks.
+        """
+        if self._ref_pool is not None:
+            if self.worker_mode == "fork":
+                self._ref_pool.terminate()
+                self._ref_pool.join()
+            else:
+                self._ref_pool.shutdown(wait=True, cancel_futures=True)
+            self._ref_pool = None
+            self._ref_pool_key = None
+            self._ref_pool_id = None
+        if self._site_table is not None:
+            if GLOBAL_INTERNER.shared_table is self._site_table:
+                GLOBAL_INTERNER.detach_shared()
+            self._site_table.destroy()
+            self._site_table = None
+        if self._slot_ring is not None:
+            self._slot_ring.destroy()
+            self._slot_ring = None
+            self._free_slots = []
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
             self._pool_key = None
-        if self._ref_pool is not None:
-            self._ref_pool.shutdown(wait=True)
-            self._ref_pool = None
-            self._ref_pool_key = None
+            self._pool_ids = None
+        self._shutdown_ref_pool()
         if self._map_pool is not None:
             self._map_pool.shutdown(wait=True)
             self._map_pool = None
@@ -800,23 +995,39 @@ BACKENDS = {
 
 
 def ParallelExecutor(jobs: Optional[int] = None, backend: str = "thread",
+                     worker_mode: Optional[str] = None,
                      **kwargs) -> Executor:
-    """A parallel engine for ``backend`` (``"thread"`` or ``"process"``)."""
+    """A parallel engine for ``backend`` (``"thread"`` or ``"process"``).
+
+    ``worker_mode`` selects the process backend's reference-worker
+    discipline (``"persistent"`` or ``"fork"``); it is rejected for the
+    thread backend, whose workers are threads in this process.
+    """
     if backend not in ("thread", "process"):
         raise ValueError(f"unknown parallel backend {backend!r}")
+    if worker_mode is not None:
+        if backend != "process":
+            raise ValueError("worker_mode only applies to the process "
+                             "backend")
+        kwargs["worker_mode"] = worker_mode
     return BACKENDS[backend](jobs=jobs, **kwargs)
 
 
 def make_executor(jobs: int = 1, backend: str = "thread",
-                  cache: bool = True, telemetry=None) -> Executor:
+                  cache: bool = True, telemetry=None,
+                  worker_mode: str = "persistent") -> Executor:
     """Build the engine for a job count (the CLI's ``--jobs``/``--backend``).
 
     ``jobs <= 1`` selects the serial engine.  ``cache=True`` attaches a
     fresh :class:`OutcomeCache`.  ``telemetry`` threads an optional
-    :class:`~repro.observe.Telemetry` into the engine.
+    :class:`~repro.observe.Telemetry` into the engine.  ``worker_mode``
+    (the CLI's ``--worker-mode``) picks the process backend's
+    reference-worker discipline and is ignored by the other engines.
     """
     outcome_cache = OutcomeCache() if cache else None
     if jobs <= 1:
         return SerialExecutor(cache=outcome_cache, telemetry=telemetry)
+    kwargs = {"worker_mode": worker_mode} if backend == "process" else {}
     return ParallelExecutor(jobs=jobs, backend=backend,
-                            cache=outcome_cache, telemetry=telemetry)
+                            cache=outcome_cache, telemetry=telemetry,
+                            **kwargs)

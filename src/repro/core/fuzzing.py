@@ -27,7 +27,12 @@ pipeline**, every algorithm runs in rounds of ``batch`` iterations:
    resulting classfiles on the reference JVM in one
    :meth:`~repro.core.executor.Executor.run_reference_many` bulk call,
    which short-circuits per item through the content-addressed tracefile
-   cache and parallelises the misses on thread/process backends;
+   cache and parallelises the misses on thread/process backends (the
+   process backend's default **persistent workers** keep the reference
+   JVM warm across rounds and return coverage as packed interned-id
+   arrays over a shared site table — see :mod:`repro.core.worker` and
+   :mod:`repro.coverage.shm` — decoding to tracefiles byte-identical to
+   a serial run's);
 3. *replay acceptance* — uniqueness checks, seed-pool feedback, MCMC
    ``record_success`` and telemetry fire sequentially in batch-index
    order.

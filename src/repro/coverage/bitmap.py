@@ -33,7 +33,11 @@ deterministic interning order that checkpoint resume replays — so a
 resumed run rebuilds bit-identical bitmap state.  Like interned ids,
 slots are process-local and must never cross a process boundary;
 :class:`~repro.coverage.tracefile.Tracefile` drops its cached bitmap
-view on pickling.
+view on pickling.  The exception mirrors the interner's: when every
+process involved interns through one shared site table
+(:mod:`repro.coverage.shm`), ids — and therefore slots — mean the same
+thing everywhere, and a worker-computed bitmap can be adopted wholesale
+via :meth:`CoverageBitmap.from_transport`.
 """
 
 from __future__ import annotations
@@ -148,6 +152,27 @@ class CoverageBitmap:
         self._branches = branches
         self._buffer: bytes = b""
         self._classified: bytes = b""
+
+    @classmethod
+    def from_transport(cls, slots: Iterable[int],
+                       buffer: bytes = b"") -> "CoverageBitmap":
+        """Rehydrate a bitmap shipped across a process boundary.
+
+        Persistent reference workers compute slots and the counter
+        buffer against the *shared* site table, so — unlike the cached
+        views dropped on pickling — these values are valid in every
+        attached process and can be adopted as-is.  No coverage dicts
+        are retained: a transported bitmap without a buffer cannot
+        re-derive one (the acceptance path only ever reads ``slots``).
+        """
+        bitmap = cls.__new__(cls)
+        bitmap.slots = frozenset(slots)
+        hash(bitmap.slots)
+        bitmap._statements = {}
+        bitmap._branches = {}
+        bitmap._buffer = bytes(buffer) if buffer else b""
+        bitmap._classified = b""
+        return bitmap
 
     def __len__(self) -> int:
         """Occupied slot count (≤ distinct sites; less under collision)."""

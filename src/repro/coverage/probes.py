@@ -78,6 +78,16 @@ class CoverageCollector:
 
     # -- results --------------------------------------------------------------------
 
+    def counts(self) -> "tuple[Counter, Counter]":
+        """The raw ``(statements, branches)`` hit counters.
+
+        For callers that re-encode coverage themselves (the process
+        backend's persistent workers pack these straight into shared
+        memory) instead of snapshotting a :class:`Tracefile`.  Read-only
+        by convention: the counters are live until the collector exits.
+        """
+        return self._statements, self._branches
+
     def tracefile(self) -> Tracefile:
         """Snapshot the recorded coverage.
 

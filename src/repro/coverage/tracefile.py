@@ -42,6 +42,24 @@ class Tracefile:
     statements: Dict[str, int] = field(default_factory=dict)
     branches: Dict[Tuple[str, bool], int] = field(default_factory=dict)
 
+    @staticmethod
+    def from_packed(stmt_pairs, br_pairs, interner=None, slots=None,
+                    buffer: bytes = b"") -> "Tracefile":
+        """Build a tracefile from packed ``(id, count)`` coverage arrays.
+
+        The wire format of the process backend's persistent reference
+        workers: ``stmt_pairs``/``br_pairs`` are flat
+        ``id, count, id, count, ...`` sequences over ids minted in a
+        shared site table (see :mod:`repro.coverage.shm`), optionally
+        with the worker-computed bitmap ``slots``/``buffer``.  The
+        string-keyed dicts are materialised **lazily** — the bitmap
+        ``[tr]`` fast-accept path never touches them, and the interned
+        ``stmt_ids``/``br_ids`` views come straight from the id columns
+        with no string round-trip at all.
+        """
+        return PackedTracefile(stmt_pairs, br_pairs, interner=interner,
+                               slots=slots, buffer=buffer)
+
     def _cached(self, slot: str, compute):
         value = self.__dict__.get(slot, _UNSET)
         if value is _UNSET:
@@ -126,6 +144,92 @@ class Tracefile:
     def __setstate__(self, state):
         object.__setattr__(self, "statements", state["statements"])
         object.__setattr__(self, "branches", state["branches"])
+
+
+class PackedTracefile(Tracefile):
+    """A tracefile decoded from the packed cross-process wire format.
+
+    Holds the flat ``(id, count)`` arrays and materialises the
+    string-keyed ``statements``/``branches`` dicts only on first access
+    (an exact-criterion confirm, a merge, an export) by reverse lookup
+    through the interner's id mirrors.  Count-only views (``stmt``,
+    ``br``, ``signature``) and the interned-id sets read the arrays
+    directly; a transported bitmap view is adopted at construction.
+
+    Materialisation preserves site order: workers pack pairs in probe
+    first-hit order, so the lazily built dicts iterate exactly like the
+    dicts a serial in-process run would have produced.
+    """
+
+    def __init__(self, stmt_pairs, br_pairs, interner=None, slots=None,
+                 buffer: bytes = b"") -> None:
+        setattr_ = object.__setattr__
+        setattr_(self, "_stmt_pairs", stmt_pairs)
+        setattr_(self, "_br_pairs", br_pairs)
+        setattr_(self, "_interner",
+                 interner if interner is not None else GLOBAL_INTERNER)
+        if slots is not None:
+            setattr_(self, "_bitmap",
+                     CoverageBitmap.from_transport(slots, buffer))
+
+    @property
+    def statements(self) -> Dict[str, int]:
+        return self._cached("_statements_dict", self._build_statements)
+
+    @property
+    def branches(self) -> Dict[Tuple[str, bool], int]:
+        return self._cached("_branches_dict", self._build_branches)
+
+    def _build_statements(self) -> Dict[str, int]:
+        pairs = self._stmt_pairs
+        sites = self._interner.resolve_statements(pairs[0::2])
+        return dict(zip(sites, pairs[1::2]))
+
+    def _build_branches(self) -> Dict[Tuple[str, bool], int]:
+        pairs = self._br_pairs
+        keys = self._interner.resolve_branches(pairs[0::2])
+        return dict(zip(keys, pairs[1::2]))
+
+    @property
+    def stmt(self) -> int:
+        return len(self._stmt_pairs) // 2
+
+    @property
+    def br(self) -> int:
+        return len(self._br_pairs) // 2
+
+    @property
+    def signature(self) -> Tuple[int, int]:
+        return len(self._stmt_pairs) // 2, len(self._br_pairs) // 2
+
+    @property
+    def stmt_ids(self) -> FrozenSet[int]:
+        return self._cached(
+            "_stmt_ids", lambda: frozenset(self._stmt_pairs[0::2]))
+
+    @property
+    def br_ids(self) -> FrozenSet[int]:
+        return self._cached(
+            "_br_ids", lambda: frozenset(self._br_pairs[0::2]))
+
+    def total_hits(self) -> int:
+        return sum(self._stmt_pairs[1::2])
+
+    # The dataclass-generated __eq__ only matches exact classes; packed
+    # and plain tracefiles with the same coverage must still compare
+    # equal (Tracefile returns NotImplemented for a Packed operand, so
+    # Python falls through to this reflected implementation).
+    def __eq__(self, other):
+        if isinstance(other, Tracefile):
+            return (self.statements == other.statements
+                    and self.branches == other.branches)
+        return NotImplemented
+
+    # A packed trace's id arrays are only meaningful next to its
+    # interner, so pickling materialises and ships a plain Tracefile —
+    # the same raw-dict wire form the base class uses.
+    def __reduce__(self):
+        return Tracefile, (self.statements, self.branches)
 
 
 def merge(first: Tracefile, second: Tracefile) -> Tracefile:

@@ -254,5 +254,27 @@ class StatusTracker(EventSink):
             }
         batches = {".".join(k) if k else "all": int(v) for k, v
                    in self._family_values("repro_executor_batches_total")}
-        return {"vendor_runs": vendor_runs, "caches": cache_section,
-                "batches": batches}
+        section = {"vendor_runs": vendor_runs, "caches": cache_section,
+                   "batches": batches}
+        workers = self._worker_subsection()
+        if workers:
+            section["workers"] = workers
+        return section
+
+    def _worker_subsection(self) -> Dict[str, Any]:
+        """Warm/cold run split of the process backend's reference workers.
+
+        Empty (and omitted from the snapshot) for thread/serial runs,
+        which never start worker processes.
+        """
+        runs = {".".join(k) if k else "?": int(v) for k, v
+                in self._family_values("repro_worker_runs_total")}
+        if not runs:
+            return {}
+        warm = runs.get("warm", 0)
+        total = sum(runs.values())
+        recycles = sum(int(v) for _, v in self._family_values(
+            "repro_worker_recycles_total"))
+        return {"runs": runs,
+                "warm_rate": round(warm / total, 4) if total else 0.0,
+                "recycles": recycles}

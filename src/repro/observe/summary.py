@@ -269,6 +269,34 @@ def summarize_prefilter(samples: Dict[str, List[
     return "\n".join(lines)
 
 
+def summarize_workers(samples: Dict[str, List[
+        Tuple[Dict[str, str], float]]]) -> Optional[str]:
+    """Render the worker-process warm/cold run split from parsed metrics.
+
+    Reads the ``repro_worker_runs_total{state}`` and
+    ``repro_worker_recycles_total`` counters out of a
+    :func:`parse_prometheus` result; returns ``None`` when the run
+    recorded none (thread/serial runs, which never start workers).
+    """
+    rows = samples.get("repro_worker_runs_total")
+    if not rows:
+        return None
+    by_state: Dict[str, float] = {}
+    for labels, value in rows:
+        state = labels.get("state", "?")
+        by_state[state] = by_state.get(state, 0.0) + value
+    warm = by_state.get("warm", 0.0)
+    cold = by_state.get("cold", 0.0)
+    total = sum(by_state.values())
+    recycles = sum(value for _, value
+                   in samples.get("repro_worker_recycles_total", []))
+    lines = ["=== Worker runs ==="]
+    rate = f"{warm / total:.1%}" if total else "-"
+    lines.append(f"{int(warm)} warm / {int(cold)} cold "
+                 f"(warm rate {rate}), {int(recycles)} recycles")
+    return "\n".join(lines)
+
+
 # -- Prometheus dump validation ---------------------------------------------
 
 # The value alternation must allow scientific notation with a signed

@@ -157,6 +157,71 @@ class TestOutcomeCache:
         assert len(cache) == 0
 
 
+class TestOutcomeCacheSplitLookup:
+    """get_trace distinguishes outcome-only entries from full misses."""
+
+    def test_put_trace_serves_outcome_lookups(self, suite):
+        from repro.coverage.tracefile import Tracefile
+        from repro.jvm.outcome import Outcome
+
+        cache = OutcomeCache()
+        outcome = Outcome(phase=0)
+        cache.put_trace("d", "v", outcome, Tracefile())
+        assert cache.get_outcome("d", "v") == outcome
+        assert cache.get_trace("d", "v") == (outcome, Tracefile())
+
+    def test_outcome_without_trace_reads_as_split(self):
+        from repro.jvm.outcome import Outcome
+
+        cache = OutcomeCache()
+        outcome = Outcome(phase=0)
+        cache.put_outcome("d", "v", outcome)
+        assert cache.get_trace("d", "v") == (outcome, None)
+        assert cache.get_trace("other", "v") is None
+
+    def test_orphaned_trace_reads_as_full_miss(self):
+        from repro.coverage.tracefile import Tracefile
+        from repro.jvm.outcome import Outcome
+
+        # Differential put_outcome traffic evicts an outcome whose trace
+        # survives; the orphan is unusable and must read as a miss.
+        cache = OutcomeCache(max_entries=2)
+        cache.put_trace("r1", "v", Outcome(phase=0), Tracefile())
+        cache.put_trace("r2", "v", Outcome(phase=0), Tracefile())
+        cache.put_outcome("d1", "v", Outcome(phase=1))
+        assert cache.get_trace("r1", "v") is None
+        full = cache.get_trace("r2", "v")
+        assert full is not None and full[1] is not None
+
+    def test_reference_rerun_reuses_cached_outcome(self, suite):
+        engine = SerialExecutor(cache=OutcomeCache())
+        jvm = reference_jvm()
+        _, data = suite[0]
+        digest = classfile_digest(data)
+        first_outcome, _ = engine.run_reference(jvm, data)
+        # Simulate a trace eviction that spared the (smaller) outcome.
+        engine.cache._traces.clear()
+        outcome, trace = engine.run_reference(jvm, data)
+        assert outcome == first_outcome
+        assert trace.stmt > 0
+        assert engine.stats.trace_outcome_only == 1
+        assert engine.stats.trace_misses == 2
+        assert "outcome-only" in engine.stats.format()
+        # The re-run restored the trace: next lookup is a full hit.
+        engine.run_reference(jvm, data)
+        assert engine.stats.trace_hits == 1
+
+    def test_batch_rerun_reuses_cached_outcome(self, suite):
+        engine = SerialExecutor(cache=OutcomeCache())
+        jvm = reference_jvm()
+        batch = [data for _, data in suite[:3]]
+        first = engine.run_reference_many(jvm, batch)
+        engine.cache._traces.clear()
+        again = engine.run_reference_many(jvm, batch)
+        assert [o for o, _ in again] == [o for o, _ in first]
+        assert engine.stats.trace_outcome_only == 3
+
+
 class TestExecutorStats:
     def test_vendor_latency_recorded(self, suite):
         engine = SerialExecutor()
@@ -225,11 +290,65 @@ class TestFactories:
         with pytest.raises(ValueError, match="backend"):
             ParallelExecutor(jobs=2, backend="serial")
 
+    def test_worker_mode_rejected_for_thread_backend(self):
+        with pytest.raises(ValueError, match="worker_mode"):
+            ParallelExecutor(jobs=2, backend="thread",
+                             worker_mode="persistent")
+
+    def test_process_rejects_unknown_worker_mode(self):
+        with pytest.raises(ValueError, match="worker mode"):
+            ProcessExecutor(jobs=2, worker_mode="bogus")
+
+    def test_make_executor_worker_mode_plumbed(self):
+        engine = make_executor(jobs=2, backend="process",
+                               worker_mode="fork")
+        assert engine.worker_mode == "fork"
+        assert make_executor(jobs=2, backend="process").worker_mode == \
+            "persistent"
+
     def test_context_manager_closes_pool(self, suite):
         engine = ThreadExecutor(jobs=2)
         with engine:
             engine.run_differential(all_jvms(), suite[:1])
         assert engine._pool is None
+
+
+class TestProcessPoolReuse:
+    """Steady-state batches must not re-pickle the JVM configuration."""
+
+    def test_same_jvm_list_reuses_pool_without_pickling(self, suite):
+        jvms = all_jvms()
+        try:
+            with ProcessExecutor(jobs=2) as engine:
+                engine.run_differential(jvms, suite[:1])
+                pool = engine._pool
+                engine._pool_key = b"poisoned: a pickle pass would " \
+                    b"rebuild the pool"
+                engine.run_differential(jvms, suite[:1])
+                assert engine._pool is pool  # identity fast path hit
+        except (OSError, futures_broken()) as exc:  # pragma: no cover
+            pytest.skip(f"process pool unavailable: {exc}")
+
+    def test_equal_but_distinct_list_still_reuses_pool(self, suite):
+        try:
+            with ProcessExecutor(jobs=2) as engine:
+                engine.run_differential(all_jvms(), suite[:1])
+                pool = engine._pool
+                engine.run_differential(list(all_jvms()), suite[:1])
+                assert engine._pool is pool  # blob comparison hit
+        except (OSError, futures_broken()) as exc:  # pragma: no cover
+            pytest.skip(f"process pool unavailable: {exc}")
+
+    def test_reference_pool_reuses_across_batches(self, suite):
+        jvm = reference_jvm()
+        try:
+            with ProcessExecutor(jobs=2, cache=OutcomeCache()) as engine:
+                engine.run_reference_many(jvm, [suite[0][1]])
+                pool = engine._ref_pool
+                engine.run_reference_many(jvm, [suite[1][1]])
+                assert engine._ref_pool is pool
+        except (OSError, futures_broken()) as exc:  # pragma: no cover
+            pytest.skip(f"process pool unavailable: {exc}")
 
 
 class TestCampaignEquivalence:
