@@ -18,7 +18,18 @@ Commands mirror the paper's workflow:
 * ``observe``  — summarise, replay, or export a recorded telemetry log,
   and validate Prometheus metric dumps;
 * ``monitor``  — serve a recorded events log through the live-monitor
-  dashboard (replay mode).
+  dashboard (replay mode);
+* ``serve``    — the campaign orchestration daemon: durable job queue,
+  supervised worker subprocesses, HTTP API + queue dashboard
+  (:mod:`repro.service`);
+* ``submit`` / ``jobs`` / ``cancel`` — talk to a running ``serve``
+  daemon over HTTP.
+
+``fuzz`` and ``campaign`` honour SIGTERM gracefully: the run stops at
+the next round boundary, writes a final checkpoint (when running with
+``--checkpoint-dir``), and exits with code 143 — distinct from Ctrl-C's
+130 — so supervisors can requeue-and-resume instead of counting the
+stop as a failure.
 
 The JVM-running commands (``fuzz``, ``difftest``, ``campaign``) accept
 ``--events``/``--metrics-out``/``--progress`` to record structured
@@ -50,6 +61,13 @@ from repro.core.campaign import (
     format_mutator_report,
     format_table4,
     run_campaign,
+    save_campaign_suites,
+)
+from repro.core.shutdown import (
+    GRACEFUL_EXIT_CODE,
+    GracefulShutdown,
+    install_sigterm_handler,
+    reset_shutdown,
 )
 from repro.core.difftest import DifferentialHarness
 from repro.core.executor import make_executor
@@ -69,6 +87,7 @@ from repro.observe.summary import (
     parse_prometheus,
     replay_events,
     summarize_events,
+    summarize_job,
     summarize_prefilter,
     summarize_workers,
     write_timeseries,
@@ -278,6 +297,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="triage every algorithm's TestClasses "
                                "discrepancies into one deduplicated "
                                "cluster inventory written here")
+    campaign.add_argument("--suites-out", type=Path, default=None,
+                          metavar="DIR", dest="suites_out",
+                          help="save every algorithm's accepted suite "
+                               "under DIR/<algorithm>/ (byte-comparable "
+                               "with a service campaign job's per-leg "
+                               "suites)")
     _add_corpus_options(campaign)
     _add_executor_options(campaign)
     _add_telemetry_options(campaign)
@@ -378,6 +403,87 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="keep serving this long after the replay, "
                               "then exit (default: until interrupted)")
+
+    serve = sub.add_parser(
+        "serve", help="run the campaign orchestration daemon: durable "
+                      "job queue + HTTP API + queue dashboard")
+    serve.add_argument("--state-root", type=Path,
+                       default=Path("repro-service"), metavar="DIR",
+                       help="durable queue + artifact root "
+                            "(default: ./repro-service)")
+    serve.add_argument("--port", type=int, default=8378,
+                       help="API port (0 = ephemeral; default: 8378)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       dest="max_attempts", metavar="N",
+                       help="attempts per leg before the job fails "
+                            "(default: 3)")
+    serve.add_argument("--parallel-legs", type=int, default=1,
+                       dest="parallel_legs", metavar="N",
+                       help="worker subprocesses supervised at once "
+                            "(default: 1)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running service daemon")
+    submit.add_argument("type", choices=("fuzz", "campaign", "difftest"),
+                        help="job kind; campaigns are sharded into one "
+                             "leg per algorithm")
+    submit.add_argument("paths", nargs="*", type=Path,
+                        help="difftest: classfiles or directories to "
+                             "differential-test")
+    submit.add_argument("--url", default="http://127.0.0.1:8378",
+                        help="service base URL "
+                             "(default: http://127.0.0.1:8378)")
+    submit.add_argument("--spec", type=Path, default=None, metavar="JSON",
+                        help="read the job spec from this JSON file "
+                             "(flags below override its fields)")
+    submit.add_argument("--algorithm", default=None,
+                        help="fuzz: algorithm label, e.g. classfuzz[tr] "
+                             "or randfuzz")
+    submit.add_argument("--algorithms", nargs="*", default=None,
+                        help="campaign: algorithm labels to shard into "
+                             "legs (default: all)")
+    submit.add_argument("--iterations", type=int, default=None,
+                        help="fuzz: iteration count")
+    submit.add_argument("--budget-scale", type=float, default=None,
+                        dest="budget_scale",
+                        help="campaign: fraction of the paper's 3-day "
+                             "budget")
+    submit.add_argument("--budget-seconds", type=float, default=None,
+                        dest="budget_seconds",
+                        help="campaign: explicit modeled budget "
+                             "(overrides --budget-scale)")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="base RNG seed")
+    submit.add_argument("--seed-count", type=int, default=None,
+                        dest="seed_count", help="seed corpus size")
+    submit.add_argument("--batch", type=int, default=None,
+                        help="speculative batch size")
+    submit.add_argument("--seed-schedule", default=None,
+                        dest="seed_schedule",
+                        help="seed-scheduling policy")
+    submit.add_argument("--coverage-index", default=None,
+                        dest="coverage_index", choices=("exact", "bitmap"),
+                        help="acceptance-index implementation")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes; exit 0 only "
+                             "when it completes")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait limit in seconds (default: 600)")
+
+    jobs = sub.add_parser(
+        "jobs", help="list a running service daemon's job queue")
+    jobs.add_argument("--url", default="http://127.0.0.1:8378",
+                      help="service base URL "
+                           "(default: http://127.0.0.1:8378)")
+
+    cancel = sub.add_parser(
+        "cancel", help="cancel a queued or running service job")
+    cancel.add_argument("job_id", help="the job id to cancel")
+    cancel.add_argument("--url", default="http://127.0.0.1:8378",
+                        help="service base URL "
+                             "(default: http://127.0.0.1:8378)")
     return parser
 
 
@@ -425,6 +531,8 @@ def _cmd_fuzz(args) -> int:
         print("error: --resume requires --checkpoint-dir",
               file=sys.stderr)
         return 2
+    reset_shutdown()
+    install_sigterm_handler()
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
                                          seed=args.seed))
     telemetry = _make_telemetry(args)
@@ -464,6 +572,12 @@ def _cmd_fuzz(args) -> int:
                 result = runners[args.algorithm]()
         else:
             result = runners[args.algorithm]()
+    except GracefulShutdown as exc:
+        print(f"SIGTERM honoured: {exc}; resume with --resume",
+              file=sys.stderr)
+        executor.close()
+        _finish_telemetry(telemetry, args, monitor)
+        return GRACEFUL_EXIT_CODE
     except KeyboardInterrupt:
         print(f"interrupted; latest checkpoint kept in "
               f"{args.checkpoint_dir} (resume with --resume)",
@@ -571,6 +685,8 @@ def _cmd_campaign(args) -> int:
         print("error: --resume requires --checkpoint-dir",
               file=sys.stderr)
         return 2
+    reset_shutdown()
+    install_sigterm_handler()
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
                                          seed=args.seed))
     budget = PAPER_BUDGET_SECONDS * args.budget_scale
@@ -605,6 +721,13 @@ def _cmd_campaign(args) -> int:
                                 rng_seed=args.seed, evaluate=True,
                                 executor=executor, batch=args.batch,
                                 triage=triage_engine, **corpus_kw)
+    except GracefulShutdown as exc:
+        print(f"SIGTERM honoured: {exc}; latest checkpoints kept under "
+              f"{args.checkpoint_dir} (resume with --resume)",
+              file=sys.stderr)
+        executor.close()
+        _finish_telemetry(telemetry, args, monitor)
+        return GRACEFUL_EXIT_CODE
     except KeyboardInterrupt:
         print(f"interrupted; latest checkpoints kept under "
               f"{args.checkpoint_dir} (resume with --resume)",
@@ -634,6 +757,10 @@ def _cmd_campaign(args) -> int:
         print()
         print(f"triage: {len(triage_engine)} distinct clusters across "
               f"all TestClasses suites -> {args.triage_out}")
+    if args.suites_out is not None:
+        manifests = save_campaign_suites(runs, args.suites_out)
+        print(f"wrote {len(manifests)} per-algorithm suites under "
+              f"{args.suites_out}/")
     if args.stats:
         print()
         print("=== Executor stats ===")
@@ -847,8 +974,27 @@ def _cmd_observe(args) -> int:
         print(f"OK: {len(required)} metric families present, "
               "dump parses cleanly")
         return 0
-    events = load_events(args.path)
+    job_record = None
+    event_paths = [args.path]
+    if args.path.is_dir():
+        if (args.path / "job.json").exists():
+            import json as _json
+
+            job_record = _json.loads(
+                (args.path / "job.json").read_text(encoding="utf-8"))
+            event_paths = sorted(args.path.glob("legs/*/events.jsonl"))
+        elif (args.path / "events.jsonl").exists():
+            event_paths = [args.path / "events.jsonl"]
+        else:
+            print(f"error: {args.path} has neither job.json nor "
+                  "events.jsonl", file=sys.stderr)
+            return 2
+    events = [event for path in event_paths
+              for event in load_events(path)]
     if args.action == "summary":
+        if job_record is not None:
+            print(summarize_job(job_record))
+            print()
         print(summarize_events(events))
         if args.metrics is not None:
             samples = parse_prometheus(
@@ -914,6 +1060,134 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.service.daemon import ServiceDaemon
+
+    daemon = ServiceDaemon(args.state_root, host=args.host,
+                           port=args.port,
+                           max_attempts=args.max_attempts,
+                           parallel_legs=args.parallel_legs).start()
+    stop = threading.Event()
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    print(f"service daemon at {daemon.url} "
+          f"(state root: {daemon.store.root}; dashboard at /)",
+          file=sys.stderr)
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    except KeyboardInterrupt:
+        pass
+    print("shutting down: terminating workers, requeueing running "
+          "jobs...", file=sys.stderr)
+    daemon.stop()
+    return 0
+
+
+def _build_submit_spec(args) -> dict:
+    """Assemble the job spec from --spec JSON plus explicit flags."""
+    import json
+
+    spec = {}
+    if args.spec is not None:
+        spec = json.loads(args.spec.read_text(encoding="utf-8"))
+    spec["type"] = args.type
+    overrides = {
+        "algorithm": args.algorithm,
+        "algorithms": args.algorithms,
+        "iterations": args.iterations,
+        "budget_scale": args.budget_scale,
+        "budget_seconds": args.budget_seconds,
+        "seed": args.seed,
+        "seed_count": args.seed_count,
+        "batch": args.batch,
+        "seed_schedule": args.seed_schedule,
+        "coverage_index": args.coverage_index,
+    }
+    spec.update({key: value for key, value in overrides.items()
+                 if value is not None})
+    if args.type == "difftest" and args.paths:
+        spec["paths"] = [str(path) for path in args.paths]
+    return spec
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    client = ServiceClient(args.url)
+    try:
+        record = client.submit(_build_submit_spec(args))
+        job_id = record["id"]
+        legs = ", ".join(leg["label"] for leg in record["legs"])
+        print(f"submitted {record['spec']['type']} job {job_id} "
+              f"({len(record['legs'])} leg(s): {legs})")
+        if not args.wait:
+            return 0
+        document = client.wait(job_id, timeout=args.timeout)
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    job = document["job"]
+    timings = document["timings"]
+    print(f"job {job_id} {job['state']}: "
+          f"queued {timings['queued_seconds']}s, "
+          f"ran {timings['running_seconds']}s")
+    return 0 if job["state"] == "done" else 1
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    try:
+        document = ServiceClient(args.url).jobs()
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    service = document["service"]
+    print(f"service at {args.url}: queue depth "
+          f"{service['queue_depth']}, state root "
+          f"{service['state_root']}")
+    if not document["jobs"]:
+        print("no jobs submitted yet")
+        return 0
+    headers = ["job", "type", "state", "legs", "current"]
+    rows = [[job["id"], job["type"], job["state"],
+             f"{job['legs_done']}/{job['legs_total']}",
+             job["current_leg"] or "-"]
+            for job in document["jobs"]]
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(headers)]
+    print("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for row in rows:
+        print("  ".join(cell.ljust(widths[i])
+                        for i, cell in enumerate(row)))
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    try:
+        summary = ServiceClient(args.url).cancel(args.job_id)
+    except ServiceClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    state = summary["state"]
+    if state == "cancelled":
+        print(f"job {args.job_id} cancelled")
+    elif state in ("done", "failed"):
+        print(f"job {args.job_id} already {state}; nothing to cancel")
+    else:
+        print(f"job {args.job_id} cancellation requested "
+              f"(currently {state})")
+    return 0
+
+
 _COMMANDS = {
     "corpus": _cmd_corpus,
     "inspect": _cmd_inspect,
@@ -926,6 +1200,10 @@ _COMMANDS = {
     "triage": _cmd_triage,
     "observe": _cmd_observe,
     "monitor": _cmd_monitor,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
+    "cancel": _cmd_cancel,
 }
 
 

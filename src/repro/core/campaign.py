@@ -165,10 +165,60 @@ _RUNNERS: Dict[str, Callable[..., FuzzResult]] = {
 ALL_ALGORITHMS = tuple(_RUNNERS)
 
 
+def safe_label(label: str) -> str:
+    """An algorithm label as a filesystem-safe directory name.
+
+    ``classfuzz[tr]`` → ``classfuzz-tr``; labels without criterion
+    brackets pass through unchanged.  Checkpoint subdirectories, the
+    ``--suites-out`` layout, and the service daemon's per-leg artifact
+    directories all use this mapping, so a foreground campaign and a
+    daemon-sharded one produce directly comparable trees.
+    """
+    return label.replace("[", "-").replace("]", "")
+
+
+def run_algorithm(label: str, seeds: Sequence[JClass], iterations: int,
+                  rng_seed: int, **kwargs) -> FuzzResult:
+    """Run one campaign leg: the algorithm ``label`` for ``iterations``.
+
+    This is the unit of work the service daemon shards campaigns into —
+    exactly what :func:`run_campaign` runs per algorithm (repetition 0),
+    so a leg executed in a worker subprocess with the same
+    ``(seeds, iterations, rng_seed)`` produces a byte-identical suite.
+    All fuzzing keywords (``executor``, ``telemetry``, ``batch``,
+    ``schedule``, ``checkpoint_dir``, ``resume``, ``coverage_index``,
+    ...) pass through.
+
+    Raises:
+        ValueError: for a label outside :data:`ALL_ALGORITHMS`.
+    """
+    try:
+        runner = _RUNNERS[label]
+    except KeyError:
+        raise ValueError(f"unknown algorithm {label!r}; expected one of "
+                         f"{ALL_ALGORITHMS}") from None
+    return runner(seeds, iterations, rng_seed, **kwargs)
+
+
+def save_campaign_suites(runs: Sequence["CampaignRun"],
+                         directory: Path) -> List[Path]:
+    """Save every run's accepted suite under ``directory/<safe label>/``.
+
+    The CLI's ``campaign --suites-out`` path.  Each algorithm's suite is
+    written with :func:`repro.core.storage.save_suite`, so the per-leg
+    ``manifest.json`` files are byte-comparable with the ones a service
+    campaign job leaves under ``legs/<safe label>/suite/``.
+    """
+    from repro.core.storage import save_suite
+
+    directory = Path(directory)
+    return [save_suite(run.fuzz, directory / safe_label(run.label))
+            for run in runs]
+
+
 def _checkpoint_subdir(label: str, repetition: int) -> str:
     """A filesystem-safe checkpoint subdirectory for one campaign leg."""
-    safe = label.replace("[", "-").replace("]", "")
-    return f"{safe}-r{repetition}"
+    return f"{safe_label(label)}-r{repetition}"
 
 
 def run_campaign(seeds: Sequence[JClass], budget_seconds: float,

@@ -79,6 +79,7 @@ from repro.core.checkpoint import (
 )
 from repro.core.executor import Executor, OutcomeCache, SerialExecutor
 from repro.core.mcmc import DEFAULT_P, McmcMutatorSelector, UniformMutatorSelector
+from repro.core.shutdown import GracefulShutdown, shutdown_requested
 from repro.core.mutators import MUTATORS, Mutator
 from repro.corpus.pool import SeedEntry, SeedPool
 from repro.corpus.schedule import SeedScheduler, make_scheduler
@@ -711,6 +712,16 @@ def _run_pipeline(result: FuzzResult, engine: _FuzzEngine, selector,
     index = start_index
     round_index = start_round
     while index < iterations:
+        # Graceful SIGTERM: stop at a round boundary — the same points
+        # checkpoints land on — with one final checkpoint, so a
+        # daemon-managed leg never loses a round (see
+        # :mod:`repro.core.shutdown`).
+        if shutdown_requested():
+            if checkpointer is not None:
+                checkpointer.write(
+                    result, engine, selector, index, round_index,
+                    start_elapsed + time.perf_counter() - started)
+            raise GracefulShutdown(index, checkpointer is not None)
         size = min(batch, iterations - index)
         round_started = time.perf_counter()
         # Speculate: the whole round selects and mutates against the

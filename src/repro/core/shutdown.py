@@ -1,0 +1,89 @@
+"""Graceful SIGTERM shutdown for long-running fuzzing loops.
+
+A daemon-managed campaign leg (and any operator-driven ``repro fuzz`` /
+``repro campaign``) must be stoppable *without losing work*: on SIGTERM
+the run should finish the round in flight, write one final checkpoint,
+and exit with a distinct code so a supervisor can tell "interrupted but
+resumable" apart from "failed".
+
+The mechanics are deliberately minimal:
+
+* :func:`install_sigterm_handler` installs a handler that only sets a
+  process-wide flag (signal-safe; no I/O in the handler);
+* the speculative pipeline (:func:`repro.core.fuzzing._run_pipeline`)
+  checks the flag once per batch round — the same boundary checkpoints
+  land on — and, when set, writes a final checkpoint and raises
+  :class:`GracefulShutdown`;
+* CLI entry points catch :class:`GracefulShutdown` and exit with
+  :data:`GRACEFUL_EXIT_CODE` (143, the conventional ``128 + SIGTERM``),
+  distinct from the ``KeyboardInterrupt`` exit 130.
+
+The flag is process-wide rather than per-run because a SIGTERM is: the
+whole process is being asked to stop, and whichever run is active at the
+next round boundary performs the final checkpoint.  Tests (which run
+many loops in one process) reset it with :func:`reset_shutdown`.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+#: Exit code of a run that checkpointed and stopped on SIGTERM
+#: (``128 + signal.SIGTERM``) — distinct from KeyboardInterrupt's 130.
+GRACEFUL_EXIT_CODE = 143
+
+
+class GracefulShutdown(Exception):
+    """Raised at a round boundary after the final checkpoint is durable.
+
+    Attributes:
+        index: completed iterations at the point the run stopped.
+        checkpointed: whether a final checkpoint was written (``False``
+            for runs started without a checkpoint directory — nothing
+            durable to save, but the exit is still orderly).
+    """
+
+    def __init__(self, index: int, checkpointed: bool):
+        super().__init__(
+            f"shutdown requested; stopped after {index} iterations"
+            + (" (final checkpoint written)" if checkpointed else ""))
+        self.index = index
+        self.checkpointed = checkpointed
+
+
+_requested = threading.Event()
+
+
+def request_shutdown(signum=None, frame=None) -> None:
+    """Ask the active run to stop at its next round boundary.
+
+    Signal-handler compatible (and callable directly, e.g. by tests or
+    embedding daemons); only sets a flag.
+    """
+    _requested.set()
+
+
+def shutdown_requested() -> bool:
+    """Whether a graceful shutdown has been requested."""
+    return _requested.is_set()
+
+
+def reset_shutdown() -> None:
+    """Clear the shutdown flag (start of a CLI run; test isolation)."""
+    _requested.clear()
+
+
+def install_sigterm_handler() -> bool:
+    """Route SIGTERM to :func:`request_shutdown`.
+
+    Returns ``True`` when installed.  Signal handlers can only be
+    installed from the main thread (and SIGTERM does not exist
+    everywhere); callers in other contexts get ``False`` and simply run
+    without graceful-signal support rather than crashing.
+    """
+    try:
+        signal.signal(signal.SIGTERM, request_shutdown)
+    except (ValueError, AttributeError, OSError):
+        return False
+    return True

@@ -61,6 +61,8 @@ class StatusTracker(EventSink):
         # -- run identity (set via begin_run/update) --
         self._run: Dict[str, Any] = {}
         self._extra: Dict[str, Any] = {}
+        # -- service-job context (set via set_job; daemon-managed legs) --
+        self._job: Dict[str, Any] = {}
         # -- event-folded tallies --
         self._iterations = 0
         self._accepted = 0
@@ -94,6 +96,20 @@ class StatusTracker(EventSink):
         """Merge free-form campaign-level fields into the snapshot."""
         with self._lock:
             self._extra.update(fields)
+
+    def set_job(self, **fields: Any) -> None:
+        """Record the service-job context of a daemon-managed run.
+
+        The `repro serve` worker sets the fields the run itself cannot
+        know — ``id`` (the queue's job id), ``leg``/``legs`` (this leg's
+        1-based index and the job's leg count), and ``queue_depth``
+        (jobs queued behind this one when the leg started).  They
+        surface as the snapshot's ``job`` section (empty for
+        foreground runs); see ``docs/architecture.md`` for the full
+        ``/status`` schema.
+        """
+        with self._lock:
+            self._job.update(fields)
 
     # -- the sink ------------------------------------------------------------
 
@@ -141,6 +157,7 @@ class StatusTracker(EventSink):
         with self._lock:
             run = dict(self._run)
             extra = dict(self._extra)
+            job = dict(self._job)
             iterations = self._iterations
             accepted = self._accepted
             generated = self._generated
@@ -172,6 +189,7 @@ class StatusTracker(EventSink):
         status = {
             "run": run,
             "campaign": extra,
+            "job": job,
             "progress": progress,
             "coverage": self._coverage_section(),
             "prefilter": self._prefilter_section(),

@@ -53,6 +53,46 @@ def load_events(path: Union[str, Path]) -> List[Event]:
     return list(read_events(path))
 
 
+def _duration(start: Optional[float], end: Optional[float]) -> str:
+    if start is None or end is None:
+        return "-"
+    return f"{max(0.0, end - start):.1f}s"
+
+
+def summarize_job(record: Dict) -> str:
+    """Render a service job's queue timings and per-leg outcomes.
+
+    ``record`` is a ``job.json`` document from the service daemon's
+    state root (``repro observe summary <job dir>`` reads it next to
+    the legs' event logs).  Timings are the queue's view of the job:
+    time spent ``queued`` (created to first start — requeues from
+    daemon restarts don't reset it), ``running`` (first start to
+    finish), and end-to-end.
+    """
+    lines = [f"=== Job {record.get('id', '?')} "
+             f"({record.get('state', '?')}) ==="]
+    spec = record.get("spec") or {}
+    lines.append(f"type: {spec.get('type', '?')}")
+    created = record.get("created")
+    started = record.get("started")
+    finished = record.get("finished")
+    lines.append("queued   -> started : " + _duration(created, started))
+    lines.append("started  -> finished: " + _duration(started, finished))
+    lines.append("submitted-> finished: " + _duration(created, finished))
+    if record.get("error"):
+        lines.append(f"error: {record['error']}")
+    legs = record.get("legs") or []
+    if legs:
+        rows = [[leg.get("label", "?"), str(leg.get("state", "?")),
+                 str(leg.get("attempts", 0)),
+                 _duration(leg.get("started"), leg.get("finished"))]
+                for leg in legs]
+        lines.append("")
+        lines.extend(_render_rows(
+            ["leg", "state", "attempts", "runtime"], rows))
+    return "\n".join(lines)
+
+
 def _render_rows(headers: Sequence[str],
                  rows: Sequence[Sequence[str]]) -> List[str]:
     widths = [len(h) for h in headers]

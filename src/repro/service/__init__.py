@@ -1,0 +1,31 @@
+"""Campaign orchestration service: daemon, durable queue, HTTP API.
+
+The paper's campaigns are one-shot batch runs; the service layer turns
+them into first-class stored *jobs*.  ``repro serve`` starts a daemon
+(:class:`~repro.service.daemon.ServiceDaemon`) that owns a durable
+on-disk job queue (:class:`~repro.service.jobs.JobStore`, atomic JSON
+records with states ``queued -> running -> done|failed|cancelled``),
+shards submitted campaigns into per-leg jobs executed in supervised
+worker subprocesses (:mod:`repro.service.worker`, each leg running
+under the checkpoint machinery so crashes and SIGTERM resume
+bit-identically), and exposes an HTTP API plus queue dashboard
+(:class:`~repro.service.api.ServiceServer`).  ``repro submit`` /
+``repro jobs`` / ``repro cancel`` talk to that API through
+:class:`~repro.service.client.ServiceClient`.
+"""
+
+from repro.service.jobs import (  # noqa: F401
+    JOB_STATES,
+    TERMINAL_STATES,
+    Job,
+    JobError,
+    JobStore,
+    new_job_id,
+    shard_spec,
+    validate_spec,
+)
+
+__all__ = [
+    "JOB_STATES", "TERMINAL_STATES", "Job", "JobError", "JobStore",
+    "new_job_id", "shard_spec", "validate_spec",
+]

@@ -1,0 +1,118 @@
+"""HTTP client for the service API (``repro submit``/``jobs``/``cancel``).
+
+A thin urllib wrapper — the CLI verbs and tests talk to the daemon the
+same way any external orchestrator would, over plain JSON HTTP, so the
+API surface stays honest.  Connection and protocol failures raise
+:class:`ServiceClientError` with an operator-readable message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional
+
+from repro.service.jobs import TERMINAL_STATES
+
+#: Per-request socket timeout (the API answers from snapshots; slow
+#: responses mean a dead daemon, not a busy one).
+REQUEST_TIMEOUT_SECONDS = 10.0
+
+
+class ServiceClientError(RuntimeError):
+    """The daemon was unreachable or rejected the request."""
+
+
+class ServiceClient:
+    """Talks to one daemon's HTTP API at ``base_url``."""
+
+    def __init__(self, base_url: str,
+                 timeout: float = REQUEST_TIMEOUT_SECONDS):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw transport -------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Any:
+        request = urllib.request.Request(
+            self.base_url + path, method=method,
+            headers={"Content-Type": "application/json"},
+            data=(json.dumps(body).encode("utf-8")
+                  if body is not None else None))
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                payload = response.read()
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceClientError(
+                f"{method} {path}: HTTP {exc.code}: {detail}") from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceClientError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc}") from None
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceClientError(
+                f"{method} {path}: malformed response: {exc}") from None
+
+    # -- API operations ------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness probe (raises when the daemon is down)."""
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """``POST /jobs``: returns the stored job record."""
+        return self._request("POST", "/jobs", body=spec)
+
+    def jobs(self) -> Dict[str, Any]:
+        """``GET /jobs``: service info + job summaries."""
+        return self._request("GET", "/jobs")
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>``: record + timings + live leg status."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """``POST /jobs/<id>/cancel``: returns the updated summary."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def artifact(self, job_id: str, rel: str = "") -> bytes:
+        """Fetch one artifact file (or a directory listing) as bytes."""
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/artifacts/{rel}")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            raise ServiceClientError(
+                f"artifact {rel!r}: HTTP {exc.code}") from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServiceClientError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc}") from None
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.3) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the
+        final ``GET /jobs/<id>`` document (raises on timeout)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document["job"]["state"] in TERMINAL_STATES:
+                return document
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"job {job_id} still "
+                    f"{document['job']['state']!r} after {timeout:.0f}s")
+            time.sleep(poll)

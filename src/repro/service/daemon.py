@@ -1,0 +1,426 @@
+"""The ``repro serve`` daemon: scheduler + worker supervision.
+
+:class:`ServiceDaemon` ties the service layer together: it recovers the
+:class:`~repro.service.jobs.JobStore` at start (requeueing anything a
+previous daemon left ``running``), runs a scheduler thread that pulls
+queued jobs oldest-first, supervises each leg in a
+``python -m repro.service.worker`` subprocess, and hosts the HTTP API
+(:class:`~repro.service.api.ServiceServer`).
+
+Supervision contract (the other half of the worker's exit-code
+protocol):
+
+* exit ``0`` — leg done;
+* exit ``143``/``130`` — interrupted but resumable: the leg goes back
+  to ``queued`` and is retried (its checkpoint carries the progress);
+* any other exit — the attempt failed; after ``max_attempts`` the leg
+  (and the job) is marked ``failed``;
+* daemon ``stop()`` — SIGTERM to the live worker, wait for its final
+  checkpoint, requeue job and leg: the next daemon resumes it;
+* daemon ``kill()`` (tests' stand-in for a daemon crash) — SIGKILL the
+  worker and abandon all bookkeeping, leaving ``job.json`` claiming
+  ``running``; :meth:`~repro.service.jobs.JobStore.recover` repairs
+  that at next start.
+
+``parallel_legs`` supervisors can run at once (default 1); legs of one
+job are independent subprocesses with disjoint artifact directories, so
+parallelism never perturbs per-leg determinism.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobError,
+    JobStore,
+)
+
+#: Per-leg outcomes the supervisor reports to the job loop.
+_LEG_DONE = "done"
+_LEG_RETRY = "retry"
+_LEG_FAILED = "failed"
+_LEG_STOPPED = "stopped"
+_LEG_CANCELLED = "cancelled"
+_LEG_ABANDONED = "abandoned"
+
+
+def worker_environment() -> Dict[str, str]:
+    """The environment worker subprocesses run with.
+
+    Guarantees ``repro`` is importable (prepends its source root to
+    ``PYTHONPATH``) and strips the ``REPRO_CRASH_AFTER_CHECKPOINTS``
+    test hook — crash injection is a per-leg *spec* decision applied by
+    the worker itself, never an accident of the daemon's environment.
+    """
+    import repro
+
+    env = dict(os.environ)
+    env.pop("REPRO_CRASH_AFTER_CHECKPOINTS", None)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src_root if not existing
+                         else src_root + os.pathsep + existing)
+    return env
+
+
+class ServiceDaemon:
+    """Owns the queue, schedules jobs, and supervises leg workers."""
+
+    def __init__(self, state_root: Path, host: str = "127.0.0.1",
+                 port: int = 0, poll_interval: float = 0.2,
+                 max_attempts: int = 3, parallel_legs: int = 1,
+                 worker_grace: float = 10.0):
+        self.store = JobStore(Path(state_root))
+        self.host = host
+        self.requested_port = port
+        self.poll_interval = poll_interval
+        self.max_attempts = max_attempts
+        self.parallel_legs = max(1, parallel_legs)
+        self.worker_grace = worker_grace
+        self.started_at = time.time()
+        self._stop = threading.Event()
+        self._abandon = False
+        self._thread: Optional[threading.Thread] = None
+        self._workers: Dict[str, subprocess.Popen] = {}
+        self._workers_lock = threading.Lock()
+        self._api = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def url(self) -> str:
+        """Base URL of the HTTP API (valid after :meth:`start`)."""
+        return self._api.url if self._api is not None else ""
+
+    @property
+    def port(self) -> int:
+        """Bound API port (valid after :meth:`start`)."""
+        return self._api.port if self._api is not None else 0
+
+    def start(self) -> "ServiceDaemon":
+        """Recover the store, bind the API, and start scheduling."""
+        from repro.service.api import ServiceServer
+
+        requeued = self.store.recover()
+        if requeued:
+            print(f"recovered {len(requeued)} interrupted job(s): "
+                  + ", ".join(requeued), file=sys.stderr)
+        self._api = ServiceServer(self, host=self.host,
+                                  port=self.requested_port).start()
+        self._thread = threading.Thread(target=self._scheduler_loop,
+                                        name="repro-scheduler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: SIGTERM live workers, requeue, stop the API."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if self._api is not None:
+            self._api.stop()
+            self._api = None
+
+    def kill(self) -> None:
+        """Die like a crashed daemon (test hook): SIGKILL workers,
+        abandon every pending store write, leave records as they lie."""
+        self._abandon = True
+        self._stop.set()
+        with self._workers_lock:
+            workers = list(self._workers.values())
+        for proc in workers:
+            try:
+                proc.kill()
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self._api is not None:
+            self._api.stop()
+            self._api = None
+
+    # -- API-facing operations -----------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> Job:
+        """Validate and durably enqueue one spec."""
+        return self.store.submit(spec)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediately when queued, at the supervisor's
+        next poll when running; terminal jobs are left untouched."""
+        def _cancel(job: Job) -> None:
+            if job.is_terminal:
+                return
+            if job.state == QUEUED:
+                job.state = CANCELLED
+                job.finished = time.time()
+                for leg in job.legs:
+                    if leg["state"] == QUEUED:
+                        leg["state"] = CANCELLED
+            else:
+                job.cancel_requested = True
+        return self.store.update(job_id, _cancel)
+
+    def job_status(self, job_id: str) -> Dict[str, Any]:
+        """The full ``GET /jobs/<id>`` document for one job."""
+        import json
+
+        job = self.store.load(job_id)
+        record = job.to_record()
+        now = time.time()
+        timings: Dict[str, Any] = {
+            "queued_seconds": round(
+                ((job.started or now) - job.created), 3),
+            "running_seconds": None,
+        }
+        if job.started is not None:
+            timings["running_seconds"] = round(
+                ((job.finished or now) - job.started), 3)
+        progress = None
+        for leg in job.legs:  # most relevant leg: running, else last seen
+            status_path = self.store.leg_dir(job_id,
+                                             leg["label"]) / "status.json"
+            if not status_path.exists():
+                continue
+            try:
+                with open(status_path, "r", encoding="utf-8") as handle:
+                    candidate = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            progress = candidate
+            if leg["state"] == RUNNING:
+                break
+        return {"job": record, "timings": timings,
+                "leg_status": progress, "now": now}
+
+    def service_info(self) -> Dict[str, Any]:
+        """The queue-level ``GET /jobs`` header block."""
+        return {
+            "state_root": str(self.store.root),
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "queue_depth": self.store.queue_depth(),
+            "parallel_legs": self.parallel_legs,
+            "max_attempts": self.max_attempts,
+        }
+
+    # -- scheduler -----------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while not self._stop.is_set():
+            job = self._next_queued()
+            if job is None:
+                self._stop.wait(self.poll_interval)
+                continue
+            try:
+                self._run_job(job.id)
+            except JobError:
+                continue  # record vanished/corrupt; skip it
+
+    def _next_queued(self) -> Optional[Job]:
+        for job in self.store.list_jobs():
+            if job.state == QUEUED and not job.cancel_requested:
+                return job
+        return None
+
+    def _update(self, job_id: str, mutate) -> Optional[Job]:
+        """A store update that becomes a no-op once :meth:`kill` ran."""
+        if self._abandon:
+            return None
+        return self.store.update(job_id, mutate)
+
+    def _run_job(self, job_id: str) -> None:
+        def _mark_running(job: Job) -> None:
+            job.state = RUNNING
+            if job.started is None:
+                job.started = time.time()
+            job.attempts += 1
+        marked = self._update(job_id, _mark_running)
+        if marked is None:
+            return
+
+        pending: List[str] = [leg["label"] for leg in marked.pending_legs()]
+        outcomes: List[str] = []
+        lock = threading.Lock()
+        halt = threading.Event()  # stop dispatching further legs
+
+        def _supervise() -> None:
+            while not halt.is_set():
+                with lock:
+                    if not pending:
+                        return
+                    label = pending.pop(0)
+                outcome = self._run_leg(job_id, label)
+                with lock:
+                    outcomes.append(outcome)
+                    if outcome == _LEG_RETRY:
+                        pending.append(label)
+                    elif outcome != _LEG_DONE:
+                        halt.set()
+
+        supervisors = [threading.Thread(target=_supervise,
+                                        name=f"repro-leg-{i}", daemon=True)
+                       for i in range(min(self.parallel_legs,
+                                          max(1, len(pending))))]
+        for thread in supervisors:
+            thread.start()
+        for thread in supervisors:
+            thread.join()
+
+        if self._abandon or _LEG_ABANDONED in outcomes:
+            return  # crashed-daemon semantics: leave the record as-is
+
+        def _finalise(job: Job) -> None:
+            if _LEG_STOPPED in outcomes:
+                job.state = QUEUED  # graceful stop: hand to next daemon
+            elif _LEG_CANCELLED in outcomes or job.cancel_requested:
+                job.state = CANCELLED
+                job.finished = time.time()
+                for leg in job.legs:
+                    if leg["state"] in (QUEUED, RUNNING):
+                        leg["state"] = CANCELLED
+            elif _LEG_FAILED in outcomes:
+                job.state = FAILED
+                job.finished = time.time()
+                failed = [leg["label"] for leg in job.legs
+                          if leg["state"] == FAILED]
+                job.error = ("leg(s) exhausted their attempts: "
+                             + ", ".join(failed))
+            elif all(leg["state"] == DONE for leg in job.legs):
+                job.state = DONE
+                job.finished = time.time()
+            else:
+                job.state = QUEUED  # shouldn't happen; stay schedulable
+        self._update(job_id, _finalise)
+
+    # -- one leg -------------------------------------------------------------
+
+    def _run_leg(self, job_id: str, label: str) -> str:
+        try:
+            job = self.store.load(job_id)
+            leg = job.leg(label)
+        except JobError:
+            return _LEG_FAILED
+        attempt = leg["attempts"]
+
+        def _mark_leg_running(record: Job) -> None:
+            entry = record.leg(label)
+            entry["state"] = RUNNING
+            if entry["started"] is None:
+                entry["started"] = time.time()
+        if self._update(job_id, _mark_leg_running) is None:
+            return _LEG_ABANDONED
+
+        leg_dir = self.store.leg_dir(job_id, label)
+        leg_dir.mkdir(parents=True, exist_ok=True)
+        log_path = leg_dir / "worker.log"
+        command = [sys.executable, "-m", "repro.service.worker",
+                   "--root", str(self.store.root),
+                   "--job", job_id, "--leg", label,
+                   "--attempt", str(attempt),
+                   "--queue-depth", str(self.store.queue_depth())]
+        with open(log_path, "ab") as log:
+            proc = subprocess.Popen(command, stdout=log,
+                                    stderr=subprocess.STDOUT,
+                                    env=worker_environment())
+        key = f"{job_id}/{label}"
+        with self._workers_lock:
+            self._workers[key] = proc
+        try:
+            returncode = self._supervise_worker(proc, job_id)
+        finally:
+            with self._workers_lock:
+                self._workers.pop(key, None)
+
+        if self._abandon:
+            return _LEG_ABANDONED
+
+        if returncode is None:  # stop() or cancel interrupted the wait
+            returncode = proc.returncode
+        cancelled = self._cancel_requested(job_id)
+        now = time.time()
+
+        def _settle(record: Job) -> None:
+            entry = record.leg(label)
+            entry["exit_code"] = returncode
+            if returncode == 0:
+                entry["state"] = DONE
+                entry["finished"] = now
+            elif self._stop.is_set() and not cancelled:
+                entry["state"] = QUEUED  # resumable; next daemon's work
+            elif cancelled:
+                entry["state"] = CANCELLED
+                entry["finished"] = now
+            else:
+                entry["attempts"] += 1
+                if entry["attempts"] >= self.max_attempts:
+                    entry["state"] = FAILED
+                    entry["finished"] = now
+                else:
+                    entry["state"] = QUEUED
+        settled = self._update(job_id, _settle)
+        if settled is None:
+            return _LEG_ABANDONED
+        entry = settled.leg(label)
+        if entry["state"] == DONE:
+            return _LEG_DONE
+        if entry["state"] == CANCELLED:
+            return _LEG_CANCELLED
+        if entry["state"] == FAILED:
+            return _LEG_FAILED
+        return _LEG_STOPPED if self._stop.is_set() else _LEG_RETRY
+
+    def _supervise_worker(self, proc: subprocess.Popen,
+                          job_id: str) -> Optional[int]:
+        """Wait for the worker, honouring stop/kill/cancel requests."""
+        cancel_checked = 0.0
+        while True:
+            returncode = proc.poll()
+            if returncode is not None:
+                return returncode
+            if self._abandon:
+                return None  # kill() already SIGKILLed it
+            if self._stop.is_set():
+                self._terminate(proc)
+                return proc.returncode
+            now = time.time()
+            if now - cancel_checked >= 1.0:
+                cancel_checked = now
+                if self._cancel_requested(job_id):
+                    self._terminate(proc)
+                    return proc.returncode
+            time.sleep(self.poll_interval)
+
+    def _cancel_requested(self, job_id: str) -> bool:
+        try:
+            return self.store.load(job_id).cancel_requested
+        except JobError:
+            return False
+
+    def _terminate(self, proc: subprocess.Popen) -> None:
+        """SIGTERM, grant the checkpoint grace period, then SIGKILL."""
+        try:
+            proc.send_signal(signal.SIGTERM)
+        except OSError:
+            return
+        try:
+            proc.wait(timeout=self.worker_grace)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
