@@ -164,6 +164,43 @@ def _add_corpus_options(command: argparse.ArgumentParser) -> None:
                               "criterion lookups, or the fixed-width "
                               "bitmap novelty prefilter in front of them "
                               "(same decisions, lower per-mutant cost)")
+    command.add_argument("--exec-fraction", dest="exec_fraction",
+                         type=float, default=0.0, metavar="FRAC",
+                         help="fraction of seed classes built from the "
+                              "execution-phase templates (runtime-"
+                              "divergent seeds; default: 0, the paper's "
+                              "corpus)")
+    command.add_argument("--execution-mutators", dest="execution_mutators",
+                         action="store_true",
+                         help="merge the execution-targeted mutators "
+                              "(edge values, comparison nudges, narrowing "
+                              "casts, handler permutation) into the "
+                              "rotation alongside the 129-mutator "
+                              "registry")
+    command.add_argument("--cmp-coverage", dest="cmp_coverage",
+                         action="store_true",
+                         help="enable comparison-progress coverage "
+                              "probes (cmplog-style; off by default so "
+                              "decision streams stay byte-identical to "
+                              "the paper's two probe kinds)")
+
+
+def _apply_execution_options(args):
+    """Honour the execution-phase flags shared by ``fuzz``/``campaign``.
+
+    Flips the sticky comparison-coverage switch (before the executor is
+    built, so process workers inherit it) and returns the mutator
+    rotation override, or ``None`` for the default 129-mutator registry.
+    """
+    if args.cmp_coverage:
+        from repro.coverage.probes import enable_cmp_coverage
+
+        enable_cmp_coverage()
+    if args.execution_mutators:
+        from repro.core.mutators import EXECUTION_MUTATORS, MUTATORS
+
+        return list(MUTATORS) + list(EXECUTION_MUTATORS)
+    return None
 
 
 def _make_telemetry(args):
@@ -466,6 +503,17 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--coverage-index", default=None,
                         dest="coverage_index", choices=("exact", "bitmap"),
                         help="acceptance-index implementation")
+    submit.add_argument("--exec-fraction", type=float, default=None,
+                        dest="exec_fraction",
+                        help="fraction of execution-phase seed templates "
+                             "in the corpus")
+    submit.add_argument("--execution-mutators", action="store_true",
+                        default=None, dest="execution_mutators",
+                        help="merge the execution-targeted mutators into "
+                             "the rotation")
+    submit.add_argument("--cmp-coverage", action="store_true",
+                        default=None, dest="cmp_coverage",
+                        help="enable comparison-progress coverage probes")
     submit.add_argument("--wait", action="store_true",
                         help="poll until the job finishes; exit 0 only "
                              "when it completes")
@@ -534,7 +582,9 @@ def _cmd_fuzz(args) -> int:
     reset_shutdown()
     install_sigterm_handler()
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
-                                         seed=args.seed))
+                                         seed=args.seed,
+                                         exec_fraction=args.exec_fraction))
+    mutators = _apply_execution_options(args)
     telemetry = _make_telemetry(args)
     monitor = _start_monitor(telemetry, args)
     executor = make_executor(jobs=args.jobs, backend=args.backend,
@@ -545,6 +595,8 @@ def _cmd_fuzz(args) -> int:
                      checkpoint_every=args.checkpoint_every,
                      resume=args.resume,
                      coverage_index=args.coverage_index)
+    if mutators is not None:
+        corpus_kw["mutators"] = mutators
     runners = {
         "classfuzz": lambda: classfuzz(seeds, args.iterations,
                                        criterion=args.criterion,
@@ -688,7 +740,9 @@ def _cmd_campaign(args) -> int:
     reset_shutdown()
     install_sigterm_handler()
     seeds = generate_corpus(CorpusConfig(count=args.seed_count,
-                                         seed=args.seed))
+                                         seed=args.seed,
+                                         exec_fraction=args.exec_fraction))
+    mutators = _apply_execution_options(args)
     budget = PAPER_BUDGET_SECONDS * args.budget_scale
     telemetry = _make_telemetry(args)
     monitor = _start_monitor(telemetry, args)
@@ -704,7 +758,8 @@ def _cmd_campaign(args) -> int:
                      checkpoint_dir=args.checkpoint_dir,
                      checkpoint_every=args.checkpoint_every,
                      resume=args.resume,
-                     coverage_index=args.coverage_index)
+                     coverage_index=args.coverage_index,
+                     mutators=mutators)
     try:
         if telemetry is not None:
             with telemetry.activate():
@@ -1108,6 +1163,9 @@ def _build_submit_spec(args) -> dict:
         "batch": args.batch,
         "seed_schedule": args.seed_schedule,
         "coverage_index": args.coverage_index,
+        "exec_fraction": args.exec_fraction,
+        "execution_mutators": args.execution_mutators,
+        "cmp_coverage": args.cmp_coverage,
     }
     spec.update({key: value for key, value in overrides.items()
                  if value is not None})

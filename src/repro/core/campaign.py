@@ -234,7 +234,8 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                  checkpoint_every: int = 50,
                  resume: bool = False,
                  triage=None,
-                 coverage_index: str = "exact") -> List[CampaignRun]:
+                 coverage_index: str = "exact",
+                 mutators=None) -> List[CampaignRun]:
     """Run the Table 4/6 experiment at a scaled budget.
 
     Args:
@@ -282,6 +283,10 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
             fuzzing run (``"exact"`` or ``"bitmap"``); acceptance
             decisions — and hence every table — are byte-identical
             either way.
+        mutators: mutator rotation handed to every fuzzing run
+            (default: the paper's 129-operator registry; e.g.
+            ``MUTATORS + EXECUTION_MUTATORS`` for execution-targeted
+            campaigns).
     """
     executor = executor if executor is not None \
         else SerialExecutor(cache=OutcomeCache(), telemetry=telemetry)
@@ -326,17 +331,20 @@ def run_campaign(seeds: Sequence[JClass], budget_seconds: float,
                 if checkpoint_dir is not None:
                     leg_dir = Path(checkpoint_dir) / _checkpoint_subdir(
                         label, repetition)
+                leg_kwargs = dict(executor=executor,
+                                  reference=reference,
+                                  telemetry=telemetry,
+                                  batch=batch,
+                                  schedule=schedule,
+                                  checkpoint_dir=leg_dir,
+                                  checkpoint_every=checkpoint_every,
+                                  resume=resume,
+                                  coverage_index=coverage_index)
+                if mutators is not None:
+                    leg_kwargs["mutators"] = mutators
                 result = _RUNNERS[label](seeds, iterations,
                                          rng_seed + repetition,
-                                         executor=executor,
-                                         reference=reference,
-                                         telemetry=telemetry,
-                                         batch=batch,
-                                         schedule=schedule,
-                                         checkpoint_dir=leg_dir,
-                                         checkpoint_every=checkpoint_every,
-                                         resume=resume,
-                                         coverage_index=coverage_index)
+                                         **leg_kwargs)
                 if best is None or len(result.test_classes) > len(
                         best.test_classes):
                     best = result

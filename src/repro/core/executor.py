@@ -44,7 +44,7 @@ from repro.core import worker
 from repro.coverage import shm
 from repro.coverage.bitmap import collector_bitmaps_enabled
 from repro.coverage.interner import GLOBAL_INTERNER
-from repro.coverage.probes import CoverageCollector
+from repro.coverage.probes import CoverageCollector, cmp_coverage_enabled
 from repro.coverage.tracefile import Tracefile
 from repro.jvm.machine import Jvm
 from repro.jvm.outcome import DifferentialResult, Outcome
@@ -886,7 +886,8 @@ class ProcessExecutor(Executor):
                 initializer=worker.persistent_init,
                 initargs=(blob, self._site_table, self._slot_ring,
                           self.max_runs_per_worker,
-                          collector_bitmaps_enabled()))
+                          collector_bitmaps_enabled(),
+                          cmp_coverage_enabled()))
         else:
             self._ref_pool = multiprocessing.get_context("fork").Pool(
                 processes=self.jobs, initializer=worker.fork_init,

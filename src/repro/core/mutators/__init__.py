@@ -40,13 +40,21 @@ MUTATOR_COUNT = 129
 #: Syntactic-level mutator count (all but the Jimple-file family).
 SYNTACTIC_COUNT = 123
 
+#: Opt-in execution-targeted mutators — deliberately *outside*
+#: ``MUTATORS`` so the paper's registry stays at 129; merged into a
+#: run's rotation via ``--execution-mutators``.
+EXECUTION_MUTATORS: List[Mutator] = list(
+    jimple_mutators.EXECUTION_MUTATORS)
+
 _BY_NAME: Dict[str, Mutator] = {mutator.name: mutator for mutator in MUTATORS}
+_BY_NAME.update({mutator.name: mutator for mutator in EXECUTION_MUTATORS})
 
 if len(MUTATORS) != MUTATOR_COUNT:  # pragma: no cover - build-time guard
     raise AssertionError(
         f"mutator registry has {len(MUTATORS)} entries, expected "
         f"{MUTATOR_COUNT}")
-if len(_BY_NAME) != len(MUTATORS):  # pragma: no cover - build-time guard
+if len(_BY_NAME) != len(MUTATORS) + len(EXECUTION_MUTATORS):
+    # pragma: no cover - build-time guard
     raise AssertionError("duplicate mutator names in registry")
 
 
@@ -59,9 +67,10 @@ def mutator_by_name(name: str) -> Mutator:
 
 
 def mutators_in_category(category: str) -> List[Mutator]:
-    """All mutators of one Table 2 family."""
-    return [mutator for mutator in MUTATORS if mutator.category == category]
+    """All mutators of one Table 2 family (or the execution family)."""
+    return [mutator for mutator in MUTATORS + EXECUTION_MUTATORS
+            if mutator.category == category]
 
 
-__all__ = ["MUTATORS", "MUTATOR_COUNT", "Mutator", "SYNTACTIC_COUNT",
-           "mutator_by_name", "mutators_in_category"]
+__all__ = ["EXECUTION_MUTATORS", "MUTATORS", "MUTATOR_COUNT", "Mutator",
+           "SYNTACTIC_COUNT", "mutator_by_name", "mutators_in_category"]

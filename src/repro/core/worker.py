@@ -40,7 +40,7 @@ from repro.coverage.bitmap import (CoverageBitmap,
                                    collector_bitmaps_enabled,
                                    enable_collector_bitmaps)
 from repro.coverage.interner import GLOBAL_INTERNER, SharedTableFull
-from repro.coverage.probes import CoverageCollector
+from repro.coverage.probes import CoverageCollector, enable_cmp_coverage
 
 #: Default recycle bound: rebuild each worker's JVM state after this
 #: many runs.  High enough that rebuild cost vanishes in the noise, low
@@ -73,7 +73,7 @@ _FORK_BLOB: Optional[bytes] = None
 # ---------------------------------------------------------------------------
 
 def persistent_init(blob: bytes, table, ring, max_runs: int,
-                    bitmaps: bool) -> None:
+                    bitmaps: bool, cmp_coverage: bool = False) -> None:
     """Pool initializer: build the warm state once per worker process.
 
     ``table`` and ``ring`` arrive by fork inheritance (the parent
@@ -83,6 +83,8 @@ def persistent_init(blob: bytes, table, ring, max_runs: int,
     global _PERSISTENT
     if bitmaps:
         enable_collector_bitmaps()
+    if cmp_coverage:
+        enable_cmp_coverage()
     if table is not None:
         GLOBAL_INTERNER.attach_shared(table)
     _PERSISTENT = _PersistentState(blob, pickle.loads(blob), ring,
@@ -125,7 +127,7 @@ def persistent_run(data: bytes, slot_index: Optional[int]
 def _pack(collector: CoverageCollector, ring,
           slot_index: Optional[int]) -> tuple:
     """Encode one run's coverage for the cheapest transport available."""
-    statements, branches = collector.counts()
+    statements, branches, comparisons = collector.counts()
     try:
         stmt_pairs = array("I")
         for site, count in statements.items():
@@ -135,6 +137,10 @@ def _pack(collector: CoverageCollector, ring,
         for key, count in branches.items():
             br_pairs.append(GLOBAL_INTERNER.branch_id(key))
             br_pairs.append(count)
+        cmp_pairs = array("I")
+        for site, count in comparisons.items():
+            cmp_pairs.append(GLOBAL_INTERNER.comparison_id(site))
+            cmp_pairs.append(count)
     except (SharedTableFull, OverflowError):
         # Table capacity exhausted (or a count beyond 32 bits): fall
         # back to the exact pickled-dict transport for this run.
@@ -142,10 +148,11 @@ def _pack(collector: CoverageCollector, ring,
     slots = None
     buffer = b""
     if collector_bitmaps_enabled():
-        bitmap = CoverageBitmap(statements, branches)
+        bitmap = CoverageBitmap(statements, branches, comparisons)
         slots = bitmap.slots
         buffer = bitmap.buffer
-    payload = shm.encode_payload(stmt_pairs, br_pairs, slots, buffer)
+    payload = shm.encode_payload(stmt_pairs, br_pairs, cmp_pairs, slots,
+                                 buffer)
     if slot_index is not None and ring is not None \
             and len(payload) <= ring.slot_size:
         ring.write(slot_index, payload)
@@ -163,9 +170,10 @@ def decode_payload(payload: tuple, ring):
         raw = ring.read(payload[1], payload[2])
     else:
         raw = payload[1]
-    stmt_pairs, br_pairs, slots, buffer = shm.decode_payload(raw)
-    return Tracefile.from_packed(stmt_pairs, br_pairs, slots=slots,
-                                 buffer=buffer)
+    stmt_pairs, br_pairs, cmp_pairs, slots, buffer = \
+        shm.decode_payload(raw)
+    return Tracefile.from_packed(stmt_pairs, br_pairs, cmp_pairs,
+                                 slots=slots, buffer=buffer)
 
 
 # ---------------------------------------------------------------------------

@@ -40,6 +40,7 @@ from repro.jimple.statements import (
 )
 from repro.jimple.types import INT, JType, STRING, VOID
 from repro.corpus.templates import (
+    EXEC_TEMPLATES,
     FIELD_TYPES,
     SAFE_EXCEPTIONS,
     SAFE_INTERFACES,
@@ -66,6 +67,9 @@ class CorpusConfig:
             platform classes (drives the baseline discrepancy rate).
         interface_fraction: fraction generated as interfaces.
         clinit_fraction: fraction given a static initializer.
+        exec_fraction: fraction built from the execution-phase seed
+            templates (runtime-divergent classes; 0 keeps the default
+            corpus — and its RNG stream — bit-identical).
     """
 
     count: int = 1216
@@ -74,6 +78,7 @@ class CorpusConfig:
     sensitive_fraction: float = 0.030
     interface_fraction: float = 0.12
     clinit_fraction: float = 0.10
+    exec_fraction: float = 0.0
 
 
 def generate_corpus(config: Optional[CorpusConfig] = None) -> List[JClass]:
@@ -88,6 +93,10 @@ def generate_seed(rng: random.Random, index: int,
     """Generate one seed class."""
     config = config or CorpusConfig()
     name = f"L{1436000000 + index}"
+    # Short-circuit keeps the default RNG stream untouched when the
+    # execution templates are off (exec_fraction == 0).
+    if config.exec_fraction > 0 and rng.random() < config.exec_fraction:
+        return EXEC_TEMPLATES[rng.randrange(len(EXEC_TEMPLATES))](name)
     if rng.random() < config.interface_fraction:
         return _generate_interface(rng, name)
     return _generate_class(rng, name, config)

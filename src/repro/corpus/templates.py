@@ -12,12 +12,17 @@ from __future__ import annotations
 import random
 from typing import Optional
 
-from repro.jimple.builder import MethodBuilder
+from repro.jimple.builder import ClassBuilder, MethodBuilder
 from repro.jimple.statements import (
     AssignBinopStmt,
+    AssignCmpStmt,
+    AssignFieldGetStmt,
+    AssignFieldPutStmt,
     AssignInvokeStmt,
     AssignNewStmt,
+    AssignUnopStmt,
     Constant,
+    FieldRef,
     IdentityStmt,
     InvokeExpr,
     InvokeStmt,
@@ -26,7 +31,8 @@ from repro.jimple.statements import (
     ThrowStmt,
     Trap,
 )
-from repro.jimple.types import INT, JType, STRING, VOID
+from repro.jimple.types import (FLOAT, INT, JType, STRING, STRING_ARRAY,
+                                VOID)
 
 # ---------------------------------------------------------------------------
 # Reference pools
@@ -158,3 +164,154 @@ def trap_shape(rng: random.Random, method: MethodBuilder,
     method.label(done)
     method.method.traps.append(
         Trap(begin, end, handler, "java.lang.Exception", caught))
+
+
+# ---------------------------------------------------------------------------
+# Execution-phase seed templates
+# ---------------------------------------------------------------------------
+#
+# Each template below builds a complete runnable class whose *startup*
+# is identical on all five vendors but whose *execution* deterministically
+# diverges along exactly one execution-semantics policy axis
+# (`docs/policy-axes.md`).  Silent value differences are escalated into
+# control flow (a division whose divisor is the divergent value), so the
+# `(phase, error)` outcome vectors the differential harness compares
+# actually separate.
+
+def _exec_main() -> MethodBuilder:
+    method = MethodBuilder("main", VOID, [STRING_ARRAY],
+                           ["public", "static"])
+    method.local("r0", STRING_ARRAY)
+    method.identity("r0", "parameter0", STRING_ARRAY)
+    return method
+
+
+def exec_narrowing_template(name: str):
+    """`strict_narrowing_conversions`: i2b(300) is 44 strictly, 300 lax.
+
+    The lax vendor's divisor collapses to zero → ArithmeticException.
+    """
+    builder = ClassBuilder(name)
+    builder.default_init()
+    method = _exec_main()
+    for local in ("$v", "$b", "$d", "$q"):
+        method.local(local, INT)
+    method.const("$v", 300)
+    method.stmt(AssignUnopStmt("$b", "i2b", "$v"))
+    method.stmt(AssignBinopStmt("$d", "$b", "-", Constant(300, INT)))
+    method.stmt(AssignBinopStmt("$q", Constant(100, INT), "/", "$d"))
+    method.println("narrowing strict")
+    method.ret()
+    builder.method(method.build())
+    return builder.build()
+
+
+def exec_fcmp_template(name: str):
+    """`fcmpg_nan_result`: NaN fcmpg 0.0f is +1 per spec, 0 on the
+    folded vendor — whose divisor then hits zero."""
+    builder = ClassBuilder(name)
+    builder.default_init()
+    method = _exec_main()
+    method.local("$f", FLOAT)
+    method.local("$c", INT)
+    method.local("$q", INT)
+    method.const("$f", float("nan"), FLOAT)
+    method.stmt(AssignCmpStmt("$c", "$f", "fcmpg", Constant(0.0, FLOAT)))
+    method.stmt(AssignBinopStmt("$q", Constant(100, INT), "/", "$c"))
+    method.println("fcmpg nan is one")
+    method.ret()
+    builder.method(method.build())
+    return builder.build()
+
+
+def exec_clinit_template(name: str):
+    """`clinit_visibility_order`: a deferred vendor reads the field
+    default (0) in main instead of the initializer's write (5)."""
+    builder = ClassBuilder(name)
+    builder.field("SEED", INT, ["public", "static"])
+    builder.default_init()
+    ref = FieldRef(name, "SEED", INT)
+    clinit = MethodBuilder("<clinit>", modifiers=["static"])
+    clinit.stmt(AssignFieldPutStmt(ref, Constant(5, INT)))
+    clinit.ret()
+    builder.method(clinit.build())
+    method = _exec_main()
+    method.local("$s", INT)
+    method.local("$q", INT)
+    method.stmt(AssignFieldGetStmt("$s", ref))
+    method.stmt(AssignBinopStmt("$q", Constant(100, INT), "/", "$s"))
+    method.println("clinit visible")
+    method.ret()
+    builder.method(method.build())
+    return builder.build()
+
+
+def exec_handler_order_template(name: str):
+    """`exception_handler_scan_order`: two handlers match the thrown
+    RuntimeException; declaration order lands in the benign one,
+    reversed order in the one that divides by zero."""
+    builder = ClassBuilder(name)
+    builder.default_init()
+    method = _exec_main()
+    method.local("$exc", JType("java.lang.RuntimeException"))
+    method.local("$c1", JType("java.lang.RuntimeException"))
+    method.local("$c2", JType("java.lang.Exception"))
+    method.local("$q", INT)
+    method.label("try0")
+    method.stmt(AssignNewStmt("$exc", "java.lang.RuntimeException"))
+    method.stmt(InvokeStmt(InvokeExpr(
+        "special",
+        MethodRef("java.lang.RuntimeException", "<init>", VOID, ()),
+        "$exc", [])))
+    method.stmt(ThrowStmt("$exc"))
+    method.label("endtry0")
+    method.goto("done")
+    method.label("h1")
+    method.stmt(IdentityStmt("$c1", "caughtexception",
+                             JType("java.lang.RuntimeException")))
+    method.goto("done")
+    method.label("h2")
+    method.stmt(IdentityStmt("$c2", "caughtexception",
+                             JType("java.lang.Exception")))
+    method.stmt(AssignBinopStmt("$q", Constant(100, INT), "/",
+                                Constant(0, INT)))
+    method.goto("done")
+    method.label("done")
+    method.println("first handler won")
+    method.ret()
+    method.method.traps.append(Trap("try0", "endtry0", "h1",
+                                    "java.lang.RuntimeException", "$c1"))
+    method.method.traps.append(Trap("try0", "endtry0", "h2",
+                                    "java.lang.Exception", "$c2"))
+    builder.method(method.build())
+    return builder.build()
+
+
+def exec_string_template(name: str):
+    """`string_intrinsic_compat`: charAt(10) on a 4-char string throws
+    StringIndexOutOfBoundsException where the intrinsic exists and
+    falls through to the harmless library stub where it does not."""
+    builder = ClassBuilder(name)
+    builder.default_init()
+    method = _exec_main()
+    method.local("$s", STRING)
+    method.local("$c", INT)
+    method.const("$s", "seed", STRING)
+    method.stmt(AssignInvokeStmt("$c", InvokeExpr(
+        "virtual",
+        MethodRef("java.lang.String", "charAt", INT, (INT,)),
+        "$s", [Constant(10, INT)])))
+    method.println("charAt tolerated")
+    method.ret()
+    builder.method(method.build())
+    return builder.build()
+
+
+#: The execution-phase seed templates, in a fixed order for determinism.
+EXEC_TEMPLATES = [
+    exec_narrowing_template,
+    exec_fcmp_template,
+    exec_clinit_template,
+    exec_handler_order_template,
+    exec_string_template,
+]

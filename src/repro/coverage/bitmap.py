@@ -79,6 +79,12 @@ def classify_count(count: int) -> int:
 #: worst recomputes the same pure value).
 _STMT_SLOTS: Dict[str, int] = {}
 _BR_SLOTS: Dict[Tuple[str, bool], int] = {}
+_CMP_SLOTS: Dict[str, int] = {}
+
+#: Salt offset lifting comparison ids away from the statement (even) and
+#: branch (odd) salted-id lines.  Collisions with those namespaces remain
+#: possible — and, as everywhere in this bitmap, harmless.
+_CMP_SALT = 0x40000001
 
 
 def _slot_of(salted_id: int) -> int:
@@ -109,10 +115,22 @@ def branch_slot(outcome: Tuple[str, bool]) -> int:
         return slot
 
 
+def comparison_slot(site: str) -> int:
+    """The bitmap slot of a comparison-progress site."""
+    try:
+        return _CMP_SLOTS[site]
+    except KeyError:
+        slot = _slot_of(2 * GLOBAL_INTERNER.comparison_id(site)
+                        + _CMP_SALT)
+        _CMP_SLOTS[site] = slot
+        return slot
+
+
 def coverage_slots(statements: Iterable[str],
-                   branches: Iterable[Tuple[str, bool]]
+                   branches: Iterable[Tuple[str, bool]],
+                   comparisons: Iterable[str] = ()
                    ) -> FrozenSet[int]:
-    """The occupied slot set of one run's coverage (both site kinds).
+    """The occupied slot set of one run's coverage (all site kinds).
 
     The hot path maps every site through the warm slot caches in one C
     pass per kind; only sites never seen by this process fall back to
@@ -123,9 +141,16 @@ def coverage_slots(statements: Iterable[str],
     except KeyError:
         slots = frozenset(statement_slot(site) for site in statements)
     try:
-        return slots | frozenset(map(_BR_SLOTS.__getitem__, branches))
+        slots |= frozenset(map(_BR_SLOTS.__getitem__, branches))
     except KeyError:
-        return slots | frozenset(branch_slot(key) for key in branches)
+        slots |= frozenset(branch_slot(key) for key in branches)
+    if comparisons:
+        try:
+            slots |= frozenset(map(_CMP_SLOTS.__getitem__, comparisons))
+        except KeyError:
+            slots |= frozenset(comparison_slot(site)
+                               for site in comparisons)
+    return slots
 
 
 class CoverageBitmap:
@@ -138,18 +163,20 @@ class CoverageBitmap:
     want the full fixed-width array.
     """
 
-    __slots__ = ("slots", "_statements", "_branches", "_buffer",
-                 "_classified")
+    __slots__ = ("slots", "_statements", "_branches", "_comparisons",
+                 "_buffer", "_classified")
 
     def __init__(self, statements: Mapping[str, int],
-                 branches: Mapping[Tuple[str, bool], int]) -> None:
-        self.slots = coverage_slots(statements, branches)
+                 branches: Mapping[Tuple[str, bool], int],
+                 comparisons: Mapping[str, int] = ()) -> None:
+        self.slots = coverage_slots(statements, branches, comparisons)
         # Prime the frozenset's internal hash cache now, while this
         # build is being amortised into collection time, so the
         # acceptance path's slot-set bucket lookups never pay it.
         hash(self.slots)
         self._statements = statements
         self._branches = branches
+        self._comparisons = comparisons
         self._buffer: bytes = b""
         self._classified: bytes = b""
 
@@ -170,6 +197,7 @@ class CoverageBitmap:
         hash(bitmap.slots)
         bitmap._statements = {}
         bitmap._branches = {}
+        bitmap._comparisons = {}
         bitmap._buffer = bytes(buffer) if buffer else b""
         bitmap._classified = b""
         return bitmap
@@ -198,6 +226,10 @@ class CoverageBitmap:
             for key, count in self._branches.items():
                 slot = branch_slot(key)
                 counters[slot] = min(255, counters[slot] + count)
+            if self._comparisons:
+                for site, count in self._comparisons.items():
+                    slot = comparison_slot(site)
+                    counters[slot] = min(255, counters[slot] + count)
             self._buffer = bytes(counters)
         return self._buffer
 

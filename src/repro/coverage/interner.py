@@ -35,10 +35,12 @@ import threading
 from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 #: Shared-table record kinds (also re-exported by ``repro.coverage.shm``):
-#: statement sites and the two branch outcomes of a branch site.
+#: statement sites, the two branch outcomes of a branch site, and
+#: comparison-progress sites (``--cmp-coverage``).
 KIND_STATEMENT = 0
 KIND_BRANCH_FALSE = 1
 KIND_BRANCH_TRUE = 2
+KIND_COMPARISON = 3
 
 
 class SharedTableFull(RuntimeError):
@@ -60,8 +62,10 @@ class SiteInterner:
     def __init__(self) -> None:
         self._statements: Dict[str, int] = {}
         self._branches: Dict[Tuple[str, bool], int] = {}
+        self._comparisons: Dict[str, int] = {}
         self._statement_sites: List[str] = []
         self._branch_keys: List[Tuple[str, bool]] = []
+        self._comparison_sites: List[str] = []
         self._lock = threading.Lock()
         # Shared backing (attach_shared): the table, plus consume
         # cursors over its entry stream.
@@ -70,15 +74,25 @@ class SiteInterner:
         self._shared_offset = 0
         self._shared_stmt_seen = 0
         self._shared_br_seen = 0
+        self._shared_cmp_seen = 0
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._statements) + len(self._branches)
+            return (len(self._statements) + len(self._branches)
+                    + len(self._comparisons))
+
+    def _namespace(self, kind: int) -> Tuple[Dict, List]:
+        """The ``(forward table, reverse mirror)`` pair for a kind."""
+        if kind == KIND_STATEMENT:
+            return self._statements, self._statement_sites
+        if kind == KIND_COMPARISON:
+            return self._comparisons, self._comparison_sites
+        return self._branches, self._branch_keys
 
     # -- interning ---------------------------------------------------------------
 
     def _intern_all(self, table: Dict, keys: Tuple,
-                    statements: bool) -> FrozenSet[int]:
+                    kind: int) -> FrozenSet[int]:
         """Intern ``keys`` into ``table``, returning their id set.
 
         The optimistic path maps every key through the table in one C
@@ -96,47 +110,57 @@ class SiteInterner:
             pass
         with self._lock:
             if self._shared is not None:
-                self._insert_missing_shared(keys, statements)
+                self._insert_missing_shared(keys, kind)
             else:
-                mirror = self._statement_sites if statements \
-                    else self._branch_keys
+                _, mirror = self._namespace(kind)
                 for key in keys:
                     if key not in table:
                         table[key] = len(table)
                         mirror.append(key)
             return frozenset(map(table.__getitem__, keys))
 
-    def _intern_one(self, table: Dict, key, statements: bool) -> int:
+    def _intern_one(self, table: Dict, key, kind: int) -> int:
         try:
             return table[key]
         except KeyError:
             pass
         with self._lock:
             if self._shared is not None:
-                self._insert_missing_shared((key,), statements)
+                self._insert_missing_shared((key,), kind)
             elif key not in table:
                 table[key] = len(table)
-                mirror = self._statement_sites if statements \
-                    else self._branch_keys
+                _, mirror = self._namespace(kind)
                 mirror.append(key)
             return table[key]
 
     def statement_ids(self, sites: Iterable[str]) -> FrozenSet[int]:
         """Intern every statement site, returning the id set."""
-        return self._intern_all(self._statements, tuple(sites), True)
+        return self._intern_all(self._statements, tuple(sites),
+                                KIND_STATEMENT)
 
     def branch_ids(self, outcomes: Iterable[Tuple[str, bool]]
                    ) -> FrozenSet[int]:
         """Intern every branch outcome, returning the id set."""
-        return self._intern_all(self._branches, tuple(outcomes), False)
+        return self._intern_all(self._branches, tuple(outcomes),
+                                KIND_BRANCH_FALSE)
+
+    def comparison_ids(self, sites: Iterable[str]) -> FrozenSet[int]:
+        """Intern every comparison site, returning the id set."""
+        return self._intern_all(self._comparisons, tuple(sites),
+                                KIND_COMPARISON)
 
     def statement_id(self, site: str) -> int:
         """Intern one statement site, returning its id."""
-        return self._intern_one(self._statements, site, True)
+        return self._intern_one(self._statements, site, KIND_STATEMENT)
 
     def branch_id(self, outcome: Tuple[str, bool]) -> int:
         """Intern one branch outcome, returning its id."""
-        return self._intern_one(self._branches, outcome, False)
+        return self._intern_one(self._branches, outcome,
+                                KIND_BRANCH_FALSE)
+
+    def comparison_id(self, site: str) -> int:
+        """Intern one comparison site, returning its id."""
+        return self._intern_one(self._comparisons, site, KIND_COMPARISON)
 
     # -- reverse lookup ----------------------------------------------------------
 
@@ -166,6 +190,17 @@ class SiteInterner:
         with self._lock:
             self._refresh_locked()
             return list(map(self._branch_keys.__getitem__, ids))
+
+    def resolve_comparisons(self, ids: Iterable[int]) -> List[str]:
+        """Map comparison ids back to their sites."""
+        ids = tuple(ids)
+        try:
+            return list(map(self._comparison_sites.__getitem__, ids))
+        except IndexError:
+            pass
+        with self._lock:
+            self._refresh_locked()
+            return list(map(self._comparison_sites.__getitem__, ids))
 
     # -- shared backing ----------------------------------------------------------
 
@@ -199,6 +234,7 @@ class SiteInterner:
             self._shared_offset = table.data_start
             self._shared_stmt_seen = 0
             self._shared_br_seen = 0
+            self._shared_cmp_seen = 0
             with table.lock:
                 self._consume_locked()
                 for site in \
@@ -208,6 +244,9 @@ class SiteInterner:
                         self._branch_keys[self._shared_br_seen:]:
                     table.append(KIND_BRANCH_TRUE if taken
                                  else KIND_BRANCH_FALSE, site)
+                for site in \
+                        self._comparison_sites[self._shared_cmp_seen:]:
+                    table.append(KIND_COMPARISON, site)
                 self._consume_locked()
 
     def detach_shared(self) -> None:
@@ -233,7 +272,7 @@ class SiteInterner:
             with table.lock:
                 self._consume_locked()
                 entries, _ = table.read_entries(0, table.data_start)
-            stmt = br = 0
+            stmt = br = cmp_seen = 0
             for kind, text in entries:
                 if kind == KIND_STATEMENT:
                     if self._statement_sites[stmt] != text:
@@ -242,6 +281,14 @@ class SiteInterner:
                             f"{stmt} is {text!r} in the table but "
                             f"{self._statement_sites[stmt]!r} locally")
                     stmt += 1
+                elif kind == KIND_COMPARISON:
+                    if self._comparison_sites[cmp_seen] != text:
+                        raise RuntimeError(
+                            f"shared site table mismatch: comparison id "
+                            f"{cmp_seen} is {text!r} in the table but "
+                            f"{self._comparison_sites[cmp_seen]!r} "
+                            f"locally")
+                    cmp_seen += 1
                 else:
                     key = (text, kind == KIND_BRANCH_TRUE)
                     if self._branch_keys[br] != key:
@@ -280,6 +327,10 @@ class SiteInterner:
                 self._adopt(self._statements, self._statement_sites,
                             text, self._shared_stmt_seen)
                 self._shared_stmt_seen += 1
+            elif kind == KIND_COMPARISON:
+                self._adopt(self._comparisons, self._comparison_sites,
+                            text, self._shared_cmp_seen)
+                self._shared_cmp_seen += 1
             else:
                 key = (text, kind == KIND_BRANCH_TRUE)
                 self._adopt(self._branches, self._branch_keys, key,
@@ -304,8 +355,7 @@ class SiteInterner:
         table[key] = position
         mirror.append(key)
 
-    def _insert_missing_shared(self, keys: Tuple,
-                               statements: bool) -> None:
+    def _insert_missing_shared(self, keys: Tuple, kind: int) -> None:
         """Mint ids for unknown keys through the shared table.
 
         Caller holds ``self._lock``.  Appends happen under the table
@@ -313,7 +363,7 @@ class SiteInterner:
         the meantime is adopted rather than duplicated; our own appends
         are adopted by the trailing consume.
         """
-        table = self._statements if statements else self._branches
+        table, _ = self._namespace(kind)
         if all(key in table for key in keys):
             return
         shared = self._shared
@@ -322,8 +372,8 @@ class SiteInterner:
             for key in keys:
                 if key in table:
                     continue
-                if statements:
-                    shared.append(KIND_STATEMENT, key)
+                if kind in (KIND_STATEMENT, KIND_COMPARISON):
+                    shared.append(kind, key)
                 else:
                     shared.append(KIND_BRANCH_TRUE if key[1]
                                   else KIND_BRANCH_FALSE, key[0])

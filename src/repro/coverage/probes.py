@@ -34,6 +34,28 @@ _TLS = threading.local()
 _ACTIVE_COUNT = 0
 _COUNT_LOCK = threading.Lock()
 
+#: Process-wide sticky flag: collect comparison-progress sites.
+#:
+#: Off by default so the :func:`log_int32_cmp`-family probes are inert
+#: and decision streams stay byte-identical to runs without them; the
+#: ``--cmp-coverage`` CLI flag turns them on for the whole process (and,
+#: through the executor initializers, for worker processes).  Sticky —
+#: like the collector-bitmap flag — because a criterion's uniqueness
+#: state accumulated with comparison sites cannot be compared against
+#: tracefiles collected without them.
+_CMP_COVERAGE = False
+
+
+def enable_cmp_coverage() -> None:
+    """Collect comparison-progress coverage from now on (sticky)."""
+    global _CMP_COVERAGE
+    _CMP_COVERAGE = True
+
+
+def cmp_coverage_enabled() -> bool:
+    """Whether comparison-progress collection is on in this process."""
+    return _CMP_COVERAGE
+
 
 class CoverageCollector:
     """Records statement and branch hits into a :class:`Tracefile`.
@@ -49,6 +71,7 @@ class CoverageCollector:
     def __init__(self) -> None:
         self._statements: Counter = Counter()
         self._branches: Counter = Counter()
+        self._comparisons: Counter = Counter()
 
     # -- recording -------------------------------------------------------------
 
@@ -57,6 +80,9 @@ class CoverageCollector:
 
     def hit_branch(self, site: str, taken: bool) -> None:
         self._branches[(site, taken)] += 1
+
+    def hit_comparison(self, site: str) -> None:
+        self._comparisons[site] += 1
 
     # -- context management ------------------------------------------------------
 
@@ -78,15 +104,15 @@ class CoverageCollector:
 
     # -- results --------------------------------------------------------------------
 
-    def counts(self) -> "tuple[Counter, Counter]":
-        """The raw ``(statements, branches)`` hit counters.
+    def counts(self) -> "tuple[Counter, Counter, Counter]":
+        """The raw ``(statements, branches, comparisons)`` hit counters.
 
         For callers that re-encode coverage themselves (the process
         backend's persistent workers pack these straight into shared
         memory) instead of snapshotting a :class:`Tracefile`.  Read-only
         by convention: the counters are live until the collector exits.
         """
-        return self._statements, self._branches
+        return self._statements, self._branches, self._comparisons
 
     def tracefile(self) -> Tracefile:
         """Snapshot the recorded coverage.
@@ -97,7 +123,8 @@ class CoverageCollector:
         acceptance hot path finds it already cached.
         """
         trace = Tracefile(statements=dict(self._statements),
-                          branches=dict(self._branches))
+                          branches=dict(self._branches),
+                          comparisons=dict(self._comparisons))
         if collector_bitmaps_enabled():
             trace.bitmap
         return trace
@@ -129,3 +156,67 @@ def branch(site: str, taken: bool) -> bool:
         if collector is not None:
             collector.hit_branch(site, bool(taken))
     return taken
+
+
+# ---------------------------------------------------------------------------
+# Comparison-progress probes (cmplog-style)
+# ---------------------------------------------------------------------------
+
+#: Longest string prefix rewarded per comparison site.
+_MAX_STR_PREFIX = 32
+
+
+def _cmp_collector() -> Optional[CoverageCollector]:
+    """The active collector, only when comparison collection is on."""
+    if not _CMP_COVERAGE or not _ACTIVE_COUNT:
+        return None
+    return getattr(_TLS, "collector", None)
+
+
+def _log_int_cmp(site: str, left: int, right: int, width: int,
+                 collector: CoverageCollector) -> None:
+    # Reward progress toward an equality the way cmplog does: one site
+    # for matching signs, then one per matching byte scanning from the
+    # most significant byte down, stopping at the first mismatch.  A
+    # mutant that gets one byte closer to the compared constant earns a
+    # fresh comparison site and survives set-based acceptance.
+    if (left < 0) != (right < 0):
+        return
+    collector.hit_comparison(site + "#sign")
+    mask = (1 << (8 * width)) - 1
+    left &= mask
+    right &= mask
+    for byte_index in range(width - 1, -1, -1):
+        shift = 8 * byte_index
+        if (left >> shift) & 0xFF != (right >> shift) & 0xFF:
+            break
+        collector.hit_comparison(f"{site}#b{byte_index}")
+
+
+def log_int32_cmp(site: str, left: int, right: int) -> None:
+    """Record 32-bit comparison progress at ``site`` (no-op unless
+    ``--cmp-coverage`` is on and a collector is active)."""
+    collector = _cmp_collector()
+    if collector is not None:
+        _log_int_cmp(site, left, right, 4, collector)
+
+
+def log_int64_cmp(site: str, left: int, right: int) -> None:
+    """64-bit analogue of :func:`log_int32_cmp` (``lcmp`` dispatch)."""
+    collector = _cmp_collector()
+    if collector is not None:
+        _log_int_cmp(site, left, right, 8, collector)
+
+
+def log_str_cmp(site: str, left: str, right: str) -> None:
+    """Record string comparison progress: one site per matching prefix
+    character (capped), mirroring cmplog's memcmp hook."""
+    collector = _cmp_collector()
+    if collector is None:
+        return
+    prefix = 0
+    for first, second in zip(left, right):
+        if first != second or prefix >= _MAX_STR_PREFIX:
+            break
+        prefix += 1
+        collector.hit_comparison(f"{site}#c{prefix}")

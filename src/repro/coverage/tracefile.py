@@ -32,19 +32,22 @@ class Tracefile:
     Attributes:
         statements: statement site → hit count.
         branches: (branch site, outcome) → hit count.
+        comparisons: comparison-progress site → hit count (cmplog-style
+            ``--cmp-coverage`` sites; empty unless enabled).
 
     Derived views (``stmt_set``, ``br_set``, ``signature``, ``stmt_ids``,
-    ``br_ids``) are cached on first access via ``object.__setattr__`` —
-    legal on a frozen dataclass and safe because the underlying dicts are
-    never mutated after construction.
+    ``br_ids``, ``cmp_ids``) are cached on first access via
+    ``object.__setattr__`` — legal on a frozen dataclass and safe because
+    the underlying dicts are never mutated after construction.
     """
 
     statements: Dict[str, int] = field(default_factory=dict)
     branches: Dict[Tuple[str, bool], int] = field(default_factory=dict)
+    comparisons: Dict[str, int] = field(default_factory=dict)
 
     @staticmethod
-    def from_packed(stmt_pairs, br_pairs, interner=None, slots=None,
-                    buffer: bytes = b"") -> "Tracefile":
+    def from_packed(stmt_pairs, br_pairs, cmp_pairs=None, interner=None,
+                    slots=None, buffer: bytes = b"") -> "Tracefile":
         """Build a tracefile from packed ``(id, count)`` coverage arrays.
 
         The wire format of the process backend's persistent reference
@@ -57,8 +60,9 @@ class Tracefile:
         ``stmt_ids``/``br_ids`` views come straight from the id columns
         with no string round-trip at all.
         """
-        return PackedTracefile(stmt_pairs, br_pairs, interner=interner,
-                               slots=slots, buffer=buffer)
+        return PackedTracefile(stmt_pairs, br_pairs, cmp_pairs=cmp_pairs,
+                               interner=interner, slots=slots,
+                               buffer=buffer)
 
     def _cached(self, slot: str, compute):
         value = self.__dict__.get(slot, _UNSET)
@@ -109,6 +113,25 @@ class Tracefile:
             "_br_ids", lambda: GLOBAL_INTERNER.branch_ids(self.branches))
 
     @property
+    def cmp_set(self) -> FrozenSet[str]:
+        """The set of comparison-progress sites hit (cached)."""
+        return self._cached("_cmp_set",
+                            lambda: frozenset(self.comparisons))
+
+    @property
+    def cmp_ids(self) -> FrozenSet[int]:
+        """The comparison hit set as process-local interned ids (cached).
+
+        Empty (the common case: ``--cmp-coverage`` off) without touching
+        the interner, so set-based acceptance pays nothing for the third
+        probe kind until it exists.
+        """
+        return self._cached(
+            "_cmp_ids",
+            lambda: (GLOBAL_INTERNER.comparison_ids(self.comparisons)
+                     if self.comparisons else frozenset()))
+
+    @property
     def bitmap(self) -> CoverageBitmap:
         """The fixed-width coverage-bitmap view (cached).
 
@@ -119,7 +142,8 @@ class Tracefile:
         """
         return self._cached(
             "_bitmap",
-            lambda: CoverageBitmap(self.statements, self.branches))
+            lambda: CoverageBitmap(self.statements, self.branches,
+                                   self.comparisons))
 
     @property
     def signature(self) -> Tuple[int, int]:
@@ -139,11 +163,15 @@ class Tracefile:
     # pickle only the raw dicts and re-derive lazily in the receiving
     # process.
     def __getstate__(self):
-        return {"statements": self.statements, "branches": self.branches}
+        return {"statements": self.statements, "branches": self.branches,
+                "comparisons": self.comparisons}
 
     def __setstate__(self, state):
         object.__setattr__(self, "statements", state["statements"])
         object.__setattr__(self, "branches", state["branches"])
+        # Pickles from before the comparison probe kind carry two dicts.
+        object.__setattr__(self, "comparisons",
+                           state.get("comparisons", {}))
 
 
 class PackedTracefile(Tracefile):
@@ -161,11 +189,13 @@ class PackedTracefile(Tracefile):
     dicts a serial in-process run would have produced.
     """
 
-    def __init__(self, stmt_pairs, br_pairs, interner=None, slots=None,
-                 buffer: bytes = b"") -> None:
+    def __init__(self, stmt_pairs, br_pairs, cmp_pairs=None, interner=None,
+                 slots=None, buffer: bytes = b"") -> None:
         setattr_ = object.__setattr__
         setattr_(self, "_stmt_pairs", stmt_pairs)
         setattr_(self, "_br_pairs", br_pairs)
+        setattr_(self, "_cmp_pairs", cmp_pairs if cmp_pairs is not None
+                 else ())
         setattr_(self, "_interner",
                  interner if interner is not None else GLOBAL_INTERNER)
         if slots is not None:
@@ -180,6 +210,10 @@ class PackedTracefile(Tracefile):
     def branches(self) -> Dict[Tuple[str, bool], int]:
         return self._cached("_branches_dict", self._build_branches)
 
+    @property
+    def comparisons(self) -> Dict[str, int]:
+        return self._cached("_comparisons_dict", self._build_comparisons)
+
     def _build_statements(self) -> Dict[str, int]:
         pairs = self._stmt_pairs
         sites = self._interner.resolve_statements(pairs[0::2])
@@ -189,6 +223,13 @@ class PackedTracefile(Tracefile):
         pairs = self._br_pairs
         keys = self._interner.resolve_branches(pairs[0::2])
         return dict(zip(keys, pairs[1::2]))
+
+    def _build_comparisons(self) -> Dict[str, int]:
+        pairs = self._cmp_pairs
+        if not pairs:
+            return {}
+        sites = self._interner.resolve_comparisons(pairs[0::2])
+        return dict(zip(sites, pairs[1::2]))
 
     @property
     def stmt(self) -> int:
@@ -212,6 +253,11 @@ class PackedTracefile(Tracefile):
         return self._cached(
             "_br_ids", lambda: frozenset(self._br_pairs[0::2]))
 
+    @property
+    def cmp_ids(self) -> FrozenSet[int]:
+        return self._cached(
+            "_cmp_ids", lambda: frozenset(self._cmp_pairs[0::2]))
+
     def total_hits(self) -> int:
         return sum(self._stmt_pairs[1::2])
 
@@ -222,14 +268,16 @@ class PackedTracefile(Tracefile):
     def __eq__(self, other):
         if isinstance(other, Tracefile):
             return (self.statements == other.statements
-                    and self.branches == other.branches)
+                    and self.branches == other.branches
+                    and self.comparisons == other.comparisons)
         return NotImplemented
 
     # A packed trace's id arrays are only meaningful next to its
     # interner, so pickling materialises and ships a plain Tracefile —
     # the same raw-dict wire form the base class uses.
     def __reduce__(self):
-        return Tracefile, (self.statements, self.branches)
+        return Tracefile, (self.statements, self.branches,
+                           self.comparisons)
 
 
 def merge(first: Tracefile, second: Tracefile) -> Tracefile:
@@ -245,7 +293,11 @@ def merge(first: Tracefile, second: Tracefile) -> Tracefile:
     branches = dict(first.branches)
     for key, count in second.branches.items():
         branches[key] = branches.get(key, 0) + count
-    return Tracefile(statements=statements, branches=branches)
+    comparisons = dict(first.comparisons)
+    for site, count in second.comparisons.items():
+        comparisons[site] = comparisons.get(site, 0) + count
+    return Tracefile(statements=statements, branches=branches,
+                     comparisons=comparisons)
 
 
 def same_statement_sets(first: Tracefile, second: Tracefile) -> bool:
@@ -262,3 +314,12 @@ def same_statement_sets(first: Tracefile, second: Tracefile) -> bool:
 def same_branch_sets(first: Tracefile, second: Tracefile) -> bool:
     """Branch-set analogue of :func:`same_statement_sets`."""
     return first.branches.keys() == second.branches.keys()
+
+
+def same_comparison_sets(first: Tracefile, second: Tracefile) -> bool:
+    """Comparison-set analogue of :func:`same_statement_sets`.
+
+    Trivially true (two empty key views) whenever ``--cmp-coverage`` is
+    off, so pre-existing acceptance behaviour is unchanged.
+    """
+    return first.comparisons.keys() == second.comparisons.keys()

@@ -23,6 +23,7 @@ from repro.coverage.bitmap import (
 from repro.coverage.tracefile import (
     Tracefile,
     same_branch_sets,
+    same_comparison_sets,
     same_statement_sets,
 )
 
@@ -143,16 +144,18 @@ class TrUniqueness(UniquenessCriterion):
         #: same-signature membership test is one hash lookup over int
         #: sets instead of O(bucket) frozenset-of-string comparisons.
         self._by_signature: Dict[Tuple[int, int], Set[
-            Tuple[FrozenSet[int], FrozenSet[int]]]] = {}
+            Tuple[FrozenSet[int], FrozenSet[int],
+                  FrozenSet[int]]]] = {}
 
     def is_unique(self, trace: Tracefile) -> bool:
         candidates = self._by_signature.get(trace.signature)
         if candidates is None:
             return True
-        return (trace.stmt_ids, trace.br_ids) not in candidates
+        return (trace.stmt_ids, trace.br_ids, trace.cmp_ids) \
+            not in candidates
 
     def _record(self, trace: Tracefile) -> None:
-        key = (trace.stmt_ids, trace.br_ids)
+        key = (trace.stmt_ids, trace.br_ids, trace.cmp_ids)
         self._by_signature.setdefault(trace.signature, set()).add(key)
 
 
@@ -235,6 +238,7 @@ class BitmapPrefilteredCriterion(UniquenessCriterion):
             return True
         return not any(same_statement_sets(trace, other)
                        and same_branch_sets(trace, other)
+                       and same_comparison_sets(trace, other)
                        for other in bucket)
 
     def _record(self, trace: Tracefile) -> None:
@@ -276,7 +280,8 @@ class BitmapPrefilteredCriterion(UniquenessCriterion):
             if bucket is not None:
                 for other in bucket:
                     if (same_statement_sets(trace, other)
-                            and same_branch_sets(trace, other)):
+                            and same_branch_sets(trace, other)
+                            and same_comparison_sets(trace, other)):
                         unique = False
                         break
         if unique:

@@ -184,6 +184,52 @@ class AssignBinopStmt(Stmt):
 
 
 @dataclass
+class AssignCmpStmt(Stmt):
+    """``dst = left <cmp> right`` — the three-way numeric compares.
+
+    ``op`` is one of ``lcmp fcmpl fcmpg dcmpl dcmpg``; the result is the
+    int ``-1/0/+1`` the matching JVM opcode pushes (NaN handling per
+    opcode — the ``l``/``g`` suffix — is a vendor policy axis).
+    """
+
+    dst: str
+    left: Value
+    op: str
+    right: Value
+
+    def locals_read(self) -> List[str]:
+        return [v for v in (self.left, self.right) if isinstance(v, str)]
+
+    def locals_written(self) -> List[str]:
+        return [self.dst]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.left} {self.op} {self.right}"
+
+
+@dataclass
+class AssignUnopStmt(Stmt):
+    """``dst = <op> src`` — negation and primitive conversions.
+
+    ``op`` is one of ``ineg lneg fneg dneg i2l l2i i2b i2c i2s f2i f2l
+    d2i d2l`` (the unary opcodes the interpreter implements).
+    """
+
+    dst: str
+    op: str
+    src: Value
+
+    def locals_read(self) -> List[str]:
+        return [self.src] if isinstance(self.src, str) else []
+
+    def locals_written(self) -> List[str]:
+        return [self.dst]
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op} {self.src}"
+
+
+@dataclass
 class AssignNewStmt(Stmt):
     """``local = new owner``."""
 

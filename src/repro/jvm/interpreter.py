@@ -24,7 +24,13 @@ from repro.classfile.constant_pool import ConstantPoolError, CpTag
 from repro.classfile.descriptors import DescriptorError, parse_method_descriptor
 from repro.classfile.methods import MethodInfo
 from repro.classfile.model import ClassFile
-from repro.coverage.probes import branch, probe
+from repro.coverage.probes import (
+    branch,
+    log_int32_cmp,
+    log_int64_cmp,
+    log_str_cmp,
+    probe,
+)
 from repro.errors import (
     AbstractMethodError,
     ArithmeticException,
@@ -124,6 +130,12 @@ class Interpreter:
         self.output: List[str] = []
         self.statics: Dict[str, object] = {}
         self.steps = 0
+        #: True once <clinit> has completed (set by the machine between
+        #: the initialization and invocation phases).
+        self.clinit_done = False
+        #: Static fields written during <clinit> and not yet overwritten
+        #: by main — the reads the clinit-visibility axis arbitrates.
+        self._clinit_written: set = set()
         self._verified: set = set()
         #: Callback verifying a method lazily (J9-style) before first run.
         self._on_demand_verify = on_demand_verify
@@ -225,8 +237,16 @@ class Interpreter:
 
     def _find_handler(self, code, by_offset: Dict[int, int],
                       offset: int, thrown: JavaError) -> Optional[int]:
-        """Index of the first matching exception handler, if any."""
+        """Index of the matching exception handler, if any.
+
+        All matching entries are collected first; which one wins is the
+        ``exception_handler_scan_order`` policy axis ("declaration" per
+        JVMS, "reversed" for a last-match-wins table walk).  The probe
+        fires only when the choice is live (two or more matches), so
+        single-handler methods trace exactly as they always have.
+        """
         thrown_name = thrown.java_name.replace(".", "/")
+        matches = []
         for handler in code.exception_table:
             if not handler.start_pc <= offset < handler.end_pc:
                 continue
@@ -240,8 +260,15 @@ class Interpreter:
                         or self.library.is_subclass_of(thrown_name,
                                                        catch_name)):
                     continue
-            return by_offset.get(handler.handler_pc)
-        return None
+            matches.append(handler)
+        if not matches:
+            return None
+        if len(matches) > 1:
+            if branch("interp.handler_scan_reversed",
+                      self.policy.exception_handler_scan_order
+                      == "reversed"):
+                return by_offset.get(matches[-1].handler_pc)
+        return by_offset.get(matches[0].handler_pc)
 
     def _materialize_throwable(self, thrown: JavaError) -> JObject:
         """The object a handler receives for a caught error."""
@@ -355,6 +382,8 @@ class Interpreter:
         if name.startswith("IF_ICMP"):
             right, left = self._as_int(self._pop(stack)), \
                 self._as_int(self._pop(stack))
+            log_int32_cmp(f"interp.cmp.i32@{instruction.offset}",
+                          left, right)
             taken = self._compare(name[len("IF_ICMP"):], left - right)
             return _Jump(operands["target"]) if taken else _NEXT
         if name.startswith("IF_ACMP"):
@@ -368,6 +397,7 @@ class Interpreter:
             return _Jump(operands["target"]) if taken else _NEXT
         if name.startswith("IF"):
             value = self._as_int(self._pop(stack))
+            log_int32_cmp(f"interp.cmp.i32z@{instruction.offset}", value, 0)
             taken = self._compare(name[2:], value)
             return _Jump(operands["target"]) if taken else _NEXT
         if op in (Op.GOTO, Op.GOTO_W):
@@ -496,6 +526,19 @@ class Interpreter:
         raise ClassCastException(f"expected int, found {type(value).__name__}")
 
     @staticmethod
+    def _as_float(value: object) -> float:
+        if isinstance(value, float):
+            return value
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, int):
+            return float(value)
+        if value is None:
+            return 0.0
+        raise ClassCastException(
+            f"expected float, found {type(value).__name__}")
+
+    @staticmethod
     def _compare(suffix: str, value: int) -> bool:
         return {"EQ": value == 0, "NE": value != 0, "LT": value < 0,
                 "GE": value >= 0, "GT": value > 0, "LE": value <= 0}[suffix]
@@ -509,10 +552,17 @@ class Interpreter:
         Op.IXOR: lambda a, b: a ^ b,
         Op.ISHL: lambda a, b: _wrap_int(a << (b & 31)),
         Op.ISHR: lambda a, b: a >> (b & 31),
-        Op.IUSHR: lambda a, b: (a & 0xFFFFFFFF) >> (b & 31),
+        Op.IUSHR: lambda a, b: _wrap_int((a & 0xFFFFFFFF) >> (b & 31)),
         Op.LADD: lambda a, b: _wrap_long(a + b),
         Op.LSUB: lambda a, b: _wrap_long(a - b),
         Op.LMUL: lambda a, b: _wrap_long(a * b),
+        Op.LAND: lambda a, b: a & b,
+        Op.LOR: lambda a, b: a | b,
+        Op.LXOR: lambda a, b: a ^ b,
+        Op.LSHL: lambda a, b: _wrap_long(a << (b & 63)),
+        Op.LSHR: lambda a, b: a >> (b & 63),
+        Op.LUSHR: lambda a, b: _wrap_long(
+            (a & 0xFFFFFFFFFFFFFFFF) >> (b & 63)),
         Op.FADD: lambda a, b: a + b, Op.FSUB: lambda a, b: a - b,
         Op.FMUL: lambda a, b: a * b,
         Op.DADD: lambda a, b: a + b, Op.DSUB: lambda a, b: a - b,
@@ -551,27 +601,72 @@ class Interpreter:
                 value = float("nan")
             stack.append(value)
             return True
-        if op in (Op.INEG, Op.LNEG, Op.FNEG, Op.DNEG):
+        if op in (Op.INEG, Op.LNEG):
+            wrap = _wrap_int if op is Op.INEG else _wrap_long
+            stack.append(wrap(-self._as_int(self._pop(stack))))
+            return True
+        if op in (Op.FNEG, Op.DNEG):
             stack.append(-self._pop(stack))
             return True
-        if op in (Op.I2L, Op.L2I, Op.I2B, Op.I2C, Op.I2S):
-            stack.append(_wrap_int(self._as_int(self._pop(stack))))
+        if op in (Op.I2L, Op.L2I):
+            value = self._as_int(self._pop(stack))
+            stack.append(_wrap_int(value) if op is Op.L2I
+                         else _wrap_long(value))
+            return True
+        if op in (Op.I2B, Op.I2C, Op.I2S):
+            value = self._as_int(self._pop(stack))
+            if branch("interp.narrowing_strict",
+                      self.policy.strict_narrowing_conversions):
+                if op is Op.I2B:
+                    value = ((value & 0xFF) ^ 0x80) - 0x80
+                elif op is Op.I2C:
+                    value = value & 0xFFFF
+                else:  # I2S
+                    value = ((value & 0xFFFF) ^ 0x8000) - 0x8000
+            else:
+                # Legacy passthrough: only the 32-bit wrap is applied.
+                value = _wrap_int(value)
+            stack.append(value)
             return True
         if op in (Op.I2F, Op.I2D, Op.L2F, Op.L2D):
             stack.append(float(self._as_int(self._pop(stack))))
             return True
         if op in (Op.F2I, Op.D2I, Op.F2L, Op.D2L):
-            value = self._pop(stack)
-            stack.append(_wrap_int(int(value)) if op in (Op.F2I, Op.D2I)
-                         else _wrap_long(int(value)))
+            number = self._as_float(self._pop(stack))
+            low, high = ((-0x80000000, 0x7FFFFFFF)
+                         if op in (Op.F2I, Op.D2I)
+                         else (-0x8000000000000000, 0x7FFFFFFFFFFFFFFF))
+            if number != number:  # NaN
+                result = 0 if branch(
+                    "interp.f2i_nan_strict",
+                    self.policy.strict_narrowing_conversions) else low
+            elif number <= low:
+                result = low
+            elif number >= high:
+                result = high
+            else:
+                result = int(number)
+            stack.append(result)
             return True
         if op in (Op.F2D, Op.D2F):
             stack.append(float(self._pop(stack)))
             return True
-        if op in (Op.LCMP, Op.FCMPL, Op.FCMPG, Op.DCMPL, Op.DCMPG):
-            right = self._pop(stack)
-            left = self._pop(stack)
+        if op is Op.LCMP:
+            right = self._as_int(self._pop(stack))
+            left = self._as_int(self._pop(stack))
+            log_int64_cmp("interp.cmp.i64", left, right)
             stack.append((left > right) - (left < right))
+            return True
+        if op in (Op.FCMPL, Op.FCMPG, Op.DCMPL, Op.DCMPG):
+            right = self._as_float(self._pop(stack))
+            left = self._as_float(self._pop(stack))
+            if branch("interp.fcmp_nan",
+                      left != left or right != right):
+                nan_result = self.policy.fcmpg_nan_result
+                stack.append(nan_result if op in (Op.FCMPG, Op.DCMPG)
+                             else -nan_result)
+            else:
+                stack.append((left > right) - (left < right))
             return True
         return None
 
@@ -610,6 +705,16 @@ class Interpreter:
         owner, name, descriptor = self._field_target(index)
         probe("interp.getstatic")
         if owner == self.classfile.name:
+            # The clinit-visibility axis: a main-phase read of a static
+            # whose only write happened in <clinit> may observe the field
+            # default instead ("deferred").  The probe fires only when
+            # such a read actually occurs, so classes that never write
+            # statics in <clinit> trace exactly as before.
+            if self.clinit_done and name in self._clinit_written:
+                if branch("interp.clinit_read_deferred",
+                          self.policy.clinit_visibility_order
+                          == "deferred"):
+                    return _default_for_descriptor(descriptor)
             return self.statics.get(name, _default_for_descriptor(descriptor))
         cls = self.library.find(owner)
         if branch("interp.getstatic_missing_class", cls is None):
@@ -625,6 +730,12 @@ class Interpreter:
         owner, name, _ = self._field_target(index)
         probe("interp.putstatic")
         if owner == self.classfile.name:
+            if self.clinit_done:
+                # main overwrote it: later reads see main's value on
+                # every policy.
+                self._clinit_written.discard(name)
+            else:
+                self._clinit_written.add(name)
             self.statics[name] = value
             return
         cls = self.library.find(owner)
@@ -871,6 +982,39 @@ class Interpreter:
                 return receiver + str(args[0])
             if name == "valueOf" and args:
                 return _to_display(args[0])
+            if name in ("equals", "compareTo", "charAt") \
+                    and isinstance(receiver, str):
+                # The string-compat axis: vendors without these fast
+                # paths fall through to the library stubs (returning the
+                # descriptor default, 0 — i.e. "not equal").
+                if not branch("interp.string_compat",
+                              self.policy.string_intrinsic_compat):
+                    return _NO_INTRINSIC
+                if name == "equals":
+                    other = args[0] if args else None
+                    if isinstance(other, str):
+                        log_str_cmp("interp.cmp.str.equals", receiver,
+                                    other)
+                    return 1 if receiver == other else 0
+                if name == "compareTo":
+                    other = args[0] if args else None
+                    if branch("interp.compareto_null",
+                              not isinstance(other, str)):
+                        raise NullPointerException("String.compareTo")
+                    log_str_cmp("interp.cmp.str.compareTo", receiver,
+                                other)
+                    for ours, theirs in zip(receiver, other):
+                        if ours != theirs:
+                            return _wrap_int(ord(ours) - ord(theirs))
+                    return _wrap_int(len(receiver) - len(other))
+                # charAt
+                char_index = self._as_int(args[0]) if args else 0
+                if branch("interp.charat_oob",
+                          not 0 <= char_index < len(receiver)):
+                    raise UserThrowable(
+                        "java.lang.StringIndexOutOfBoundsException",
+                        f"String index out of range: {char_index}")
+                return ord(receiver[char_index])
         if owner == "java/lang/Integer" and name == "parseInt" and args:
             try:
                 return _wrap_int(int(str(args[0])))

@@ -88,6 +88,9 @@ class Jvm:
             except JavaError as exc:
                 return self._rejected(Phase.INITIALIZATION, exc,
                                       tuple(interpreter.output))
+        # Initialization is over: main-phase reads of <clinit>-written
+        # statics are now subject to the clinit-visibility policy axis.
+        interpreter.clinit_done = True
         # Phase 4: invocation & execution.
         with ambient_phase_span(self.name, "execution"):
             try:

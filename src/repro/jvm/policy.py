@@ -132,3 +132,28 @@ class JvmPolicy:
     allow_interface_main: bool = False
     #: Interpreter step budget before declaring the run stuck.
     max_interpreter_steps: int = 20000
+
+    # -- execution semantics ----------------------------------------------------
+    #: Result of ``fcmpg``/``dcmpg`` when either operand is NaN (JVMS: +1;
+    #: the ``*cmpl`` variants push the negation).  ``0`` models a broken
+    #: "NaN compares equal" float comparison (GIJ's soft-float path).
+    fcmpg_nan_result: int = 1
+    #: Apply JVMS narrowing semantics: ``i2b``/``i2c``/``i2s`` truncate to
+    #: their target width, and ``f2i``/``f2l``/``d2i``/``d2l`` convert NaN
+    #: to 0 and saturate infinities.  When False the int narrowings pass
+    #: 32-bit values through unchanged and NaN converts to the target
+    #: type's MIN_VALUE (raw hardware ``cvttss2si`` behaviour).
+    strict_narrowing_conversions: bool = True
+    #: Order in which exception-table entries are consulted when several
+    #: cover the faulting offset and match the thrown type:
+    #: ``"declaration"`` (JVMS: first entry wins) or ``"reversed"``
+    #: (last matching entry wins).
+    exception_handler_scan_order: str = "declaration"
+    #: Serve ``String.equals``/``compareTo``/``charAt`` as behavioural
+    #: intrinsics (with ``charAt`` bounds-checked).  When False they fall
+    #: through to the descriptor-default library stubs and return 0.
+    string_intrinsic_compat: bool = True
+    #: Visibility of ``<clinit>``-written statics from ``main``:
+    #: ``"eager"`` (writes visible, JVMS) or ``"deferred"`` (reads in
+    #: ``main`` observe the field defaults instead).
+    clinit_visibility_order: str = "eager"

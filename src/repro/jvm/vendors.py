@@ -91,6 +91,11 @@ def make_j9() -> Jvm:
         treat_nonstatic_clinit_as_ordinary=False,  # Problem 1
         code_presence_checked_at_loading=True,     # format error at load
         member_checks_at_linking=False,            # checks at definition
+        # Execution semantics: J9's handler search walks its internal
+        # (reversed) table, and JIT-reordered <clinit> stores are not
+        # guaranteed visible to the first main-method read.
+        exception_handler_scan_order="reversed",
+        clinit_visibility_order="deferred",
     )
     return Jvm("j9", policy, build_environment(8, name="ibm-sdk8"))
 
@@ -123,6 +128,13 @@ def make_gij() -> Jvm:
         code_presence_checked_at_loading=False,
         member_checks_at_linking=True,         # its few checks run late
         resolve_refs_eagerly=True,             # an eager, AOT-ish linker
+        # Execution semantics: classpath-era interpreter quirks — the
+        # soft-float comparator treats NaN as equal, narrowing
+        # conversions are raw hardware casts, and the String fast paths
+        # are stubbed out rather than implemented.
+        fcmpg_nan_result=0,
+        strict_narrowing_conversions=False,
+        string_intrinsic_compat=False,
     )
     return Jvm("gij", policy, build_environment(5, name="classpath"))
 

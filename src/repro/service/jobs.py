@@ -109,6 +109,13 @@ def validate_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
     out["coverage_index"] = str(spec.get("coverage_index", "exact"))
     _require(out["coverage_index"] in ("exact", "bitmap"),
              "spec.coverage_index must be 'exact' or 'bitmap'")
+    exec_fraction = spec.get("exec_fraction", 0.0)
+    _require(isinstance(exec_fraction, (int, float))
+             and 0.0 <= exec_fraction <= 1.0,
+             "spec.exec_fraction must be a number in [0, 1]")
+    out["exec_fraction"] = float(exec_fraction)
+    out["execution_mutators"] = bool(spec.get("execution_mutators", False))
+    out["cmp_coverage"] = bool(spec.get("cmp_coverage", False))
     if "crash_after_checkpoints" in spec:  # test hook, first attempt only
         out["crash_after_checkpoints"] = _int_field(
             spec, "crash_after_checkpoints", 0, minimum=1)

@@ -120,8 +120,18 @@ def _run_fuzz_leg(job: Job, leg: Dict[str, Any], leg_dir: Path,
     from repro.core.storage import save_suite
 
     spec = job.spec
-    seeds = generate_corpus(CorpusConfig(count=spec["seed_count"],
-                                         seed=spec["seed"]))
+    seeds = generate_corpus(CorpusConfig(
+        count=spec["seed_count"], seed=spec["seed"],
+        exec_fraction=spec.get("exec_fraction", 0.0)))
+    extra = {}
+    if spec.get("execution_mutators"):
+        from repro.core.mutators import EXECUTION_MUTATORS, MUTATORS
+
+        extra["mutators"] = list(MUTATORS) + list(EXECUTION_MUTATORS)
+    if spec.get("cmp_coverage"):
+        from repro.coverage.probes import enable_cmp_coverage
+
+        enable_cmp_coverage()
     executor = make_executor(telemetry=telemetry)
     try:
         result = run_algorithm(
@@ -130,7 +140,8 @@ def _run_fuzz_leg(job: Job, leg: Dict[str, Any], leg_dir: Path,
             batch=spec["batch"], schedule=spec["seed_schedule"],
             checkpoint_dir=leg_dir / "checkpoint",
             checkpoint_every=spec["checkpoint_every"],
-            resume=True, coverage_index=spec["coverage_index"])
+            resume=True, coverage_index=spec["coverage_index"],
+            **extra)
     finally:
         executor.close()
     manifest = save_suite(result, leg_dir / "suite")

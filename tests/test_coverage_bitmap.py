@@ -164,7 +164,7 @@ class TestTracefileIntegration:
         trace = Tracefile(statements={"tf.d": 1}, branches={})
         trace.bitmap  # materialise the cache
         state = trace.__getstate__()
-        assert set(state) == {"statements", "branches"}
+        assert set(state) == {"statements", "branches", "comparisons"}
 
     def test_pickle_round_trip_rebuilds_bitmap(self):
         # Slots are process-local; the clone must rebuild, not inherit.

@@ -191,26 +191,36 @@ class TestPackedPayload:
     def test_roundtrip_exact_mode(self):
         stmt = array("I", [0, 3, 2, 1])
         br = array("I", [1, 7])
-        out_stmt, out_br, slots, buffer = decode_payload(
+        out_stmt, out_br, out_cmp, slots, buffer = decode_payload(
             encode_payload(stmt, br))
         assert out_stmt == stmt
         assert out_br == br
+        assert len(out_cmp) == 0
         assert slots is None
         assert buffer == b""
 
     def test_roundtrip_bitmap_mode(self):
         stmt = array("I", [0, 1])
         buffer = bytes(BITMAP_SIZE)
-        out_stmt, _, slots, out_buffer = decode_payload(
+        out_stmt, _, _, slots, out_buffer = decode_payload(
             encode_payload(stmt, array("I"), slots={5, 900}, buffer=buffer))
         assert out_stmt == stmt
         assert slots == frozenset({5, 900})
         assert out_buffer == buffer
 
+    def test_roundtrip_comparison_pairs(self):
+        stmt = array("I", [0, 3])
+        cmp_pairs = array("I", [1, 2, 4, 1])
+        out_stmt, _, out_cmp, slots, _ = decode_payload(
+            encode_payload(stmt, array("I"), cmp_pairs))
+        assert out_stmt == stmt
+        assert out_cmp == cmp_pairs
+        assert slots is None
+
     def test_empty_payload(self):
-        out_stmt, out_br, slots, buffer = decode_payload(
+        out_stmt, out_br, out_cmp, slots, buffer = decode_payload(
             encode_payload(array("I"), array("I")))
-        assert len(out_stmt) == len(out_br) == 0
+        assert len(out_stmt) == len(out_br) == len(out_cmp) == 0
         assert slots is None
 
 
